@@ -1,0 +1,130 @@
+//! Criterion benchmarks for the Wi-Vi compute kernels and the §7.1
+//! end-to-end trace-processing microbenchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use wivi_core::gesture::matched_filter;
+use wivi_core::isar::{beamform_spectrum, synthetic_target_trace, IsarConfig};
+use wivi_core::music::{music_spectrum, smoothed_correlation, MusicConfig};
+use wivi_core::nulling::iterate_nulling_ideal;
+use wivi_num::{fft, hermitian_eig, Complex64};
+
+fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("wivi");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    g
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = quick(c);
+    let x: Vec<Complex64> = (0..64)
+        .map(|i| Complex64::cis(i as f64 * 0.37))
+        .collect();
+    g.bench_function("fft64_roundtrip", |b| {
+        b.iter(|| {
+            let mut buf = x.clone();
+            fft::fft(&mut buf);
+            fft::ifft(&mut buf);
+            buf[0]
+        })
+    });
+    g.finish();
+}
+
+fn bench_eig(c: &mut Criterion) {
+    let mut g = quick(c);
+    let cfg = MusicConfig::wivi_default();
+    let trace = synthetic_target_trace(&cfg.isar, cfg.isar.window, 1.0, 4.0, 0.5);
+    let r = smoothed_correlation(&trace, cfg.subarray);
+    g.bench_function("hermitian_eig_50x50", |b| b.iter(|| hermitian_eig(&r).values[0]));
+    g.finish();
+}
+
+fn bench_correlation(c: &mut Criterion) {
+    let mut g = quick(c);
+    let cfg = MusicConfig::wivi_default();
+    let trace = synthetic_target_trace(&cfg.isar, cfg.isar.window, 1.0, 4.0, 0.5);
+    g.bench_function("smoothed_correlation_w100_sub50", |b| {
+        b.iter(|| smoothed_correlation(&trace, cfg.subarray).frobenius_norm())
+    });
+    g.finish();
+}
+
+fn bench_beamform_window(c: &mut Criterion) {
+    let mut g = quick(c);
+    let cfg = IsarConfig {
+        hop: 100,
+        ..IsarConfig::wivi_default()
+    };
+    let trace = synthetic_target_trace(&cfg, cfg.window, 1.0, 4.0, 0.5);
+    g.bench_function("beamform_window_w100_181angles", |b| {
+        b.iter(|| beamform_spectrum(&trace, &cfg).power[0][90])
+    });
+    g.finish();
+}
+
+fn bench_music_window(c: &mut Criterion) {
+    let mut g = quick(c);
+    let mut cfg = MusicConfig::wivi_default();
+    cfg.isar.hop = cfg.isar.window; // exactly one window
+    let trace = synthetic_target_trace(&cfg.isar, cfg.isar.window, 1.0, 4.0, 0.5);
+    g.bench_function("music_window_w100_sub50", |b| {
+        b.iter(|| music_spectrum(&trace, &cfg).power[0][90])
+    });
+    g.finish();
+}
+
+fn bench_music_25s(c: &mut Criterion) {
+    // The §7.1 microbenchmark: a full 25 s trace (paper: 1.0564 s mean).
+    let mut g = c.benchmark_group("wivi");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(8));
+    let cfg = MusicConfig::wivi_default();
+    let n = (25.0 * 312.5) as usize;
+    let trace = synthetic_target_trace(&cfg.isar, n, 1.0, 4.0, 0.4);
+    g.bench_function("music_25s_trace_sec7_1", |b| {
+        b.iter(|| music_spectrum(&trace, &cfg).n_times())
+    });
+    g.finish();
+}
+
+fn bench_nulling_iteration(c: &mut Criterion) {
+    let mut g = quick(c);
+    let h1 = Complex64::new(0.8, -0.3);
+    let h2 = Complex64::new(0.5, 0.4);
+    let d1 = Complex64::new(0.01, -0.02);
+    let d2 = Complex64::new(-0.015, 0.01);
+    g.bench_function("iterative_nulling_8_steps", |b| {
+        b.iter(|| iterate_nulling_ideal(h1, h2, d1, d2, 8)[8])
+    });
+    g.finish();
+}
+
+fn bench_matched_filter(c: &mut Criterion) {
+    let mut g = quick(c);
+    let signal: Vec<f64> = (0..512).map(|i| (i as f64 * 0.1).sin()).collect();
+    let template: Vec<f64> = (0..18)
+        .map(|i| 1.0 - (2.0 * i as f64 / 17.0 - 1.0).abs())
+        .collect();
+    g.bench_function("gesture_matched_filter_512x18", |b| {
+        b.iter(|| matched_filter(&signal, &template)[256])
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fft,
+    bench_eig,
+    bench_correlation,
+    bench_beamform_window,
+    bench_music_window,
+    bench_music_25s,
+    bench_nulling_iteration,
+    bench_matched_filter
+);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Ablation (§1.2) — ISAR angular resolution vs target motion: "to achieve
+//! a narrow beam, the human needs to move by about 4 wavelengths (i.e.,
+//! about 50 cm)".
+
+use wivi_bench::report;
+use wivi_core::isar::{beamform_spectrum, synthetic_target_trace, IsarConfig};
+
+fn main() {
+    report::header(
+        "Ablation: aperture",
+        "Beamwidth vs amount of target motion (emulated aperture length)",
+        "angular resolution sharpens with motion; ≈ 4 λ of movement gives a narrow beam",
+    );
+    println!("\n{:>10} {:>12} {:>16}", "window w", "motion (λ)", "-3 dB width (°)");
+    let lambda = wivi_rf::carrier_wavelength();
+    for window in [8usize, 16, 32, 64, 100, 128, 192] {
+        let cfg = IsarConfig {
+            window,
+            hop: window,
+            ..IsarConfig::wivi_default()
+        };
+        // Round-trip aperture = w·Δ; the *physical* motion is half that.
+        let motion_lambdas = window as f64 * cfg.element_spacing() / 2.0 / lambda;
+        let trace = synthetic_target_trace(&cfg, window + 1, 1.0, 4.0, 0.5);
+        let spec = beamform_spectrum(&trace, &cfg);
+        let row = &spec.power[0];
+        let peak = row.iter().copied().fold(0.0f64, f64::max);
+        let bins = row.iter().filter(|&&p| p > peak / 2.0).count();
+        let width_deg = bins as f64 * 180.0 / (cfg.n_angles - 1) as f64;
+        println!("{window:>10} {motion_lambdas:>12.1} {width_deg:>16.1}");
+    }
+    println!("\nThe paper's w = 100 window (0.32 s at 1 m/s ≈ 2.6 λ of motion, 5.2 λ of");
+    println!("round-trip aperture) sits right at the knee: a few λ of movement buys a");
+    println!("~10° beam; much less movement leaves a fan tens of degrees wide.");
+}

@@ -1,0 +1,53 @@
+//! Ablation (§5.2) — smoothed MUSIC vs conventional beamforming: sharper
+//! peaks and the ability to separate coherent (correlated) reflectors.
+
+use wivi_bench::report;
+use wivi_core::baseline::peak_sharpness;
+use wivi_core::isar::{beamform_spectrum, synthetic_target_trace};
+use wivi_core::music::{music_spectrum, MusicConfig};
+use wivi_num::Complex64;
+
+fn add(a: &mut [Complex64], b: &[Complex64]) {
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += *y;
+    }
+}
+
+fn main() {
+    report::header(
+        "Ablation: MUSIC vs beamforming",
+        "Peak sharpness and two-target resolution (same traces)",
+        "MUSIC achieves sharper peaks (a super-resolution technique, §5.2) and its \
+         smoothing step de-correlates reflectors of the same transmitted signal",
+    );
+    let cfg = MusicConfig::wivi_default();
+
+    // Single target: sharpness.
+    let one = synthetic_target_trace(&cfg.isar, 400, 1.0, 4.0, 0.5);
+    let bf = beamform_spectrum(&one, &cfg.isar);
+    let mu = music_spectrum(&one, &cfg);
+    println!("\nsingle target at sinθ = 0.5:");
+    println!("  conventional beamforming: mean -3 dB width {:>5.1} bins", peak_sharpness(&bf));
+    println!("  smoothed MUSIC:           mean -3 dB width {:>5.1} bins", peak_sharpness(&mu));
+
+    // Two coherent targets, closely spaced.
+    let mut two = synthetic_target_trace(&cfg.isar, 400, 1.0, 4.0, 0.55);
+    add(&mut two, &synthetic_target_trace(&cfg.isar, 400, 1.0, 6.0, 0.25));
+    let bf2 = beamform_spectrum(&two, &cfg.isar);
+    let mu2 = music_spectrum(&two, &cfg);
+    let resolved = |spec: &wivi_core::AngleSpectrogram| {
+        let b1 = spec.angle_index(33.4); // asin 0.55
+        let b2 = spec.angle_index(14.5); // asin 0.25
+        let mid = spec.angle_index(24.0);
+        let mut count = 0;
+        for row in &spec.power {
+            if row[b1] > row[mid] * 1.5 && row[b2] > row[mid] * 1.5 {
+                count += 1;
+            }
+        }
+        100.0 * count as f64 / spec.n_times() as f64
+    };
+    println!("\ntwo coherent targets at sinθ = 0.55 and 0.25:");
+    println!("  windows with both peaks resolved: beamforming {:>4.0}%  MUSIC {:>4.0}%",
+        resolved(&bf2), resolved(&mu2));
+}

@@ -1,0 +1,71 @@
+//! Ablation (§2.1) — what happens without nulling: the narrowband Doppler
+//! baseline's through-wall detection margin collapses under the flash,
+//! while nulled Wi-Vi keeps working.
+
+use wivi_bench::report;
+use wivi_bench::runner::parallel_map;
+use wivi_core::baseline::doppler_motion_energy;
+use wivi_core::{WiViConfig, WiViDevice};
+use wivi_rf::{Material, Mover, Point, Scene, WaypointWalker};
+use wivi_sdr::{MimoFrontend, RadioConfig};
+
+fn walker() -> Mover {
+    Mover::human(WaypointWalker::new(
+        vec![Point::new(-1.5, 3.5), Point::new(1.5, 1.5)],
+        1.0,
+    ))
+}
+
+fn doppler_margin(material: Material, seed: u64) -> f64 {
+    let energy = |with_human: bool| {
+        let mut scene = Scene::new(material).with_office_clutter(Scene::conference_room_small());
+        if with_human {
+            scene = scene.with_mover(walker());
+        }
+        let mut fe = MimoFrontend::new(scene, RadioConfig::wivi_default(), seed);
+        doppler_motion_energy(&mut fe, 64, 0.25).motion_energy
+    };
+    energy(true) / energy(false)
+}
+
+fn nulled_margin(material: Material, seed: u64) -> f64 {
+    let var = |with_human: bool| {
+        let mut scene = Scene::new(material).with_office_clutter(Scene::conference_room_small());
+        if with_human {
+            scene = scene.with_mover(walker());
+        }
+        let mut dev = WiViDevice::new(scene, WiViConfig::paper_default(), seed);
+        dev.calibrate();
+        dev.measure_spatial_variance(6.0).max(1.0)
+    };
+    var(true) / var(false)
+}
+
+fn main() {
+    report::header(
+        "Ablation: nulling off",
+        "Motion-detection margin (human / empty) with and without nulling",
+        "§2.1: narrowband radars that ignore the flash are limited to low-attenuation \
+         obstructions; nulling restores the margin through real walls",
+    );
+    let mats = [
+        Material::FreeSpace,
+        Material::SolidWoodDoor,
+        Material::HollowWall6In,
+        Material::ConcreteWall8In,
+    ];
+    let rows = parallel_map(&mats.to_vec(), |&m| {
+        let d = doppler_margin(m, 81);
+        let n = nulled_margin(m, 81);
+        vec![
+            m.label().to_string(),
+            format!("{:.1}x", d),
+            format!("{:.0}x", n),
+        ]
+    });
+    println!();
+    report::print_table(
+        &["material", "Doppler (no nulling)", "Wi-Vi (nulled)"],
+        &rows,
+    );
+}

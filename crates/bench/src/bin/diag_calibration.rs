@@ -1,0 +1,89 @@
+//! Diagnostic: end-to-end calibration sweep (not part of the experiment
+//! suite). Prints counting-variance separation, gesture SNR vs distance,
+//! material SNRs, and operational nulling so the physical parameters can
+//! be tuned against the paper's shapes.
+
+use wivi_bench::runner::parallel_map;
+use wivi_bench::scenarios::{
+    run_counting_trial, run_nulling_trial, GestureTrial, Room,
+};
+use wivi_rf::Material;
+
+fn main() {
+    // --- Counting: variance by human count (short traces for speed). ---
+    println!("== counting variance (25 s traces, room A) ==");
+    let specs: Vec<(usize, u64)> = (0..4)
+        .flat_map(|n| (0..6u64).map(move |s| (n, 100 + 10 * n as u64 + s)))
+        .collect();
+    let vars = parallel_map(&specs, |&(n, seed)| {
+        (n, run_counting_trial(Room::Small, n, seed, 25.0))
+    });
+    for n in 0..4 {
+        let vs: Vec<String> = vars
+            .iter()
+            .filter(|(k, _)| *k == n)
+            .map(|(_, v)| format!("{v:.0}"))
+            .collect();
+        println!("  {n} humans: {}", vs.join("  "));
+    }
+
+    // --- Gestures: decode + SNR vs distance (hollow wall). ---
+    println!("== gesture decode vs distance (6\" hollow wall) ==");
+    let dist_specs: Vec<(f64, u64)> = [1.0, 3.0, 5.0, 7.0, 8.0, 9.0, 10.0]
+        .iter()
+        .flat_map(|&d| (0..3u64).map(move |s| (d, s)))
+        .collect();
+    let outcomes = parallel_map(&dist_specs, |&(d, s)| {
+        let trial = GestureTrial {
+            material: Material::HollowWall6In,
+            distance_m: d,
+            bits: vec![s % 2 == 0],
+            subject: s + 1,
+            seed: 500 + s + (d * 10.0) as u64,
+        };
+        let o = trial.run();
+        (d, o.all_correct(), o.any_flip(), o.gesture_snrs_db.clone())
+    });
+    for &(d, correct, flip, ref snrs) in &outcomes {
+        println!(
+            "  d={d:>4.1} m: correct={correct} flip={flip} snrs={:?}",
+            snrs.iter().map(|s| format!("{s:.1}")).collect::<Vec<_>>()
+        );
+    }
+
+    // --- Materials at 3 m. ---
+    println!("== gesture decode by material (3 m) ==");
+    let mat_specs: Vec<(Material, u64)> = Material::SURVEY
+        .iter()
+        .flat_map(|&m| (0..3u64).map(move |s| (m, s)))
+        .collect();
+    let mats = parallel_map(&mat_specs, |&(m, s)| {
+        let trial = GestureTrial {
+            material: m,
+            distance_m: 3.0,
+            bits: vec![false],
+            subject: s + 1,
+            seed: 900 + s,
+        };
+        let o = trial.run();
+        (m, o.all_correct(), o.gesture_snrs_db.clone())
+    });
+    for &(m, correct, ref snrs) in &mats {
+        println!(
+            "  {:<24} correct={correct} snrs={:?}",
+            m.label(),
+            snrs.iter().map(|s| format!("{s:.1}")).collect::<Vec<_>>()
+        );
+    }
+
+    // --- Operational nulling (Fig 7-7 quantity). ---
+    println!("== operational nulling over 12 s traces ==");
+    let null_specs: Vec<u64> = (0..8).collect();
+    let nulls = parallel_map(&null_specs, |&s| {
+        run_nulling_trial(Material::HollowWall6In, 700 + s, 12.0)
+    });
+    println!(
+        "  nulling dB: {:?}",
+        nulls.iter().map(|n| format!("{n:.1}")).collect::<Vec<_>>()
+    );
+}

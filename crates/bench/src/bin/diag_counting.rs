@@ -1,0 +1,43 @@
+//! Diagnostic: candidate counting statistics side by side.
+
+use wivi_bench::runner::parallel_map;
+use wivi_bench::scenarios::{counting_scene, Room};
+use wivi_core::counting::{mean_spatial_variance, DC_GUARD_DEG, RIDGE_THRESHOLD_DB};
+use wivi_core::music::music_spectrum_with_eigen;
+use wivi_core::{WiViConfig, WiViDevice};
+
+fn main() {
+    let specs: Vec<(usize, u64)> = (0..4)
+        .flat_map(|n| (0..6u64).map(move |s| (n, 100 + 10 * n as u64 + s)))
+        .collect();
+    let rows = parallel_map(&specs, |&(n, seed)| {
+        let scene = counting_scene(Room::Small, n, seed, 25.0);
+        let cfg = WiViConfig::paper_default();
+        let mut dev = WiViDevice::new(scene, cfg, seed);
+        dev.calibrate();
+        let trace = dev.record_trace(25.0);
+        let music_cfg = dev.config().music;
+        let (spec, eig) = music_spectrum_with_eigen(&trace, &music_cfg);
+        let var = mean_spatial_variance(&spec);
+        // Plain off-DC ridge mass.
+        let db = spec.db_ridges(RIDGE_THRESHOLD_DB);
+        let mass: f64 = db
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .zip(&spec.thetas_deg)
+                    .filter(|(_, th)| th.abs() >= DC_GUARD_DEG)
+                    .map(|(w, _)| *w)
+                    .sum::<f64>()
+            })
+            .sum::<f64>()
+            / db.len() as f64;
+        let nsig: f64 =
+            eig.iter().map(|e| e.n_signal as f64).sum::<f64>() / eig.len() as f64;
+        (n, var, mass, nsig)
+    });
+    println!("{:>2} {:>10} {:>8} {:>6}", "n", "var", "mass", "nsig");
+    for (n, var, mass, nsig) in rows {
+        println!("{n:>2} {var:>10.0} {mass:>8.1} {nsig:>6.2}");
+    }
+}

@@ -1,0 +1,47 @@
+//! Diagnostic: eigenvalue structure of static vs moving scenes.
+//! Not part of the experiment suite; used to calibrate the MUSIC
+//! signal-subspace detector.
+
+use wivi_core::music::music_spectrum_with_eigen;
+use wivi_core::counting::mean_spatial_variance;
+use wivi_core::{WiViConfig, WiViDevice};
+use wivi_rf::{Material, Mover, Point, Scene, WaypointWalker};
+
+fn run(label: &str, scene: Scene, seed: u64) {
+    let cfg = WiViConfig::fast_test();
+    let mut dev = WiViDevice::new(scene, cfg, seed);
+    let rep = dev.calibrate();
+    println!("== {label}: nulling {:.1} dB", rep.nulling_db());
+    let trace = dev.record_trace(3.0);
+    let (spec, eig) = music_spectrum_with_eigen(&trace, &cfg.music);
+    for (i, e) in eig.iter().enumerate().take(6) {
+        let med = {
+            let mut s = e.eigenvalues.clone();
+            s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            s[s.len() / 2]
+        };
+        println!(
+            "  win {i}: n_sig={} l1/med={:.1} dB  top5(rel med): {:?}",
+            e.n_signal,
+            10.0 * (e.eigenvalues[0] / med).log10(),
+            e.eigenvalues
+                .iter()
+                .take(5)
+                .map(|l| format!("{:.1}", 10.0 * (l / med).log10()))
+                .collect::<Vec<_>>()
+        );
+    }
+    println!("  mean variance: {:.1}", mean_spatial_variance(&spec));
+}
+
+fn main() {
+    let static_scene = || {
+        Scene::new(Material::HollowWall6In).with_office_clutter(Scene::conference_room_small())
+    };
+    run("static", static_scene(), 1);
+    let walker = static_scene().with_mover(Mover::human(WaypointWalker::new(
+        vec![Point::new(-1.5, 4.0), Point::new(0.0, 1.2), Point::new(1.5, 4.0)],
+        1.0,
+    )));
+    run("walker", walker, 2);
+}

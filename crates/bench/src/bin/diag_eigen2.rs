@@ -1,0 +1,41 @@
+//! Diagnostic: eigenvalues relative to the analytic thermal noise floor
+//! (paper config), for 0–3 humans.
+
+use wivi_bench::runner::parallel_map;
+use wivi_bench::scenarios::{counting_scene, Room};
+use wivi_core::music::music_spectrum_with_eigen;
+use wivi_core::{WiViConfig, WiViDevice};
+
+fn main() {
+    let cfg = WiViConfig::paper_default();
+    let sigma_c2 = cfg.radio.noise_sigma.powi(2) / cfg.radio.ofdm.n_subcarriers as f64;
+    println!("thermal floor sigma_c^2 = {sigma_c2:.3e}");
+    let specs: Vec<(usize, u64)> = (0..4).map(|n| (n, 200 + n as u64)).collect();
+    let out = parallel_map(&specs, |&(n, seed)| {
+        let scene = counting_scene(Room::Small, n, seed, 12.0);
+        let mut dev = WiViDevice::new(scene, cfg, seed);
+        dev.calibrate();
+        let trace = dev.record_trace(12.0);
+        let (_, eig) = music_spectrum_with_eigen(&trace, &cfg.music);
+        let mut lines = Vec::new();
+        for (i, e) in eig.iter().enumerate() {
+            if i % 40 != 0 {
+                continue;
+            }
+            let rel: Vec<String> = e
+                .eigenvalues
+                .iter()
+                .take(8)
+                .map(|l| format!("{:.1}", 10.0 * (l / sigma_c2).log10()))
+                .collect();
+            lines.push(format!("  win {i:>3}: top8/sigma_c2 dB: {rel:?}"));
+        }
+        (n, lines)
+    });
+    for (n, lines) in out {
+        println!("== {n} humans ==");
+        for l in lines {
+            println!("{l}");
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Figure 6-1 — gestures as detected by Wi-Vi: step forward, step
+//! backward, step backward, step forward (bits '0' then '1'); forward
+//! steps paint energy above the zero line, backward steps below.
+
+use wivi_bench::report;
+use wivi_core::gesture::signed_amplitude_track;
+use wivi_core::isar::beamform_spectrum;
+use wivi_core::{WiViConfig, WiViDevice};
+use wivi_rf::{GestureScript, GestureStyle, Material, Mover, Point, Scene, Vec2};
+
+fn main() {
+    report::header(
+        "Fig. 6-1",
+        "Gesture sequence: forward, backward, backward, forward (= bits 0, 1)",
+        "forward steps appear as triangles above the zero line; backward steps as \
+         inverted triangles below it",
+    );
+    let cfg = WiViConfig::paper_default();
+    let script = GestureScript::for_bits(
+        Point::new(0.0, 3.0),
+        Vec2::new(0.0, -1.0),
+        GestureStyle::default(),
+        3.0,
+        &[false, true],
+    );
+    let duration = 3.0 + script.duration() + 1.5;
+    let scene = Scene::new(Material::HollowWall6In)
+        .with_office_clutter(Scene::conference_room_large())
+        .with_mover(Mover::human(script));
+    let mut dev = WiViDevice::new(scene, cfg, 61);
+    dev.calibrate();
+    let trace = dev.record_trace(duration);
+    let spec = beamform_spectrum(&trace, &cfg.music.isar);
+    println!("\n{}", spec.render_ascii(19, 72));
+
+    println!("signed angle-energy track (the 'triangles'):");
+    let track = signed_amplitude_track(&spec, cfg.gesture.dc_guard_deg);
+    let max = track.iter().map(|x| x.abs()).fold(1e-12, f64::max);
+    for (i, v) in track.iter().enumerate().step_by(4) {
+        let w = ((v / max) * 30.0).round() as i32;
+        let bar = if w >= 0 {
+            format!("{}|{}", " ".repeat(30), "#".repeat(w as usize))
+        } else {
+            format!("{}{}|", " ".repeat((30 + w) as usize), "#".repeat((-w) as usize))
+        };
+        println!("  t={:>5.1}s {bar}", spec.times_s[i]);
+    }
+}

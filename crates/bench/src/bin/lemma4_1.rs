@@ -1,0 +1,44 @@
+//! Lemma 4.1.1 — iterative nulling converges geometrically with ratio
+//! |Δ₂/h₂|, verified in exact arithmetic and on the simulated radio.
+
+use wivi_bench::report;
+use wivi_core::nulling::iterate_nulling_ideal;
+use wivi_core::{WiViConfig, WiViDevice};
+use wivi_num::Complex64;
+use wivi_rf::{Material, Scene};
+
+fn main() {
+    report::header(
+        "Lemma 4.1.1",
+        "Convergence of iterative nulling",
+        "|h_res^(i)| = |h_res^(0)| · |Δ₂/h₂|^i  (exponentially fast)",
+    );
+
+    println!("\nExact arithmetic (no noise): residual vs iteration for three error ratios");
+    let h1 = Complex64::new(0.8, -0.3);
+    let h2 = Complex64::new(0.5, 0.4);
+    for ratio_target in [0.05, 0.1, 0.2] {
+        let d2 = h2.scale(ratio_target);
+        let d1 = Complex64::new(0.01, -0.02);
+        let res = iterate_nulling_ideal(h1, h2, d1, d2, 8);
+        let ratio = (d2 / h2).abs();
+        print!("  |Δ₂/h₂| = {ratio:.2}:");
+        for r in &res {
+            print!("  {:.1e}", r);
+        }
+        println!();
+        let fitted = (res[6] / res[0]).powf(1.0 / 6.0);
+        println!("    fitted per-iteration decay {fitted:.3} vs predicted {ratio:.3}");
+    }
+
+    println!("\nOn the simulated radio (with noise): residual power history of Algorithm 1");
+    let scene = Scene::new(Material::HollowWall6In).with_office_clutter(Scene::conference_room_small());
+    let mut dev = WiViDevice::new(scene, WiViConfig::paper_default(), 11);
+    let rep = dev.calibrate();
+    println!("  un-nulled power:        {:.3e}", rep.unnulled_power);
+    println!("  after initial null:     {:.3e}", rep.initial_residual_power);
+    for (i, p) in rep.residual_history.iter().enumerate() {
+        println!("  after iteration {:>2}:     {:.3e}", i + 1, p);
+    }
+    println!("  iterations to converge: {} (plateaus at the noise floor)", rep.iterations);
+}

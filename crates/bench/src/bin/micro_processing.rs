@@ -1,0 +1,33 @@
+//! §7.1 microbenchmark — offline processing time of a 25-second trace
+//! with the smoothed MUSIC pipeline (paper: 1.0564 s ± 0.2561 s per trace
+//! in Matlab on an i7).
+
+use std::time::Instant;
+
+use wivi_bench::report;
+use wivi_core::isar::synthetic_target_trace;
+use wivi_core::music::{music_spectrum, MusicConfig};
+
+fn main() {
+    report::header(
+        "§7.1 micro",
+        "Smoothed-MUSIC processing time for a 25 s trace",
+        "1.0564 s mean, 0.2561 s std (Matlab R2012a, Intel i7)",
+    );
+    let cfg = MusicConfig::wivi_default();
+    let n = (25.0 * 312.5) as usize;
+    let trace = synthetic_target_trace(&cfg.isar, n, 1.0, 4.0, 0.4);
+
+    let mut times = Vec::new();
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        let spec = music_spectrum(&trace, &cfg);
+        let dt = t0.elapsed().as_secs_f64();
+        assert!(spec.n_times() > 0);
+        times.push(dt);
+    }
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    println!("\nper-trace processing time over {} runs: mean {:.3} s  (runs: {:?})",
+        times.len(), mean,
+        times.iter().map(|t| format!("{t:.3}")).collect::<Vec<_>>());
+}

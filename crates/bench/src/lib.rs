@@ -1,0 +1,33 @@
+//! Experiment harness for the Wi-Vi reproduction.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (see DESIGN.md §4 for the full index). This library
+//! holds what they share:
+//!
+//! * [`scenarios`] — the workload generators: counting trials in the two
+//!   conference rooms, gesture trials at parametric distance / material /
+//!   subject, and the standard scene builders.
+//! * [`runner`] — a crossbeam-based parallel trial executor (experiments
+//!   are embarrassingly parallel across trials).
+//! * [`report`] — uniform stdout formatting: CDF tables, bar charts,
+//!   confusion matrices, figure headers.
+
+pub mod report;
+pub mod runner;
+pub mod scenarios;
+
+/// Returns `true` if `--quick` was passed — binaries then run a reduced
+/// trial count (useful while iterating; the full runs match the paper's
+/// trial counts).
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Trial-count helper: `full` normally, `quick` under `--quick`.
+pub fn trials(full: usize, quick: usize) -> usize {
+    if quick_mode() {
+        quick
+    } else {
+        full
+    }
+}

@@ -1,0 +1,89 @@
+//! Uniform stdout formatting for the experiment binaries.
+
+use wivi_num::stats::Cdf;
+
+/// Prints the standard experiment header.
+pub fn header(id: &str, title: &str, paper_says: &str) {
+    println!("================================================================");
+    println!("{id} — {title}");
+    println!("paper: {paper_says}");
+    println!("================================================================");
+}
+
+/// Prints an empirical CDF as `x  F(x)` rows with a bar (the paper's CDF
+/// figures as a table).
+pub fn print_cdf(label: &str, samples: &[f64], rows: usize) {
+    let cdf = Cdf::new(samples);
+    println!("\n{label}  (n = {}, min = {:.2}, median = {:.2}, max = {:.2})",
+        cdf.len(), cdf.min(), cdf.quantile(0.5), cdf.max());
+    println!("{:>12}  {:>6}", "x", "F(x)");
+    for (x, f) in cdf.rows(rows) {
+        println!("{x:>12.2}  {f:>6.3}  |{}", bar(f, 1.0, 40));
+    }
+}
+
+/// A horizontal bar of `width` cells filled proportionally to
+/// `value / max`.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    let frac = (value / max).clamp(0.0, 1.0);
+    let filled = (frac * width as f64).round() as usize;
+    format!("{}{}", "#".repeat(filled), " ".repeat(width - filled))
+}
+
+/// Prints a simple aligned table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>w$}", w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Formats a mean ± std pair.
+pub fn mean_std(xs: &[f64]) -> String {
+    format!(
+        "{:.2} ± {:.2}",
+        wivi_num::stats::mean(xs),
+        wivi_num::stats::std_dev(xs)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_is_proportional() {
+        assert_eq!(bar(0.0, 1.0, 10), "          ");
+        assert_eq!(bar(1.0, 1.0, 10), "##########");
+        assert_eq!(bar(0.5, 1.0, 10).matches('#').count(), 5);
+        // Clamps out-of-range values.
+        assert_eq!(bar(2.0, 1.0, 4), "####");
+    }
+
+    #[test]
+    fn mean_std_formats() {
+        let s = mean_std(&[1.0, 3.0]);
+        assert!(s.contains("2.00"));
+        assert!(s.contains("1.00"));
+    }
+}

@@ -1,0 +1,80 @@
+//! Parallel trial execution.
+//!
+//! Every experiment is a set of independent trials (different seeds,
+//! subjects, distances...), so they parallelize trivially. Workers pull
+//! trial indices from an atomic counter and push results through a
+//! crossbeam channel; results are returned in input order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Maps `f` over `items` in parallel, preserving order.
+///
+/// Uses up to `available_parallelism` worker threads (never more than the
+/// item count). Panics in workers propagate.
+pub fn parallel_map<I, T, F>(items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let n_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(items.len());
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, T)>();
+
+    crossbeam::scope(|s| {
+        for _ in 0..n_threads {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            s.spawn(move |_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                tx.send((i, f(&items[i]))).expect("result channel closed");
+            });
+        }
+        drop(tx);
+    })
+    .expect("worker thread panicked");
+
+    let mut out: Vec<Option<T>> = (0..items.len()).map(|_| None).collect();
+    for (i, v) in rx.iter() {
+        out[i] = Some(v);
+    }
+    out.into_iter()
+        .map(|v| v.expect("missing trial result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_completeness() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&items, |&x| x * x);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = parallel_map(&Vec::<u32>::new(), |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        assert_eq!(parallel_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+}

@@ -1,0 +1,285 @@
+//! The angle–time representation `A′[θ, n]` and its rendering.
+//!
+//! Every tracker in this crate (classic beamforming, smoothed MUSIC)
+//! produces an [`AngleSpectrogram`]: power as a function of spatial angle
+//! `θ ∈ [−90°, +90°]` and time. The paper's Figs. 5-2, 5-3, 6-1 and 7-2
+//! are heatmaps of this object; [`AngleSpectrogram::render_ascii`]
+//! reproduces them in a terminal.
+
+/// Power (linear) over a grid of spatial angles × time windows.
+#[derive(Clone, Debug)]
+pub struct AngleSpectrogram {
+    /// Angle grid in degrees, ascending (typically −90 ..= +90).
+    pub thetas_deg: Vec<f64>,
+    /// Centre time of each analysis window, seconds.
+    pub times_s: Vec<f64>,
+    /// `power[t][a]`: linear power at `times_s[t]`, `thetas_deg[a]`.
+    pub power: Vec<Vec<f64>>,
+}
+
+impl AngleSpectrogram {
+    /// Creates a spectrogram, validating shapes.
+    ///
+    /// # Panics
+    /// Panics on inconsistent dimensions or empty grids.
+    pub fn new(thetas_deg: Vec<f64>, times_s: Vec<f64>, power: Vec<Vec<f64>>) -> Self {
+        assert!(!thetas_deg.is_empty() && !times_s.is_empty());
+        assert_eq!(power.len(), times_s.len(), "one power row per time window");
+        for row in &power {
+            assert_eq!(row.len(), thetas_deg.len(), "one power value per angle");
+        }
+        Self {
+            thetas_deg,
+            times_s,
+            power,
+        }
+    }
+
+    /// Number of time windows.
+    pub fn n_times(&self) -> usize {
+        self.times_s.len()
+    }
+
+    /// Number of angle bins.
+    pub fn n_angles(&self) -> usize {
+        self.thetas_deg.len()
+    }
+
+    /// Index of the angle bin closest to `deg`.
+    pub fn angle_index(&self, deg: f64) -> usize {
+        self.thetas_deg
+            .iter()
+            .enumerate()
+            .min_by(|a, b| {
+                (a.1 - deg).abs().partial_cmp(&(b.1 - deg).abs()).unwrap()
+            })
+            .unwrap()
+            .0
+    }
+
+    /// Per-window dB map relative to that window's noise floor — the
+    /// *median* power across angles, clamped below at 0 dB:
+    /// `w[t][a] = max(0, 10·log10(p[t][a] / median_a p[t][a]))`.
+    /// Ridges (the DC spike, moving bodies) occupy few angle bins, so the
+    /// median tracks the grass level and ridge heights stay comparable
+    /// across windows regardless of how many bodies are present (a
+    /// min-based floor would compress ridges whenever the pseudospectrum
+    /// floor rises). This is the weighting used by the spatial-variance
+    /// human counter.
+    pub fn db_floor_normalized(&self) -> Vec<Vec<f64>> {
+        self.power
+            .iter()
+            .map(|row| {
+                let mut sorted = row.clone();
+                sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let floor = sorted[sorted.len() / 2].max(1e-30);
+                row.iter()
+                    .map(|p| (10.0 * (p / floor).log10()).max(0.0))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The angle (degrees) of maximum power in window `t`, ignoring bins
+    /// within `dc_guard_deg` of zero (the DC line).
+    pub fn dominant_angle(&self, t: usize, dc_guard_deg: f64) -> Option<f64> {
+        let mut best: Option<(f64, f64)> = None;
+        for (a, &th) in self.thetas_deg.iter().enumerate() {
+            if th.abs() < dc_guard_deg {
+                continue;
+            }
+            let p = self.power[t][a];
+            if best.is_none_or(|(bp, _)| p > bp) {
+                best = Some((p, th));
+            }
+        }
+        best.map(|(_, th)| th)
+    }
+
+    /// Per-window dB map with a ridge threshold applied: values below
+    /// `threshold_db` above the window floor are zeroed. MUSIC noise
+    /// "grass" — the speckle visible in the background of the paper's
+    /// Fig. 7-2 — sits below ~10 dB; real ridges (DC, bodies) sit well
+    /// above, so thresholding isolates the structure that the counting
+    /// and gesture statistics are meant to measure.
+    pub fn db_ridges(&self, threshold_db: f64) -> Vec<Vec<f64>> {
+        let mut db = self.db_floor_normalized();
+        for row in &mut db {
+            for v in row.iter_mut() {
+                if *v < threshold_db {
+                    *v = 0.0;
+                }
+            }
+        }
+        db
+    }
+
+    /// Absolute-scale dB map `max(0, 10·log10 p)` with a ridge threshold.
+    /// Valid for spectra with a calibrated unit floor — the normalized
+    /// MUSIC pseudospectrum of [`crate::music::music_spectrum`] scores
+    /// exactly 1 where steering vectors see no signal — so, unlike
+    /// [`Self::db_ridges`], ridge heights do not compress when other
+    /// bodies raise the window's overall level: per-body ridge mass stays
+    /// additive, which the human counter depends on.
+    pub fn db_ridges_absolute(&self, threshold_db: f64) -> Vec<Vec<f64>> {
+        self.power
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|p| {
+                        let db = 10.0 * p.max(1e-30).log10();
+                        if db < threshold_db {
+                            0.0
+                        } else {
+                            db
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Signed angle-energy track used by the gesture decoder: for each
+    /// window, (sum of ridge dB at θ > guard) − (same at θ < −guard),
+    /// with sub-ridge grass removed by `threshold_db` (see
+    /// [`Self::db_ridges`]). Forward steps drive it positive, backward
+    /// steps negative; the DC line near θ = 0 is excluded.
+    pub fn signed_energy(&self, dc_guard_deg: f64, threshold_db: f64) -> Vec<f64> {
+        let db = self.db_ridges(threshold_db);
+        db.iter()
+            .map(|row| {
+                let mut s = 0.0;
+                for (a, &th) in self.thetas_deg.iter().enumerate() {
+                    if th > dc_guard_deg {
+                        s += row[a];
+                    } else if th < -dc_guard_deg {
+                        s -= row[a];
+                    }
+                }
+                s
+            })
+            .collect()
+    }
+
+    /// Renders the spectrogram as an ASCII heatmap (angle on y, +90° at
+    /// the top as in the paper's figures; time on x), `rows × cols`
+    /// characters plus axes.
+    pub fn render_ascii(&self, rows: usize, cols: usize) -> String {
+        assert!(rows >= 2 && cols >= 2);
+        const RAMP: &[u8] = b" .:-=+*#%@";
+        let db = self.db_floor_normalized();
+        let max_db = db
+            .iter()
+            .flat_map(|r| r.iter().copied())
+            .fold(0.0f64, f64::max)
+            .max(1e-9);
+
+        let mut out = String::new();
+        for r in 0..rows {
+            // Top row = +90°.
+            let fa = (rows - 1 - r) as f64 / (rows - 1) as f64;
+            let a = (fa * (self.n_angles() - 1) as f64).round() as usize;
+            let theta = self.thetas_deg[a];
+            out.push_str(&format!("{theta:>5.0}° |"));
+            for c in 0..cols {
+                let ft = c as f64 / (cols - 1) as f64;
+                let t = (ft * (self.n_times() - 1) as f64).round() as usize;
+                let level = (db[t][a] / max_db).clamp(0.0, 1.0);
+                let idx = ((RAMP.len() - 1) as f64 * level).round() as usize;
+                out.push(RAMP[idx] as char);
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "       +{}\n        t = {:.1}s .. {:.1}s\n",
+            "-".repeat(cols),
+            self.times_s.first().unwrap(),
+            self.times_s.last().unwrap()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> AngleSpectrogram {
+        // 3 angles × 2 windows; a hot spot at (+90°, t1).
+        AngleSpectrogram::new(
+            vec![-90.0, 0.0, 90.0],
+            vec![0.0, 1.0],
+            vec![vec![1.0, 10.0, 1.0], vec![1.0, 10.0, 100.0]],
+        )
+    }
+
+    #[test]
+    fn floor_normalization_is_nonnegative_and_median_referenced() {
+        let db = demo().db_floor_normalized();
+        for row in &db {
+            assert!(row.iter().all(|&v| v >= 0.0));
+        }
+        // Window 0: median 1 → the 10× spike reads 10 dB.
+        assert!((db[0][1] - 10.0).abs() < 1e-9);
+        // Window 1: median 10 → the 100× spike reads 10 dB, floor clamps.
+        assert!((db[1][2] - 10.0).abs() < 1e-9);
+        assert_eq!(db[1][0], 0.0);
+    }
+
+    #[test]
+    fn dominant_angle_skips_dc() {
+        let s = demo();
+        // Window 0: max is at θ=0 (DC) but guard excludes it → ±90 tie,
+        // either is acceptable; window 1: clear peak at +90.
+        assert_eq!(s.dominant_angle(1, 5.0), Some(90.0));
+        // Without a guard the DC wins in window 0.
+        assert_eq!(s.dominant_angle(0, 0.0), Some(0.0));
+    }
+
+    #[test]
+    fn signed_energy_sign_convention() {
+        let s = demo();
+        let e = s.signed_energy(5.0, 0.0);
+        // Window 1 has strong +90° energy → positive.
+        assert!(e[1] > 0.0);
+        // Window 0 is symmetric at the floor → zero.
+        assert!(e[0].abs() < 1e-9);
+    }
+
+    #[test]
+    fn ridge_threshold_zeroes_grass() {
+        let s = demo();
+        // Median-referenced: window 0 → [0, 10, 0]; window 1 → [0, 0, 10].
+        // An 8 dB ridge threshold keeps only the 10 dB spikes.
+        let r = s.db_ridges(8.0);
+        assert_eq!(r[0], vec![0.0, 10.0, 0.0]);
+        assert_eq!(r[1], vec![0.0, 0.0, 10.0]);
+        // Thresholded signed energy in window 1 counts only the ridge.
+        let e = s.signed_energy(5.0, 8.0);
+        assert!((e[1] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn angle_index_nearest() {
+        let s = demo();
+        assert_eq!(s.angle_index(80.0), 2);
+        assert_eq!(s.angle_index(-1.0), 1);
+    }
+
+    #[test]
+    fn ascii_render_has_expected_shape() {
+        let art = demo().render_ascii(3, 10);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 5); // 3 rows + axis + time label
+        assert!(lines[0].contains("90°"));
+        assert!(lines[0].contains('|'));
+        // Hot spot renders as the densest character somewhere in row 0.
+        assert!(lines[0].contains('@'));
+    }
+
+    #[test]
+    #[should_panic(expected = "one power value per angle")]
+    fn shape_validation() {
+        let _ = AngleSpectrogram::new(vec![0.0], vec![0.0], vec![vec![1.0, 2.0]]);
+    }
+}

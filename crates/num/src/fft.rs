@@ -1,0 +1,193 @@
+//! Iterative radix-2 FFT.
+//!
+//! The OFDM PHY in `wivi-sdr` maps 64 subcarriers per symbol, so the only
+//! sizes this library ever transforms are small powers of two. A textbook
+//! in-place, bit-reversal, decimation-in-time Cooley–Tukey transform is both
+//! simple and fast enough (the FFT is nowhere near the pipeline bottleneck —
+//! MUSIC's eigendecomposition is).
+//!
+//! Conventions: [`fft`] computes the *unnormalized* forward DFT
+//! `X[k] = Σ_n x[n]·e^{-2πikn/N}`; [`ifft`] applies the `1/N` factor so that
+//! `ifft(fft(x)) == x`.
+
+use crate::Complex64;
+
+/// Returns `true` if `n` is a power of two (and nonzero).
+#[inline]
+pub fn is_power_of_two(n: usize) -> bool {
+    n != 0 && (n & (n - 1)) == 0
+}
+
+/// In-place forward DFT of a power-of-two-length buffer.
+///
+/// # Panics
+/// Panics if `data.len()` is not a power of two.
+pub fn fft(data: &mut [Complex64]) {
+    transform(data, false);
+}
+
+/// In-place inverse DFT (including the `1/N` normalization).
+///
+/// # Panics
+/// Panics if `data.len()` is not a power of two.
+pub fn ifft(data: &mut [Complex64]) {
+    transform(data, true);
+    let scale = 1.0 / data.len() as f64;
+    for z in data.iter_mut() {
+        *z = z.scale(scale);
+    }
+}
+
+/// Convenience wrapper: forward DFT of a borrowed slice into a new vector.
+pub fn fft_owned(data: &[Complex64]) -> Vec<Complex64> {
+    let mut buf = data.to_vec();
+    fft(&mut buf);
+    buf
+}
+
+/// Convenience wrapper: inverse DFT of a borrowed slice into a new vector.
+pub fn ifft_owned(data: &[Complex64]) -> Vec<Complex64> {
+    let mut buf = data.to_vec();
+    ifft(&mut buf);
+    buf
+}
+
+fn transform(data: &mut [Complex64], inverse: bool) {
+    let n = data.len();
+    assert!(is_power_of_two(n), "FFT length must be a power of two, got {n}");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+
+    // Butterfly passes.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex64::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex64::ONE;
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let v = data[start + k + len / 2] * w;
+                data[start + k] = u + v;
+                data[start + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[Complex64], b: &[Complex64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!(
+                (*x - *y).abs() < tol,
+                "mismatch: {x} vs {y} (tol {tol})"
+            );
+        }
+    }
+
+    /// Direct O(N²) DFT reference used to validate the fast transform.
+    fn dft_reference(x: &[Complex64]) -> Vec<Complex64> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                (0..n)
+                    .map(|t| {
+                        x[t] * Complex64::cis(
+                            -2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64,
+                        )
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let mut x = vec![Complex64::ZERO; 8];
+        x[0] = Complex64::ONE;
+        fft(&mut x);
+        for z in &x {
+            assert!((*z - Complex64::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_on_one_bin() {
+        let n = 64;
+        let bin = 5;
+        let mut x: Vec<Complex64> = (0..n)
+            .map(|t| Complex64::cis(2.0 * std::f64::consts::PI * (bin * t) as f64 / n as f64))
+            .collect();
+        fft(&mut x);
+        for (k, z) in x.iter().enumerate() {
+            if k == bin {
+                assert!((z.abs() - n as f64).abs() < 1e-9);
+            } else {
+                assert!(z.abs() < 1e-9, "leakage at bin {k}: {}", z.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn matches_direct_dft() {
+        let x: Vec<Complex64> = (0..16)
+            .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 1.21).cos()))
+            .collect();
+        let fast = fft_owned(&x);
+        let slow = dft_reference(&x);
+        assert_close(&fast, &slow, 1e-10);
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        let x: Vec<Complex64> = (0..64)
+            .map(|i| Complex64::new((i as f64).sin(), (i as f64 * 0.5).cos()))
+            .collect();
+        let y = ifft_owned(&fft_owned(&x));
+        assert_close(&x, &y, 1e-10);
+    }
+
+    #[test]
+    fn length_one_is_identity() {
+        let mut x = vec![Complex64::new(2.0, -3.0)];
+        fft(&mut x);
+        assert_eq!(x[0], Complex64::new(2.0, -3.0));
+        ifft(&mut x);
+        assert_eq!(x[0], Complex64::new(2.0, -3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let mut x = vec![Complex64::ZERO; 12];
+        fft(&mut x);
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let x: Vec<Complex64> = (0..32)
+            .map(|i| Complex64::new((i as f64 * 0.9).cos(), (i as f64 * 0.3).sin()))
+            .collect();
+        let time_energy: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let spec = fft_owned(&x);
+        let freq_energy: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / x.len() as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy);
+    }
+}

@@ -1,0 +1,29 @@
+//! Numerics substrate for the Wi-Vi reproduction.
+//!
+//! The Wi-Vi signal chain is built entirely on complex baseband arithmetic:
+//! OFDM modulation needs an FFT, the smoothed-MUSIC direction estimator
+//! needs an eigendecomposition of complex Hermitian correlation matrices,
+//! and the channel simulator needs circularly-symmetric Gaussian noise.
+//! None of the crates available offline provide these, so this crate
+//! implements them from scratch with property-tested invariants:
+//!
+//! * [`Complex64`] — complex double-precision arithmetic ([`complex`]).
+//! * [`fft`] — iterative radix-2 FFT/IFFT used by the OFDM PHY.
+//! * [`CMatrix`] and [`eig::hermitian_eig`] — dense complex matrices and a
+//!   cyclic-Jacobi Hermitian eigensolver, the core of MUSIC ([`matrix`],
+//!   [`eig`]).
+//! * [`rng`] — Box–Muller normal and circularly-symmetric complex Gaussian
+//!   sampling on top of any [`rand::Rng`].
+//! * [`stats`] — means, variances, percentiles, empirical CDFs and the
+//!   dB conversions used throughout the evaluation harness.
+
+pub mod complex;
+pub mod eig;
+pub mod fft;
+pub mod matrix;
+pub mod rng;
+pub mod stats;
+
+pub use complex::Complex64;
+pub use eig::{hermitian_eig, HermitianEig};
+pub use matrix::CMatrix;

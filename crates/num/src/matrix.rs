@@ -1,0 +1,312 @@
+//! Dense complex matrices.
+//!
+//! MUSIC needs exactly three matrix operations: accumulate outer products
+//! `h·h^H` into a correlation matrix, multiply, and Hermitian-transpose.
+//! This module provides a row-major dense [`CMatrix`] with just those plus
+//! the small amount of glue the eigensolver and tests require. It is *not*
+//! a general linear-algebra library by design (see DESIGN.md §7).
+
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+use crate::Complex64;
+
+/// A dense, row-major complex matrix.
+#[derive(Clone, PartialEq)]
+pub struct CMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex64>,
+}
+
+impl CMatrix {
+    /// Creates a `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![Complex64::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex64::ONE;
+        }
+        m
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` for every entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> Complex64) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m[(r, c)] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Builds a matrix from row-major data.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<Complex64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "row-major data length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` for a square matrix.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow of the underlying row-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[Complex64] {
+        &self.data
+    }
+
+    /// Conjugate (Hermitian) transpose `A^H`.
+    pub fn hermitian(&self) -> CMatrix {
+        CMatrix::from_fn(self.cols, self.rows, |r, c| self[(c, r)].conj())
+    }
+
+    /// Plain transpose `A^T` (no conjugation).
+    pub fn transpose(&self) -> CMatrix {
+        CMatrix::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+    }
+
+    /// Adds the outer product `v·v^H`, scaled by `k`, in place.
+    ///
+    /// This is the correlation-matrix accumulation step of smoothed MUSIC
+    /// (Eq. 5.2 of the paper): `R += k·h·h^H`.
+    ///
+    /// # Panics
+    /// Panics unless the matrix is `n × n` with `n == v.len()`.
+    pub fn add_outer(&mut self, v: &[Complex64], k: f64) {
+        assert!(self.is_square() && self.rows == v.len(), "outer-product shape mismatch");
+        for r in 0..self.rows {
+            let vr = v[r];
+            for c in 0..self.cols {
+                self[(r, c)] += (vr * v[c].conj()).scale(k);
+            }
+        }
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(x.len(), self.cols, "matrix–vector shape mismatch");
+        (0..self.rows)
+            .map(|r| (0..self.cols).map(|c| self[(r, c)] * x[c]).sum())
+            .collect()
+    }
+
+    /// Frobenius norm `‖A‖_F`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Sum of squared magnitudes of the strictly off-diagonal entries —
+    /// the quantity the Jacobi eigensolver drives to zero.
+    pub fn off_diagonal_energy(&self) -> f64 {
+        let mut s = 0.0;
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if r != c {
+                    s += self[(r, c)].norm_sqr();
+                }
+            }
+        }
+        s
+    }
+
+    /// Largest deviation from Hermitian symmetry, `max |A[r,c] − conj(A[c,r])|`.
+    pub fn hermitian_deviation(&self) -> f64 {
+        let mut worst: f64 = 0.0;
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                worst = worst.max((self[(r, c)] - self[(c, r)].conj()).abs());
+            }
+        }
+        worst
+    }
+
+    /// Extracts column `c` as a vector.
+    pub fn col(&self, c: usize) -> Vec<Complex64> {
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// Scales every entry by a real factor, in place.
+    pub fn scale_mut(&mut self, k: f64) {
+        for z in &mut self.data {
+            *z = z.scale(k);
+        }
+    }
+}
+
+impl Index<(usize, usize)> for CMatrix {
+    type Output = Complex64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &Complex64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for CMatrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut Complex64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Mul for &CMatrix {
+    type Output = CMatrix;
+    fn mul(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!(self.cols, rhs.rows, "matrix product shape mismatch");
+        let mut out = CMatrix::zeros(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(r, k)];
+                if a == Complex64::ZERO {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    out[(r, c)] += a * rhs[(k, c)];
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Add for &CMatrix {
+    type Output = CMatrix;
+    fn add(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        CMatrix::from_fn(self.rows, self.cols, |r, c| self[(r, c)] + rhs[(r, c)])
+    }
+}
+
+impl Sub for &CMatrix {
+    type Output = CMatrix;
+    fn sub(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        CMatrix::from_fn(self.rows, self.cols, |r, c| self[(r, c)] - rhs[(r, c)])
+    }
+}
+
+impl fmt::Debug for CMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "CMatrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            write!(f, "  ")?;
+            for c in 0..self.cols {
+                write!(f, "{:>18}", format!("{}", self[(r, c)]))?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: f64, im: f64) -> Complex64 {
+        Complex64::new(re, im)
+    }
+
+    #[test]
+    fn identity_is_multiplicative_neutral() {
+        let a = CMatrix::from_fn(3, 3, |r, cidx| c((r * 3 + cidx) as f64, r as f64 - cidx as f64));
+        let i = CMatrix::identity(3);
+        assert_eq!(&a * &i, a);
+        assert_eq!(&i * &a, a);
+    }
+
+    #[test]
+    fn hermitian_transpose_involution() {
+        let a = CMatrix::from_fn(2, 4, |r, cidx| c(r as f64, cidx as f64));
+        assert_eq!(a.hermitian().hermitian(), a);
+        assert_eq!(a.hermitian().rows(), 4);
+    }
+
+    #[test]
+    fn mul_vec_matches_matrix_product() {
+        let a = CMatrix::from_fn(3, 2, |r, cidx| c((r + cidx) as f64, (r as f64) - 1.0));
+        let x = vec![c(1.0, 1.0), c(0.5, -2.0)];
+        let via_vec = a.mul_vec(&x);
+        let xm = CMatrix::from_rows(2, 1, x);
+        let via_mat = &a * &xm;
+        for r in 0..3 {
+            assert!((via_vec[r] - via_mat[(r, 0)]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn outer_product_accumulation_is_hermitian() {
+        let mut r = CMatrix::zeros(3, 3);
+        r.add_outer(&[c(1.0, 2.0), c(-0.5, 0.0), c(0.0, 1.0)], 1.0);
+        r.add_outer(&[c(0.3, -1.0), c(2.0, 0.5), c(1.0, 0.0)], 0.5);
+        assert!(r.hermitian_deviation() < 1e-14);
+        // Diagonal of a (sum of) outer products is real and nonnegative.
+        for i in 0..3 {
+            assert!(r[(i, i)].im.abs() < 1e-14);
+            assert!(r[(i, i)].re >= 0.0);
+        }
+    }
+
+    #[test]
+    fn off_diagonal_energy_of_diagonal_matrix_is_zero() {
+        let mut d = CMatrix::zeros(4, 4);
+        for i in 0..4 {
+            d[(i, i)] = c(i as f64, 0.0);
+        }
+        assert_eq!(d.off_diagonal_energy(), 0.0);
+        assert!(d.frobenius_norm() > 0.0);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = CMatrix::from_fn(2, 2, |r, cidx| c(r as f64, cidx as f64));
+        let b = CMatrix::from_fn(2, 2, |r, cidx| c(cidx as f64, -(r as f64)));
+        let s = &(&a + &b) - &b;
+        assert_eq!(s, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn mismatched_product_panics() {
+        let a = CMatrix::zeros(2, 3);
+        let b = CMatrix::zeros(2, 3);
+        let _ = &a * &b;
+    }
+
+    #[test]
+    fn col_extraction() {
+        let a = CMatrix::from_fn(3, 2, |r, cidx| c((r * 10 + cidx) as f64, 0.0));
+        assert_eq!(a.col(1), vec![c(1.0, 0.0), c(11.0, 0.0), c(21.0, 0.0)]);
+    }
+}

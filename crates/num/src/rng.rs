@@ -1,0 +1,99 @@
+//! Random sampling helpers.
+//!
+//! The channel simulator needs circularly-symmetric complex Gaussian noise
+//! (receiver thermal noise, channel-estimate perturbations) and the motion
+//! models need plain normal deviates. `rand` alone provides only uniform
+//! sampling, so this module adds a Box–Muller transform — small, exact, and
+//! avoids pulling in `rand_distr`.
+
+use crate::Complex64;
+use rand::Rng;
+
+/// Draws one standard normal deviate `N(0, 1)` via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Guard against ln(0) by sampling the half-open interval (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws `N(mean, sigma²)`.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sigma: f64) -> f64 {
+    mean + sigma * standard_normal(rng)
+}
+
+/// Draws a circularly-symmetric complex Gaussian `CN(0, sigma²)`:
+/// real and imaginary parts are independent `N(0, sigma²/2)`, so that
+/// `E[|z|²] = sigma²`.
+pub fn complex_gaussian<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> Complex64 {
+    let s = sigma / std::f64::consts::SQRT_2;
+    Complex64::new(s * standard_normal(rng), s * standard_normal(rng))
+}
+
+/// Draws a complex number uniformly distributed on the unit circle.
+pub fn random_phase<R: Rng + ?Sized>(rng: &mut R) -> Complex64 {
+    Complex64::cis(rng.gen_range(0.0..std::f64::consts::TAU))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn normal_respects_mean_and_sigma() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05);
+        assert!((var - 4.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn complex_gaussian_power_is_sigma_squared() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let sigma = 0.7;
+        let p: f64 = (0..n)
+            .map(|_| complex_gaussian(&mut rng, sigma).norm_sqr())
+            .sum::<f64>()
+            / n as f64;
+        assert!((p - sigma * sigma).abs() < 0.01, "E|z|² = {p}");
+    }
+
+    #[test]
+    fn complex_gaussian_is_circular() {
+        // Phase of CN(0,σ²) should be uniform: check first circular moment.
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 100_000;
+        let m: Complex64 = (0..n)
+            .map(|_| {
+                let z = complex_gaussian(&mut rng, 1.0);
+                Complex64::cis(z.arg())
+            })
+            .sum();
+        assert!(m.abs() / (n as f64) < 0.01);
+    }
+
+    #[test]
+    fn random_phase_unit_magnitude() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert!((random_phase(&mut rng).abs() - 1.0).abs() < 1e-12);
+        }
+    }
+}

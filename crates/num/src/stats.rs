@@ -1,0 +1,221 @@
+//! Statistics and dB helpers used by the evaluation harness.
+//!
+//! The paper reports its results almost exclusively as CDFs (Figs. 7-3,
+//! 7-5, 7-7), dB quantities, means and percentiles; this module provides
+//! those primitives once so every experiment binary formats identically.
+
+/// Arithmetic mean. Returns 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance (divides by N). Returns 0 for fewer than 2 samples.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64
+}
+
+/// Standard deviation (population).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Linearly-interpolated percentile, `p` in `[0, 100]`.
+///
+/// # Panics
+/// Panics on an empty slice or `p` outside `[0, 100]`.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    assert!(!xs.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median (50th percentile).
+pub fn median(xs: &[f64]) -> f64 {
+    percentile(xs, 50.0)
+}
+
+/// Power ratio → decibels: `10·log10(x)`.
+pub fn db(power_ratio: f64) -> f64 {
+    10.0 * power_ratio.log10()
+}
+
+/// Decibels → power ratio: `10^(x/10)`.
+pub fn from_db(db: f64) -> f64 {
+    10.0_f64.powf(db / 10.0)
+}
+
+/// Amplitude ratio → decibels: `20·log10(x)`.
+pub fn amp_db(amplitude_ratio: f64) -> f64 {
+    20.0 * amplitude_ratio.log10()
+}
+
+/// Decibels → amplitude ratio: `10^(x/20)`.
+pub fn amp_from_db(db: f64) -> f64 {
+    10.0_f64.powf(db / 20.0)
+}
+
+/// An empirical cumulative distribution function over a sample set.
+///
+/// Mirrors the CDF plots of the paper's evaluation: construct from raw
+/// samples, then query `F(x)` or render evenly-spaced rows for a table.
+#[derive(Clone, Debug)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds the empirical CDF from (unordered) samples.
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty or contains NaN.
+    pub fn new(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "CDF of empty sample set");
+        let mut sorted = samples.to_vec();
+        assert!(
+            sorted.iter().all(|x| !x.is_nan()),
+            "CDF input contains NaN"
+        );
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Self { sorted }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always `false`: construction rejects empty sample sets.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Fraction of samples `≤ x` (right-continuous step function).
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point returns the first index with sample > x.
+        let idx = self.sorted.partition_point(|&s| s <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Inverse CDF at fraction `q` in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        percentile(&self.sorted, q * 100.0)
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().unwrap()
+    }
+
+    /// Renders `(x, F(x))` rows at `n` evenly spaced points across the
+    /// sample range — the series a CDF figure plots.
+    pub fn rows(&self, n: usize) -> Vec<(f64, f64)> {
+        assert!(n >= 2);
+        let (lo, hi) = (self.min(), self.max());
+        (0..n)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (n - 1) as f64;
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_basics() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert_eq!(variance(&xs), 4.0);
+        assert_eq!(std_dev(&xs), 2.0);
+    }
+
+    #[test]
+    fn empty_and_singleton_edge_cases() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[3.0]), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+        assert_eq!(median(&xs), 2.5);
+        assert!((percentile(&xs, 25.0) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn db_round_trips() {
+        assert!((db(100.0) - 20.0).abs() < 1e-12);
+        assert!((from_db(db(42.0)) - 42.0).abs() < 1e-9);
+        assert!((amp_db(10.0) - 20.0).abs() < 1e-12);
+        assert!((amp_from_db(amp_db(3.5)) - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_eval_steps() {
+        let cdf = Cdf::new(&[1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(cdf.eval(0.5), 0.0);
+        assert_eq!(cdf.eval(1.0), 0.25);
+        assert_eq!(cdf.eval(2.0), 0.75);
+        assert_eq!(cdf.eval(10.0), 1.0);
+    }
+
+    #[test]
+    fn cdf_quantiles_match_percentiles() {
+        let samples: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        let cdf = Cdf::new(&samples);
+        assert_eq!(cdf.quantile(0.5), 50.0);
+        assert_eq!(cdf.min(), 0.0);
+        assert_eq!(cdf.max(), 100.0);
+    }
+
+    #[test]
+    fn cdf_rows_are_monotone() {
+        let cdf = Cdf::new(&[3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]);
+        let rows = cdf.rows(16);
+        assert_eq!(rows.len(), 16);
+        for w in rows.windows(2) {
+            assert!(w[1].1 >= w[0].1, "CDF not monotone: {w:?}");
+            assert!(w[1].0 > w[0].0);
+        }
+        assert_eq!(rows.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn cdf_rejects_empty() {
+        let _ = Cdf::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn cdf_rejects_nan() {
+        let _ = Cdf::new(&[1.0, f64::NAN]);
+    }
+}

@@ -1,0 +1,158 @@
+//! Directional antenna model.
+//!
+//! The paper's prototype uses LP0965 log-periodic directional antennas
+//! (6 dBi gain), oriented toward the wall "to focus the energy toward the
+//! wall or room of interest" and, crucially, *away* from the direct
+//! TX→RX path (§3.1, §4.1). We model the pattern as a raised-cosine-power
+//! main lobe with a constant back/side-lobe floor:
+//!
+//! ```text
+//! G(θ) = G₀ · max(cos θ, 0)^(2p)   clamped below by  G₀·floor
+//! ```
+//!
+//! with `θ` the angle off boresight. `p = 1` and a −20 dB floor give a
+//! half-power beamwidth of ≈ 66°, close to an LP0965's E-plane beamwidth.
+
+use crate::geometry::Vec2;
+
+/// A directional antenna: position-independent gain pattern + boresight.
+#[derive(Clone, Copy, Debug)]
+pub struct Antenna {
+    /// Boresight direction (unit vector).
+    boresight: Vec2,
+    /// Peak *power* gain (linear). 6 dBi ⇒ ≈ 3.98.
+    peak_gain: f64,
+    /// Cosine exponent of the amplitude pattern (power pattern uses `2p`).
+    exponent: f64,
+    /// Back/side-lobe floor as a fraction of peak power gain.
+    floor: f64,
+}
+
+impl Antenna {
+    /// The LP0965-like directional antenna used throughout the paper:
+    /// 6 dBi peak gain, cos² power pattern, −20 dB back lobe.
+    pub fn directional_6dbi(boresight: Vec2) -> Self {
+        Self::new(boresight, 10.0_f64.powf(6.0 / 10.0), 1.0, 0.01)
+    }
+
+    /// An isotropic antenna (0 dBi, uniform) — the "typical MIMO system"
+    /// contrast case of §4.1.
+    pub fn isotropic() -> Self {
+        Self::new(Vec2::UNIT_Y, 1.0, 0.0, 1.0)
+    }
+
+    /// Creates an antenna with an explicit pattern.
+    ///
+    /// # Panics
+    /// Panics if `peak_gain <= 0`, `floor` outside `(0, 1]`, or the
+    /// boresight is the zero vector.
+    pub fn new(boresight: Vec2, peak_gain: f64, exponent: f64, floor: f64) -> Self {
+        assert!(peak_gain > 0.0, "peak gain must be positive");
+        assert!(floor > 0.0 && floor <= 1.0, "floor must be in (0, 1]");
+        Self {
+            boresight: boresight.normalized(),
+            peak_gain,
+            exponent,
+            floor,
+        }
+    }
+
+    /// Boresight direction.
+    pub fn boresight(&self) -> Vec2 {
+        self.boresight
+    }
+
+    /// Peak power gain (linear).
+    pub fn peak_gain(&self) -> f64 {
+        self.peak_gain
+    }
+
+    /// Power gain toward `dir` (need not be normalized).
+    pub fn power_gain(&self, dir: Vec2) -> f64 {
+        let cos = self.boresight.dot(dir) / dir.norm();
+        let main = if cos > 0.0 {
+            cos.powf(2.0 * self.exponent)
+        } else {
+            0.0
+        };
+        self.peak_gain * main.max(self.floor)
+    }
+
+    /// Amplitude gain toward `dir` (`√` of the power gain) — what channel
+    /// coefficients multiply by.
+    pub fn amplitude_gain(&self, dir: Vec2) -> f64 {
+        self.power_gain(dir).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boresight_gain_is_peak() {
+        let a = Antenna::directional_6dbi(Vec2::UNIT_Y);
+        let g = a.power_gain(Vec2::UNIT_Y);
+        assert!((g - 3.981).abs() < 0.01, "boresight gain {g}");
+    }
+
+    #[test]
+    fn pattern_is_symmetric_and_monotone_off_axis() {
+        let a = Antenna::directional_6dbi(Vec2::UNIT_Y);
+        let mut prev = a.power_gain(Vec2::UNIT_Y);
+        for deg in [15.0, 30.0, 45.0, 60.0, 75.0] {
+            let th = (deg as f64).to_radians();
+            let g_pos = a.power_gain(Vec2::UNIT_Y.rotated(th));
+            let g_neg = a.power_gain(Vec2::UNIT_Y.rotated(-th));
+            assert!((g_pos - g_neg).abs() < 1e-12, "asymmetric at {deg}°");
+            assert!(g_pos <= prev, "gain must fall off axis at {deg}°");
+            prev = g_pos;
+        }
+    }
+
+    #[test]
+    fn back_lobe_is_floor() {
+        let a = Antenna::directional_6dbi(Vec2::UNIT_Y);
+        let back = a.power_gain(-Vec2::UNIT_Y);
+        let peak = a.power_gain(Vec2::UNIT_Y);
+        let rejection_db = 10.0 * (peak / back).log10();
+        assert!((rejection_db - 20.0).abs() < 0.5, "rejection {rejection_db} dB");
+    }
+
+    #[test]
+    fn sideways_direction_suppressed() {
+        // The direct TX→RX path is lateral (90° off boresight): the paper
+        // relies on it being "significantly attenuated" (§4.1).
+        let a = Antenna::directional_6dbi(Vec2::UNIT_Y);
+        assert!(a.power_gain(Vec2::UNIT_X) <= a.peak_gain() * 0.011);
+    }
+
+    #[test]
+    fn isotropic_is_uniform() {
+        let a = Antenna::isotropic();
+        for deg in 0..36 {
+            let d = Vec2::from_angle(deg as f64 * 10.0_f64.to_radians());
+            assert!((a.power_gain(d) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gain_independent_of_direction_magnitude() {
+        let a = Antenna::directional_6dbi(Vec2::UNIT_Y);
+        let d = Vec2::new(0.3, 0.8);
+        assert!((a.power_gain(d) - a.power_gain(d * 7.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amplitude_is_sqrt_of_power() {
+        let a = Antenna::directional_6dbi(Vec2::UNIT_Y);
+        let d = Vec2::new(0.2, 1.0);
+        assert!((a.amplitude_gain(d).powi(2) - a.power_gain(d)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "peak gain")]
+    fn rejects_nonpositive_gain() {
+        let _ = Antenna::new(Vec2::UNIT_Y, 0.0, 1.0, 0.01);
+    }
+}

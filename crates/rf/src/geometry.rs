@@ -1,0 +1,307 @@
+//! Planar geometry primitives.
+//!
+//! The simulation is two-dimensional: the paper's scenes (device in front
+//! of a wall, humans moving in a room behind it) are essentially planar,
+//! and the algorithms only consume path lengths and angles, both of which
+//! the plane captures. The wall lies along the x-axis (`y = 0`); the device
+//! sits at `y < 0` and the imaged room at `y > 0`.
+
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A point in the scene plane, metres.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+/// A displacement / direction in the scene plane.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Vec2 {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from coordinates, metres.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// The origin.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Euclidean distance to another point.
+    pub fn distance(self, other: Point) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Mirror image across the wall line `y = 0` — used for the specular
+    /// flash path.
+    pub fn mirror_y(self) -> Point {
+        Point::new(self.x, -self.y)
+    }
+
+    /// Linear interpolation `self + t·(other − self)`.
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        self + (other - self) * t
+    }
+}
+
+impl Vec2 {
+    /// Creates a vector from components.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Unit vector along +x.
+    pub const UNIT_X: Vec2 = Vec2 { x: 1.0, y: 0.0 };
+    /// Unit vector along +y (the device boresight, into the room).
+    pub const UNIT_Y: Vec2 = Vec2 { x: 0.0, y: 1.0 };
+
+    /// Euclidean norm.
+    pub fn norm(self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Squared norm.
+    pub fn norm_sqr(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Dot product.
+    pub fn dot(self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Z-component of the cross product (signed parallelogram area).
+    pub fn cross(self, other: Vec2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Returns the unit vector in this direction.
+    ///
+    /// # Panics
+    /// Panics on the zero vector.
+    pub fn normalized(self) -> Vec2 {
+        let n = self.norm();
+        assert!(n > 0.0, "cannot normalize the zero vector");
+        self / n
+    }
+
+    /// Angle between two vectors, radians in `[0, π]`.
+    pub fn angle_to(self, other: Vec2) -> f64 {
+        let cos = (self.dot(other) / (self.norm() * other.norm())).clamp(-1.0, 1.0);
+        cos.acos()
+    }
+
+    /// Unit vector at `theta` radians measured counter-clockwise from +x.
+    pub fn from_angle(theta: f64) -> Vec2 {
+        Vec2::new(theta.cos(), theta.sin())
+    }
+
+    /// Rotates the vector counter-clockwise by `theta` radians.
+    pub fn rotated(self, theta: f64) -> Vec2 {
+        let (s, c) = theta.sin_cos();
+        Vec2::new(self.x * c - self.y * s, self.x * s + self.y * c)
+    }
+
+    /// Perpendicular vector (90° counter-clockwise).
+    pub fn perp(self) -> Vec2 {
+        Vec2::new(-self.y, self.x)
+    }
+}
+
+impl Add<Vec2> for Point {
+    type Output = Point;
+    fn add(self, v: Vec2) -> Point {
+        Point::new(self.x + v.x, self.y + v.y)
+    }
+}
+
+impl Sub<Vec2> for Point {
+    type Output = Point;
+    fn sub(self, v: Vec2) -> Point {
+        Point::new(self.x - v.x, self.y - v.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Vec2;
+    fn sub(self, other: Point) -> Vec2 {
+        Vec2::new(self.x - other.x, self.y - other.y)
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    fn add(self, other: Vec2) -> Vec2 {
+        Vec2::new(self.x + other.x, self.y + other.y)
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    fn sub(self, other: Vec2) -> Vec2 {
+        Vec2::new(self.x - other.x, self.y - other.y)
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    fn mul(self, k: f64) -> Vec2 {
+        Vec2::new(self.x * k, self.y * k)
+    }
+}
+
+impl Div<f64> for Vec2 {
+    type Output = Vec2;
+    fn div(self, k: f64) -> Vec2 {
+        Vec2::new(self.x / k, self.y / k)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+/// An axis-aligned rectangle, used for room boundaries.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Rect {
+    pub min: Point,
+    pub max: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from two opposite corners (any order).
+    pub fn new(a: Point, b: Point) -> Self {
+        Self {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// Width along x, metres.
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Depth along y, metres.
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Centre point.
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.min.x + self.max.x) / 2.0,
+            (self.min.y + self.max.y) / 2.0,
+        )
+    }
+
+    /// `true` if `p` lies inside or on the boundary.
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Clamps a point to the rectangle.
+    pub fn clamp(&self, p: Point) -> Point {
+        Point::new(p.x.clamp(self.min.x, self.max.x), p.y.clamp(self.min.y, self.max.y))
+    }
+
+    /// Shrinks the rectangle by `margin` on every side.
+    ///
+    /// # Panics
+    /// Panics if the margin would invert the rectangle.
+    pub fn shrunk(&self, margin: f64) -> Rect {
+        assert!(
+            2.0 * margin < self.width() && 2.0 * margin < self.height(),
+            "margin {margin} too large for rect {self:?}"
+        );
+        Rect {
+            min: Point::new(self.min.x + margin, self.min.y + margin),
+            max: Point::new(self.max.x - margin, self.max.y - margin),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric_and_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(b.distance(a), 5.0);
+    }
+
+    #[test]
+    fn mirror_flips_only_y() {
+        let p = Point::new(2.0, -1.5);
+        assert_eq!(p.mirror_y(), Point::new(2.0, 1.5));
+        assert_eq!(p.mirror_y().mirror_y(), p);
+    }
+
+    #[test]
+    fn vector_algebra() {
+        let v = Vec2::new(1.0, 2.0);
+        let w = Vec2::new(-2.0, 1.0);
+        assert_eq!(v.dot(w), 0.0);
+        assert_eq!(v.perp(), w);
+        assert_eq!((v * 2.0).norm(), 2.0 * v.norm());
+        assert_eq!((-v) + v, Vec2::default());
+    }
+
+    #[test]
+    fn angle_between_orthogonal_vectors_is_right() {
+        let a = Vec2::UNIT_X;
+        let b = Vec2::UNIT_Y;
+        assert!((a.angle_to(b) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!(a.angle_to(a) < 1e-12);
+        assert!((a.angle_to(-a) - std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_preserves_norm() {
+        let v = Vec2::new(3.0, -1.0);
+        let r = v.rotated(1.234);
+        assert!((r.norm() - v.norm()).abs() < 1e-12);
+        assert!((v.rotated(std::f64::consts::TAU) - v).norm() < 1e-12);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = Point::new(1.0, 1.0);
+        let b = Point::new(5.0, -3.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Point::new(3.0, -1.0));
+    }
+
+    #[test]
+    fn rect_contains_and_clamp() {
+        let r = Rect::new(Point::new(0.0, 1.0), Point::new(4.0, 5.0));
+        assert!(r.contains(Point::new(2.0, 3.0)));
+        assert!(!r.contains(Point::new(-1.0, 3.0)));
+        assert_eq!(r.clamp(Point::new(-1.0, 9.0)), Point::new(0.0, 5.0));
+        assert_eq!(r.center(), Point::new(2.0, 3.0));
+    }
+
+    #[test]
+    fn rect_shrink() {
+        let r = Rect::new(Point::new(0.0, 0.0), Point::new(4.0, 4.0)).shrunk(1.0);
+        assert_eq!(r.min, Point::new(1.0, 1.0));
+        assert_eq!(r.max, Point::new(3.0, 3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero vector")]
+    fn normalize_zero_panics() {
+        let _ = Vec2::default().normalized();
+    }
+}

@@ -1,0 +1,65 @@
+//! RF propagation simulator for the Wi-Vi reproduction.
+//!
+//! The original system (Adib & Katabi, SIGCOMM 2013) ran on USRP N210
+//! radios pointed at real walls. This crate is the simulated stand-in: a
+//! 2-D geometric multipath model of the 2.4 GHz ISM band that produces, for
+//! any (transmit antenna, frequency, time) triple, the complex baseband
+//! channel gain the receive antenna would observe.
+//!
+//! The model captures exactly the physics the paper's algorithms depend on:
+//!
+//! * **The flash effect** (paper Ch. 4): the specular reflection off the
+//!   wall and the direct TX→RX leakage are orders of magnitude stronger
+//!   than anything reflected from behind the wall ([`channel`]).
+//! * **Material-dependent attenuation** (Table 4.1): each wall material
+//!   attenuates every through-wall crossing ([`materials`]).
+//! * **Linear superposition**: all paths — direct, flash, static clutter,
+//!   moving humans — add linearly, which is what makes MIMO nulling able to
+//!   cancel the static part ([`scene`], [`channel`]).
+//! * **Human motion as an antenna array** (paper Ch. 5): moving scatterers
+//!   rotate the phase of their path at the spatial rate ISAR exploits
+//!   ([`motion`]).
+//!
+//! Everything is deterministic given the mover trajectories; receiver noise
+//! is deliberately *not* added here — that belongs to the radio front-end
+//! in `wivi-sdr`, where gain staging and the ADC live.
+
+pub mod antenna;
+pub mod channel;
+pub mod geometry;
+pub mod materials;
+pub mod motion;
+pub mod scene;
+
+pub use antenna::Antenna;
+pub use channel::PathContribution;
+pub use geometry::{Point, Rect, Vec2};
+pub use materials::Material;
+pub use motion::{
+    BodyConfig, ConfinedRandomWalk, GestureKind, GestureScript, GestureStyle, Motion, Mover,
+    RobotMover, Stationary, WaypointWalker,
+};
+pub use scene::{DeviceLayout, Scatterer, Scene, Wall};
+
+/// Speed of light in vacuum, m/s.
+pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;
+
+/// Wi-Fi channel 6 center frequency, Hz (2.437 GHz — the 2.4 GHz ISM band
+/// the paper operates in).
+pub const CARRIER_HZ: f64 = 2.437e9;
+
+/// Carrier wavelength, metres (≈ 12.3 cm; the paper quotes 12.5 cm).
+pub fn carrier_wavelength() -> f64 {
+    SPEED_OF_LIGHT / CARRIER_HZ
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wavelength_is_about_12_cm() {
+        let lambda = carrier_wavelength();
+        assert!((0.12..0.13).contains(&lambda), "λ = {lambda}");
+    }
+}

@@ -1,0 +1,675 @@
+//! Human (and robot) motion models.
+//!
+//! Wi-Vi's tracking chain treats a moving body as an inverse synthetic
+//! aperture (paper Ch. 5): every centimetre of motion re-samples the
+//! channel at a new spatial position. Reproducing the paper's figures
+//! therefore needs trajectories with the right structure:
+//!
+//! * people walking "at will" in a confined conference room
+//!   ([`ConfinedRandomWalk`]) — produces the wavy angle traces of Fig. 7-2;
+//! * scripted step-forward / step-backward gestures ([`GestureScript`]) —
+//!   the modulation alphabet of Ch. 6;
+//! * a multi-scatterer body ([`BodyConfig`], [`Mover`]) — torso plus
+//!   counter-swinging limbs, which is what makes the paper's traces fuzzy
+//!   ("a human is not just one object ... body parts moving in a loosely
+//!   coupled way", §5.2);
+//! * the iRobot Create footnote of §5 ([`RobotMover`]).
+//!
+//! All trajectories are deterministic functions of time (random walks
+//! pre-generate their path from a seed), so every experiment is exactly
+//! reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::geometry::{Point, Rect, Vec2};
+use crate::scene::Scatterer;
+
+/// A deterministic trajectory: position of the body's reference point
+/// (torso) as a function of time.
+pub trait Motion: Send + Sync {
+    /// Torso position at time `t` seconds.
+    fn position(&self, t: f64) -> Point;
+
+    /// Instantaneous heading (unit vector), or `None` when (nearly)
+    /// stationary. Default implementation differentiates [`Self::position`].
+    fn heading(&self, t: f64) -> Option<Vec2> {
+        const DT: f64 = 0.01;
+        let v = (self.position(t + DT) - self.position(t - DT)) / (2.0 * DT);
+        if v.norm() < 0.05 {
+            None
+        } else {
+            Some(v.normalized())
+        }
+    }
+
+    /// Instantaneous speed in m/s (finite difference).
+    fn speed(&self, t: f64) -> f64 {
+        const DT: f64 = 0.01;
+        ((self.position(t + DT) - self.position(t - DT)) / (2.0 * DT)).norm()
+    }
+}
+
+/// A body that never moves. Nulled away entirely by Wi-Vi — used to test
+/// that stationary people are invisible (paper §4.1: "if no object moves,
+/// the channel will continue being nulled").
+#[derive(Clone, Copy, Debug)]
+pub struct Stationary(pub Point);
+
+impl Motion for Stationary {
+    fn position(&self, _t: f64) -> Point {
+        self.0
+    }
+}
+
+/// Constant-speed motion along a polyline of waypoints; stays at the final
+/// waypoint after reaching it.
+#[derive(Clone, Debug)]
+pub struct WaypointWalker {
+    waypoints: Vec<Point>,
+    speed: f64,
+    /// Cumulative arc length to each waypoint.
+    cum_len: Vec<f64>,
+}
+
+impl WaypointWalker {
+    /// Creates a walker traversing `waypoints` at `speed` m/s.
+    ///
+    /// # Panics
+    /// Panics if fewer than 2 waypoints or `speed <= 0`.
+    pub fn new(waypoints: Vec<Point>, speed: f64) -> Self {
+        assert!(waypoints.len() >= 2, "need at least two waypoints");
+        assert!(speed > 0.0, "speed must be positive");
+        let mut cum_len = vec![0.0];
+        for w in waypoints.windows(2) {
+            let last = *cum_len.last().unwrap();
+            cum_len.push(last + w[0].distance(w[1]));
+        }
+        Self {
+            waypoints,
+            speed,
+            cum_len,
+        }
+    }
+
+    /// Total path length, metres.
+    pub fn path_length(&self) -> f64 {
+        *self.cum_len.last().unwrap()
+    }
+
+    /// Time to traverse the whole polyline, seconds.
+    pub fn duration(&self) -> f64 {
+        self.path_length() / self.speed
+    }
+}
+
+impl Motion for WaypointWalker {
+    fn position(&self, t: f64) -> Point {
+        let s = (t.max(0.0) * self.speed).min(self.path_length());
+        // Find the segment containing arc length s.
+        let idx = match self
+            .cum_len
+            .binary_search_by(|c| c.partial_cmp(&s).unwrap())
+        {
+            Ok(i) => i,
+            Err(i) => i.saturating_sub(1),
+        };
+        if idx + 1 >= self.waypoints.len() {
+            return *self.waypoints.last().unwrap();
+        }
+        let seg_len = self.cum_len[idx + 1] - self.cum_len[idx];
+        if seg_len <= f64::EPSILON {
+            return self.waypoints[idx];
+        }
+        let frac = (s - self.cum_len[idx]) / seg_len;
+        self.waypoints[idx].lerp(self.waypoints[idx + 1], frac)
+    }
+}
+
+/// A person moving "at will" inside a room: a seeded random sequence of
+/// straight walks to random interior targets with occasional pauses
+/// (§7.2: "we asked the subjects to enter a room, close the door, and move
+/// at will").
+#[derive(Clone, Debug)]
+pub struct ConfinedRandomWalk {
+    /// Sampled positions at `SAMPLE_DT` intervals (piecewise-linear lookup).
+    samples: Vec<Point>,
+}
+
+impl ConfinedRandomWalk {
+    const SAMPLE_DT: f64 = 0.02;
+
+    /// Generates a walk confined to `room` lasting at least `duration`
+    /// seconds, walking near `speed` m/s (per-leg jitter ±20 %), pausing
+    /// with probability 0.25 between legs. Deterministic in `seed`.
+    ///
+    /// # Panics
+    /// Panics if `duration <= 0` or `speed <= 0`.
+    pub fn new(room: Rect, seed: u64, speed: f64, duration: f64) -> Self {
+        assert!(duration > 0.0 && speed > 0.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inner = room.shrunk((0.3_f64).min(room.width().min(room.height()) / 4.0));
+        let mut pos = Point::new(
+            rng.gen_range(inner.min.x..inner.max.x),
+            rng.gen_range(inner.min.y..inner.max.y),
+        );
+        let n = (duration / Self::SAMPLE_DT).ceil() as usize + 2;
+        let mut samples = Vec::with_capacity(n);
+        samples.push(pos);
+
+        while samples.len() < n {
+            // Occasionally stand still for a moment.
+            if rng.gen_bool(0.25) {
+                let pause_steps =
+                    (rng.gen_range(0.3..1.2) / Self::SAMPLE_DT).ceil() as usize;
+                for _ in 0..pause_steps {
+                    samples.push(pos);
+                }
+                continue;
+            }
+            // Pick a target a comfortable leg away, inside the room.
+            let target = Point::new(
+                rng.gen_range(inner.min.x..inner.max.x),
+                rng.gen_range(inner.min.y..inner.max.y),
+            );
+            let leg = target - pos;
+            if leg.norm() < 0.5 {
+                continue;
+            }
+            let leg_speed = speed * rng.gen_range(0.8..1.2);
+            let steps = (leg.norm() / (leg_speed * Self::SAMPLE_DT)).ceil() as usize;
+            for k in 1..=steps {
+                samples.push(pos.lerp(target, k as f64 / steps as f64));
+            }
+            pos = target;
+        }
+        Self { samples }
+    }
+}
+
+impl Motion for ConfinedRandomWalk {
+    fn position(&self, t: f64) -> Point {
+        let ft = (t.max(0.0) / Self::SAMPLE_DT).min((self.samples.len() - 1) as f64);
+        let i = ft.floor() as usize;
+        if i + 1 >= self.samples.len() {
+            return *self.samples.last().unwrap();
+        }
+        self.samples[i].lerp(self.samples[i + 1], ft - i as f64)
+    }
+}
+
+/// The two body gestures of the paper's communication alphabet (§6.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GestureKind {
+    /// One step toward the device, then hold.
+    StepForward,
+    /// One step away from the device, then hold.
+    StepBackward,
+}
+
+impl GestureKind {
+    /// The gesture pair encoding one bit: '0' = forward then backward,
+    /// '1' = backward then forward (§6.1's Manchester-like code).
+    pub fn encode_bit(bit: bool) -> [GestureKind; 2] {
+        if bit {
+            [GestureKind::StepBackward, GestureKind::StepForward]
+        } else {
+            [GestureKind::StepForward, GestureKind::StepBackward]
+        }
+    }
+}
+
+/// Per-subject gait parameters for gesture experiments. The defaults
+/// reproduce the paper's measured behaviour: ≈ 2.2 s per gesture (§7.5),
+/// typical step sizes 2–3 feet, and *shorter backward steps* ("taking a
+/// step backward is naturally harder for humans; hence, they tend to take
+/// smaller steps", §7.5 — one of the two reasons bit '0' outruns bit '1'
+/// in SNR).
+#[derive(Clone, Copy, Debug)]
+pub struct GestureStyle {
+    /// Forward step length, metres (2–3 ft ≈ 0.6–0.9 m).
+    pub forward_step_m: f64,
+    /// Backward step length, metres.
+    pub backward_step_m: f64,
+    /// Duration of one gesture (out-and-hold), seconds.
+    pub gesture_duration_s: f64,
+    /// Pause between gestures, seconds.
+    pub pause_s: f64,
+}
+
+impl Default for GestureStyle {
+    fn default() -> Self {
+        Self {
+            forward_step_m: 0.75,
+            backward_step_m: 0.60,
+            gesture_duration_s: 2.2,
+            pause_s: 0.6,
+        }
+    }
+}
+
+impl GestureStyle {
+    /// A randomized per-subject style (deterministic in `seed`), matching
+    /// the variability of the paper's 8 volunteers (2.2 ± 0.4 s).
+    pub fn subject(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let forward_step_m = rng.gen_range(0.60..0.90);
+        Self {
+            forward_step_m,
+            // Backward steps are a fraction of the subject's forward step.
+            backward_step_m: forward_step_m * rng.gen_range(0.70..0.92),
+            gesture_duration_s: rng.gen_range(1.8..2.6),
+            pause_s: rng.gen_range(0.4..0.8),
+        }
+    }
+}
+
+/// A scripted gesture performer: stands at `base`, faces `facing`
+/// (typically toward the device, or slanted as in Fig. 6-2(c)), and
+/// executes a gesture sequence.
+///
+/// Within each gesture the displacement follows a raised-cosine ease
+/// (smooth start/stop, peak speed mid-step) out over the first 40 % of the
+/// gesture window and back to rest position *of that gesture* — a step
+/// forward ends displaced forward and holds there until the next gesture
+/// returns, exactly the paper's composable encoding where each *bit*
+/// (gesture pair) returns the subject to the initial state.
+#[derive(Clone, Debug)]
+pub struct GestureScript {
+    base: Point,
+    facing: Vec2,
+    style: GestureStyle,
+    /// Start time of the first gesture, seconds.
+    start: f64,
+    gestures: Vec<GestureKind>,
+}
+
+impl GestureScript {
+    /// Creates a script from an explicit gesture list.
+    ///
+    /// # Panics
+    /// Panics if `facing` is the zero vector.
+    pub fn new(
+        base: Point,
+        facing: Vec2,
+        style: GestureStyle,
+        start: f64,
+        gestures: Vec<GestureKind>,
+    ) -> Self {
+        Self {
+            base,
+            facing: facing.normalized(),
+            style,
+            start,
+            gestures,
+        }
+    }
+
+    /// Creates a script that transmits `bits` (two gestures per bit).
+    pub fn for_bits(
+        base: Point,
+        facing: Vec2,
+        style: GestureStyle,
+        start: f64,
+        bits: &[bool],
+    ) -> Self {
+        let gestures = bits
+            .iter()
+            .flat_map(|&b| GestureKind::encode_bit(b))
+            .collect();
+        Self::new(base, facing, style, start, gestures)
+    }
+
+    /// Time occupied by one gesture including the inter-gesture pause.
+    pub fn slot_duration(&self) -> f64 {
+        self.style.gesture_duration_s + self.style.pause_s
+    }
+
+    /// Total script duration from `start`, seconds.
+    pub fn duration(&self) -> f64 {
+        self.gestures.len() as f64 * self.slot_duration()
+    }
+
+    /// The scripted gesture sequence.
+    pub fn gestures(&self) -> &[GestureKind] {
+        &self.gestures
+    }
+
+    /// Raised-cosine ease: 0 → 1 over `[0, 1]` with zero end-slope.
+    fn ease(x: f64) -> f64 {
+        0.5 * (1.0 - (std::f64::consts::PI * x.clamp(0.0, 1.0)).cos())
+    }
+
+    /// Signed displacement along `facing` at time `t` (gesture state
+    /// machine). Positive = toward the facing direction.
+    fn displacement(&self, t: f64) -> f64 {
+        let move_frac = 0.4; // fraction of the gesture spent actually moving
+        let mut offset = 0.0; // current rest displacement
+        let mut time = self.start;
+        for g in &self.gestures {
+            let step = match g {
+                GestureKind::StepForward => self.style.forward_step_m,
+                GestureKind::StepBackward => -self.style.backward_step_m,
+            };
+            let move_dur = self.style.gesture_duration_s * move_frac;
+            if t < time {
+                return offset;
+            }
+            if t < time + move_dur {
+                return offset + step * Self::ease((t - time) / move_dur);
+            }
+            offset += step;
+            time += self.slot_duration();
+        }
+        offset
+    }
+}
+
+impl Motion for GestureScript {
+    fn position(&self, t: f64) -> Point {
+        self.base + self.facing * self.displacement(t)
+    }
+}
+
+/// A constant-velocity rigid mover with a small radar cross-section — the
+/// iRobot Create of the §5 footnote ("we have successfully experimented
+/// with tracking an iRobot Create robot").
+#[derive(Clone, Copy, Debug)]
+pub struct RobotMover {
+    pub start: Point,
+    pub velocity: Vec2,
+}
+
+impl Motion for RobotMover {
+    fn position(&self, t: f64) -> Point {
+        self.start + self.velocity * t
+    }
+}
+
+/// Radar model of a human body: a strong torso scatterer plus two weaker
+/// limb scatterers that counter-swing along the direction of motion at
+/// gait frequency. The loosely-coupled limbs are what blur the MUSIC
+/// traces (§7.3: "a human can move his body parts differently as he
+/// moves... waving while moving makes the lines significantly fuzzier").
+#[derive(Clone, Copy, Debug)]
+pub struct BodyConfig {
+    /// Torso amplitude reflectivity, √RCS in metres (σ ≈ 0.5 m² → 0.7).
+    pub torso_reflectivity: f64,
+    /// Per-limb amplitude reflectivity.
+    pub limb_reflectivity: f64,
+    /// Peak limb swing about the torso, metres.
+    pub limb_swing_m: f64,
+    /// Gait (stride) frequency while walking, Hz.
+    pub gait_hz: f64,
+}
+
+impl Default for BodyConfig {
+    fn default() -> Self {
+        Self {
+            torso_reflectivity: 0.70,
+            limb_reflectivity: 0.15,
+            limb_swing_m: 0.15,
+            gait_hz: 1.8,
+        }
+    }
+}
+
+impl BodyConfig {
+    /// A rigid point target (no limbs) — appropriate for [`RobotMover`].
+    pub fn rigid(reflectivity: f64) -> Self {
+        Self {
+            torso_reflectivity: reflectivity,
+            limb_reflectivity: 0.0,
+            limb_swing_m: 0.0,
+            gait_hz: 0.0,
+        }
+    }
+}
+
+/// A moving body in the scene: trajectory + radar body model.
+pub struct Mover {
+    motion: Box<dyn Motion>,
+    body: BodyConfig,
+    /// Per-subject gait phase offset, radians.
+    gait_phase: f64,
+}
+
+impl Mover {
+    /// Wraps a trajectory with the default human body model.
+    pub fn human(motion: impl Motion + 'static) -> Self {
+        Self::with_body(motion, BodyConfig::default(), 0.0)
+    }
+
+    /// Wraps a trajectory with an explicit body model and gait phase.
+    pub fn with_body(motion: impl Motion + 'static, body: BodyConfig, gait_phase: f64) -> Self {
+        Self {
+            motion: Box::new(motion),
+            body,
+            gait_phase,
+        }
+    }
+
+    /// Torso position at time `t`.
+    pub fn position(&self, t: f64) -> Point {
+        self.motion.position(t)
+    }
+
+    /// The trajectory's heading at `t`.
+    pub fn heading(&self, t: f64) -> Option<Vec2> {
+        self.motion.heading(t)
+    }
+
+    /// The instantaneous set of body scatterers at time `t`.
+    pub fn scatterers(&self, t: f64) -> Vec<Scatterer> {
+        let torso = self.motion.position(t);
+        let mut out = vec![Scatterer {
+            position: torso,
+            sqrt_rcs: self.body.torso_reflectivity,
+        }];
+        if self.body.limb_reflectivity > 0.0 {
+            // Limbs swing along the heading while walking; when standing
+            // they rest at fixed offsets (static → nulled).
+            let axis = self.motion.heading(t).unwrap_or(Vec2::UNIT_X);
+            let swing = if self.motion.heading(t).is_some() {
+                let phase = std::f64::consts::TAU * self.body.gait_hz * t + self.gait_phase;
+                self.body.limb_swing_m * phase.sin()
+            } else {
+                self.body.limb_swing_m * 0.5
+            };
+            for sign in [1.0, -1.0] {
+                out.push(Scatterer {
+                    position: torso + axis * (swing * sign),
+                    sqrt_rcs: self.body.limb_reflectivity,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stationary_never_moves() {
+        let s = Stationary(Point::new(1.0, 2.0));
+        assert_eq!(s.position(0.0), s.position(100.0));
+        assert!(s.heading(5.0).is_none());
+        assert!(s.speed(5.0) < 1e-12);
+    }
+
+    #[test]
+    fn waypoint_walker_constant_speed() {
+        let w = WaypointWalker::new(
+            vec![Point::new(0.0, 0.0), Point::new(4.0, 0.0), Point::new(4.0, 3.0)],
+            1.0,
+        );
+        assert_eq!(w.path_length(), 7.0);
+        assert_eq!(w.duration(), 7.0);
+        assert_eq!(w.position(0.0), Point::new(0.0, 0.0));
+        assert_eq!(w.position(2.0), Point::new(2.0, 0.0));
+        assert_eq!(w.position(5.0), Point::new(4.0, 1.0));
+        // Clamps at the end.
+        assert_eq!(w.position(100.0), Point::new(4.0, 3.0));
+        assert!((w.speed(3.0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn confined_walk_stays_in_room_and_is_deterministic() {
+        let room = Rect::new(Point::new(-3.5, 1.0), Point::new(3.5, 5.0));
+        let a = ConfinedRandomWalk::new(room, 7, 1.0, 10.0);
+        let b = ConfinedRandomWalk::new(room, 7, 1.0, 10.0);
+        for i in 0..100 {
+            let t = i as f64 * 0.1;
+            assert_eq!(a.position(t), b.position(t), "nondeterministic at t={t}");
+            assert!(room.contains(a.position(t)), "escaped room at t={t}");
+        }
+    }
+
+    #[test]
+    fn confined_walk_actually_moves() {
+        let room = Rect::new(Point::new(-3.5, 1.0), Point::new(3.5, 5.0));
+        let w = ConfinedRandomWalk::new(room, 3, 1.0, 20.0);
+        let total: f64 = (0..199)
+            .map(|i| {
+                let t0 = i as f64 * 0.1;
+                w.position(t0).distance(w.position(t0 + 0.1))
+            })
+            .sum();
+        assert!(total > 5.0, "walker barely moved: {total} m in 20 s");
+    }
+
+    #[test]
+    fn different_seeds_give_different_walks() {
+        let room = Rect::new(Point::new(-3.5, 1.0), Point::new(3.5, 5.0));
+        let a = ConfinedRandomWalk::new(room, 1, 1.0, 10.0);
+        let b = ConfinedRandomWalk::new(room, 2, 1.0, 10.0);
+        let diverged = (0..100).any(|i| {
+            let t = i as f64 * 0.1;
+            a.position(t).distance(b.position(t)) > 0.1
+        });
+        assert!(diverged);
+    }
+
+    #[test]
+    fn gesture_bit_encoding_is_manchester_like() {
+        assert_eq!(
+            GestureKind::encode_bit(false),
+            [GestureKind::StepForward, GestureKind::StepBackward]
+        );
+        assert_eq!(
+            GestureKind::encode_bit(true),
+            [GestureKind::StepBackward, GestureKind::StepForward]
+        );
+    }
+
+    #[test]
+    fn gesture_pair_returns_to_base() {
+        // §6.1 condition 1: gestures must be composable — after each bit the
+        // human is back at the initial state.
+        let style = GestureStyle {
+            forward_step_m: 0.75,
+            backward_step_m: 0.75, // symmetric steps for exact return
+            gesture_duration_s: 2.0,
+            pause_s: 0.5,
+        };
+        let g = GestureScript::for_bits(
+            Point::new(0.0, 3.0),
+            Vec2::new(0.0, -1.0),
+            style,
+            0.0,
+            &[false, true],
+        );
+        let end = g.position(g.duration() + 1.0);
+        assert!(end.distance(Point::new(0.0, 3.0)) < 1e-9);
+    }
+
+    #[test]
+    fn forward_step_moves_toward_facing() {
+        let g = GestureScript::new(
+            Point::new(0.0, 3.0),
+            Vec2::new(0.0, -1.0), // facing the device at negative y
+            GestureStyle::default(),
+            0.0,
+            vec![GestureKind::StepForward],
+        );
+        // Mid-step the subject is closer to the device (smaller y).
+        let mid = g.position(0.5);
+        assert!(mid.y < 3.0);
+        // After the move completes the displacement holds.
+        let held = g.position(2.0);
+        assert!((held.y - (3.0 - GestureStyle::default().forward_step_m)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backward_steps_are_shorter_than_forward() {
+        // The asymmetry behind Fig. 7-5.
+        let s = GestureStyle::default();
+        assert!(s.backward_step_m < s.forward_step_m);
+        for seed in 0..20 {
+            let s = GestureStyle::subject(seed);
+            assert!(s.backward_step_m < s.forward_step_m + 1e-9);
+        }
+    }
+
+    #[test]
+    fn subject_styles_vary_but_are_deterministic() {
+        let a = GestureStyle::subject(5);
+        let b = GestureStyle::subject(5);
+        assert_eq!(a.gesture_duration_s, b.gesture_duration_s);
+        let c = GestureStyle::subject(6);
+        assert!((a.gesture_duration_s - c.gesture_duration_s).abs() > 1e-9);
+    }
+
+    #[test]
+    fn robot_moves_in_straight_line() {
+        let r = RobotMover {
+            start: Point::new(0.0, 2.0),
+            velocity: Vec2::new(0.3, 0.0),
+        };
+        assert_eq!(r.position(10.0), Point::new(3.0, 2.0));
+        let h = r.heading(5.0).unwrap();
+        assert!((h - Vec2::UNIT_X).norm() < 1e-9);
+    }
+
+    #[test]
+    fn body_produces_torso_plus_limbs_when_walking() {
+        let mover = Mover::human(WaypointWalker::new(
+            vec![Point::new(0.0, 2.0), Point::new(5.0, 2.0)],
+            1.0,
+        ));
+        let s = mover.scatterers(1.0);
+        assert_eq!(s.len(), 3);
+        assert!(s[0].sqrt_rcs > s[1].sqrt_rcs);
+        // Limbs are displaced along the heading (x axis here).
+        assert!((s[1].position.y - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rigid_body_is_single_scatterer() {
+        let mover = Mover::with_body(
+            RobotMover {
+                start: Point::ORIGIN,
+                velocity: Vec2::new(0.2, 0.0),
+            },
+            BodyConfig::rigid(0.3),
+            0.0,
+        );
+        assert_eq!(mover.scatterers(3.0).len(), 1);
+    }
+
+    #[test]
+    fn limbs_counter_swing() {
+        let mover = Mover::human(WaypointWalker::new(
+            vec![Point::new(0.0, 2.0), Point::new(50.0, 2.0)],
+            1.0,
+        ));
+        // At some instant the two limbs sit on opposite sides of the torso.
+        let s = mover.scatterers(0.33);
+        let torso_x = s[0].position.x;
+        let d1 = s[1].position.x - torso_x;
+        let d2 = s[2].position.x - torso_x;
+        assert!(d1 * d2 <= 0.0, "limbs on same side: {d1} {d2}");
+    }
+}

@@ -1,0 +1,172 @@
+//! Scene description: device, wall, clutter, movers.
+//!
+//! Geometry convention (see [`crate::geometry`]): the wall is the line
+//! `y = 0`; the Wi-Vi device sits in front of it at `y < 0` with its
+//! directional antennas boresighted at `+y`; the imaged room lies behind
+//! the wall at `y > 0`.
+
+use crate::antenna::Antenna;
+use crate::geometry::{Point, Rect, Vec2};
+use crate::materials::Material;
+use crate::motion::Mover;
+
+/// The obstruction between the device and the room. Its surface is the
+/// line `y = 0`; thickness is absorbed into the material's attenuation.
+#[derive(Clone, Copy, Debug)]
+pub struct Wall {
+    pub material: Material,
+}
+
+/// A point reflector (static clutter or a body part).
+///
+/// `sqrt_rcs` is the square root of the radar cross-section in metres; the
+/// bistatic path amplitude is proportional to it.
+#[derive(Clone, Copy, Debug)]
+pub struct Scatterer {
+    pub position: Point,
+    pub sqrt_rcs: f64,
+}
+
+/// Physical placement of the 3-antenna MIMO device (§3.1: "two of the
+/// antennas are used for transmitting and one is used for receiving").
+#[derive(Clone, Copy, Debug)]
+pub struct DeviceLayout {
+    /// The two transmit antenna positions.
+    pub tx: [Point; 2],
+    /// The receive antenna position.
+    pub rx: Point,
+    /// Transmit antenna pattern (shared by both TX antennas).
+    pub tx_antenna: Antenna,
+    /// Receive antenna pattern.
+    pub rx_antenna: Antenna,
+}
+
+impl DeviceLayout {
+    /// The paper's standard placement: device `standoff` metres in front of
+    /// the wall (§7.3 uses 1 m), TX antennas 50 cm apart with the RX
+    /// antenna between them, all boresighted into the room, 6 dBi
+    /// directional patterns.
+    ///
+    /// # Panics
+    /// Panics if `standoff <= 0`.
+    pub fn standard(standoff: f64) -> Self {
+        assert!(standoff > 0.0, "device must be in front of the wall");
+        let y = -standoff;
+        Self {
+            tx: [Point::new(-0.25, y), Point::new(0.25, y)],
+            rx: Point::new(0.0, y),
+            tx_antenna: Antenna::directional_6dbi(Vec2::UNIT_Y),
+            rx_antenna: Antenna::directional_6dbi(Vec2::UNIT_Y),
+        }
+    }
+
+    /// Same geometry but with isotropic antennas — the "typical MIMO
+    /// system" contrast of §4.1 where the direct TX→RX signal is strong.
+    pub fn standard_isotropic(standoff: f64) -> Self {
+        let mut d = Self::standard(standoff);
+        d.tx_antenna = Antenna::isotropic();
+        d.rx_antenna = Antenna::isotropic();
+        d
+    }
+}
+
+/// A complete through-wall scene.
+pub struct Scene {
+    pub device: DeviceLayout,
+    pub wall: Wall,
+    /// Static reflectors (furniture, floor bounce, radio case, …) on either
+    /// side of the wall.
+    pub clutter: Vec<Scatterer>,
+    /// Moving bodies behind the wall.
+    pub movers: Vec<Mover>,
+}
+
+impl Scene {
+    /// Creates an empty scene: device 1 m from a wall of `material`,
+    /// no clutter, no movers.
+    pub fn new(material: Material) -> Self {
+        Self {
+            device: DeviceLayout::standard(1.0),
+            wall: Wall { material },
+            clutter: Vec::new(),
+            movers: Vec::new(),
+        }
+    }
+
+    /// Adds the standard office furniture of the paper's conference rooms
+    /// (§7.2: "the rooms have standard furniture: tables, chairs, boards")
+    /// plus near-device static reflections (§4.1: "the table on which the
+    /// radio is mounted, the floor, the radio case itself"). All static —
+    /// all of it must disappear after nulling.
+    pub fn with_office_clutter(mut self, room: Rect) -> Self {
+        let c = room.center();
+        self.clutter.extend_from_slice(&[
+            // Conference table (large, room centre).
+            Scatterer { position: c, sqrt_rcs: 0.9 },
+            // Chairs around it.
+            Scatterer { position: Point::new(c.x - 1.0, c.y - 0.6), sqrt_rcs: 0.3 },
+            Scatterer { position: Point::new(c.x + 1.0, c.y - 0.6), sqrt_rcs: 0.3 },
+            Scatterer { position: Point::new(c.x - 1.0, c.y + 0.6), sqrt_rcs: 0.3 },
+            // Whiteboard near the back wall.
+            Scatterer { position: Point::new(c.x, room.max.y - 0.2), sqrt_rcs: 0.6 },
+            // Radio-side reflections (in front of the wall, y < 0).
+            Scatterer { position: Point::new(0.4, -0.8), sqrt_rcs: 0.25 }, // mounting table
+            Scatterer { position: Point::new(-0.6, -1.4), sqrt_rcs: 0.2 }, // floor bounce
+        ]);
+        self
+    }
+
+    /// Adds a mover.
+    pub fn with_mover(mut self, mover: Mover) -> Self {
+        self.movers.push(mover);
+        self
+    }
+
+    /// The paper's first conference room: 7 × 4 m behind the wall (§7.2).
+    pub fn conference_room_small() -> Rect {
+        Rect::new(Point::new(-3.5, 0.2), Point::new(3.5, 4.2))
+    }
+
+    /// The paper's second conference room: 11 × 7 m (§7.2).
+    pub fn conference_room_large() -> Rect {
+        Rect::new(Point::new(-5.5, 0.2), Point::new(5.5, 7.2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_layout_faces_the_room() {
+        let d = DeviceLayout::standard(1.0);
+        assert!(d.tx[0].y < 0.0 && d.tx[1].y < 0.0 && d.rx.y < 0.0);
+        assert_eq!(d.tx_antenna.boresight(), Vec2::UNIT_Y);
+        // RX sits between the TX antennas.
+        assert!(d.tx[0].x < d.rx.x && d.rx.x < d.tx[1].x);
+    }
+
+    #[test]
+    fn office_clutter_spans_both_sides() {
+        let scene =
+            Scene::new(Material::HollowWall6In).with_office_clutter(Scene::conference_room_small());
+        assert!(scene.clutter.iter().any(|s| s.position.y > 0.0));
+        assert!(scene.clutter.iter().any(|s| s.position.y < 0.0));
+    }
+
+    #[test]
+    fn room_dimensions_match_paper() {
+        let small = Scene::conference_room_small();
+        assert!((small.width() - 7.0).abs() < 1e-9);
+        assert!((small.height() - 4.0).abs() < 1e-9);
+        let large = Scene::conference_room_large();
+        assert!((large.width() - 11.0).abs() < 1e-9);
+        assert!((large.height() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "in front of the wall")]
+    fn rejects_device_behind_wall() {
+        let _ = DeviceLayout::standard(-1.0);
+    }
+}

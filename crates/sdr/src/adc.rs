@@ -1,0 +1,231 @@
+//! Converter nonlinearities: the receive ADC and transmit clipping.
+//!
+//! These two blocks are the physical reason Wi-Vi exists:
+//!
+//! * The **ADC** has finite dynamic range. "Reflections off the wall
+//!   overwhelm the receiver's analog to digital converter (ADC),
+//!   preventing it from registering the minute variations due to
+//!   reflections from objects behind the wall" (Ch. 1). We model an
+//!   N-bit uniform mid-tread quantizer with hard saturation at ±full
+//!   scale, applied independently to I and Q.
+//! * The **TX chain** is linear only up to a point. "The linear transmit
+//!   power range for USRPs is around 20 mW; beyond this power the signal
+//!   starts being clipped" (§7.5). We model hard amplitude clipping at a
+//!   configurable linear limit; the 12 dB power-boost step of Algorithm 1
+//!   is chosen to stay just inside it.
+
+use wivi_num::Complex64;
+
+/// What happened to a block of samples in the converter.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct QuantizeOutcome {
+    /// Fraction of samples whose I or Q clipped at full scale.
+    pub saturation_fraction: f64,
+    /// Peak input magnitude relative to full scale (>1 ⇒ saturation).
+    pub peak_relative: f64,
+}
+
+impl QuantizeOutcome {
+    /// `true` if any sample saturated.
+    pub fn saturated(&self) -> bool {
+        self.saturation_fraction > 0.0
+    }
+}
+
+/// An N-bit saturating uniform quantizer with full scale ±`full_scale`
+/// on each of I and Q (the USRP N210's ADC is 14-bit).
+#[derive(Clone, Copy, Debug)]
+pub struct Adc {
+    bits: u32,
+    full_scale: f64,
+}
+
+impl Adc {
+    /// Creates an ADC.
+    ///
+    /// # Panics
+    /// Panics unless `2 <= bits <= 32` and `full_scale > 0`.
+    pub fn new(bits: u32, full_scale: f64) -> Self {
+        assert!((2..=32).contains(&bits), "unreasonable ADC width {bits}");
+        assert!(full_scale > 0.0, "full scale must be positive");
+        Self { bits, full_scale }
+    }
+
+    /// The N210's converter: 14 bits, unit full scale.
+    pub fn usrp_n210() -> Self {
+        Self::new(14, 1.0)
+    }
+
+    /// Resolution (LSB step) of one rail.
+    pub fn step(&self) -> f64 {
+        2.0 * self.full_scale / (1u64 << self.bits) as f64
+    }
+
+    /// Full-scale amplitude.
+    pub fn full_scale(&self) -> f64 {
+        self.full_scale
+    }
+
+    /// Quantizes one real rail: clamp to ±full scale, round to the LSB grid.
+    fn quantize_rail(&self, x: f64) -> (f64, bool) {
+        let clipped = x.abs() >= self.full_scale;
+        let clamped = x.clamp(-self.full_scale, self.full_scale);
+        let q = (clamped / self.step()).round() * self.step();
+        // Rounding can land exactly on +FS+step/2 → clamp again.
+        (q.clamp(-self.full_scale, self.full_scale), clipped)
+    }
+
+    /// Quantizes a complex sample (I and Q independently).
+    pub fn quantize(&self, z: Complex64) -> (Complex64, bool) {
+        let (re, sat_re) = self.quantize_rail(z.re);
+        let (im, sat_im) = self.quantize_rail(z.im);
+        (Complex64::new(re, im), sat_re || sat_im)
+    }
+
+    /// Quantizes a buffer in place and reports saturation statistics.
+    pub fn quantize_block(&self, buf: &mut [Complex64]) -> QuantizeOutcome {
+        let mut saturated = 0usize;
+        let mut peak: f64 = 0.0;
+        for z in buf.iter_mut() {
+            peak = peak.max(z.re.abs().max(z.im.abs()));
+            let (q, sat) = self.quantize(*z);
+            *z = q;
+            saturated += usize::from(sat);
+        }
+        QuantizeOutcome {
+            saturation_fraction: if buf.is_empty() {
+                0.0
+            } else {
+                saturated as f64 / buf.len() as f64
+            },
+            peak_relative: peak / self.full_scale,
+        }
+    }
+}
+
+/// Hard amplitude clipping of the transmit waveform at `limit` (complex
+/// magnitude). Returns the fraction of clipped samples.
+pub fn clip_tx(buf: &mut [Complex64], limit: f64) -> f64 {
+    assert!(limit > 0.0, "clip limit must be positive");
+    let mut clipped = 0usize;
+    for z in buf.iter_mut() {
+        let a = z.abs();
+        if a > limit {
+            *z = z.scale(limit / a);
+            clipped += 1;
+        }
+    }
+    if buf.is_empty() {
+        0.0
+    } else {
+        clipped as f64 / buf.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_signals_quantize_to_grid() {
+        let adc = Adc::new(8, 1.0);
+        let step = adc.step();
+        let (q, sat) = adc.quantize(Complex64::new(0.4999 * step, -1.4 * step));
+        assert!(!sat);
+        assert!((q.re - 0.0).abs() < 1e-12 || (q.re - step).abs() < 1e-12);
+        assert!((q.im + step).abs() < 1e-12);
+    }
+
+    #[test]
+    fn signals_below_half_lsb_vanish() {
+        // The flash-effect mechanism: reflections below the quantization
+        // floor are unrepresentable.
+        let adc = Adc::usrp_n210();
+        let tiny = adc.step() * 0.49;
+        let (q, sat) = adc.quantize(Complex64::new(tiny, -tiny));
+        assert!(!sat);
+        assert_eq!(q, Complex64::ZERO);
+    }
+
+    #[test]
+    fn saturation_clamps_and_reports() {
+        let adc = Adc::new(12, 1.0);
+        let (q, sat) = adc.quantize(Complex64::new(3.0, -0.5));
+        assert!(sat);
+        assert_eq!(q.re, 1.0);
+        assert!(q.im != -1.0 || q.im == -0.5); // im untouched by re clipping
+    }
+
+    #[test]
+    fn quantization_error_bounded_by_half_step() {
+        let adc = Adc::new(10, 1.0);
+        for i in 0..1000 {
+            let x = -0.999 + 0.002 * i as f64 * 0.999;
+            if x.abs() >= 1.0 {
+                continue;
+            }
+            let (q, _) = adc.quantize(Complex64::from_re(x));
+            assert!(
+                (q.re - x).abs() <= adc.step() / 2.0 + 1e-12,
+                "error too large at {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantizer_is_monotone() {
+        let adc = Adc::new(6, 1.0);
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..500 {
+            let x = -1.2 + i as f64 * 0.005;
+            let (q, _) = adc.quantize(Complex64::from_re(x));
+            assert!(q.re >= prev, "non-monotone at {x}");
+            prev = q.re;
+        }
+    }
+
+    #[test]
+    fn block_outcome_statistics() {
+        let adc = Adc::new(8, 1.0);
+        let mut buf = vec![
+            Complex64::new(0.5, 0.0),
+            Complex64::new(2.0, 0.0), // saturates
+            Complex64::new(0.1, 0.1),
+            Complex64::new(0.0, -3.0), // saturates
+        ];
+        let out = adc.quantize_block(&mut buf);
+        assert_eq!(out.saturation_fraction, 0.5);
+        assert!(out.saturated());
+        assert!((out.peak_relative - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_bits_mean_finer_steps() {
+        assert!(Adc::new(14, 1.0).step() < Adc::new(8, 1.0).step());
+        assert!((Adc::new(14, 1.0).step() - 2.0 / 16384.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn tx_clipping_preserves_phase() {
+        let mut buf = vec![Complex64::from_polar(5.0, 1.0), Complex64::from_polar(0.5, -2.0)];
+        let frac = clip_tx(&mut buf, 2.0);
+        assert_eq!(frac, 0.5);
+        assert!((buf[0].abs() - 2.0).abs() < 1e-12);
+        assert!((buf[0].arg() - 1.0).abs() < 1e-12);
+        assert!((buf[1].abs() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_clipping_below_limit() {
+        let mut buf = vec![Complex64::new(0.1, 0.2); 16];
+        let orig = buf.clone();
+        assert_eq!(clip_tx(&mut buf, 1.0), 0.0);
+        assert_eq!(buf, orig);
+    }
+
+    #[test]
+    #[should_panic(expected = "unreasonable ADC width")]
+    fn rejects_absurd_bit_width() {
+        let _ = Adc::new(1, 1.0);
+    }
+}

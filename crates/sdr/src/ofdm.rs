@@ -1,0 +1,189 @@
+//! OFDM physical layer.
+//!
+//! §7.1: "We implement standard Wi-Fi OFDM modulation in the UHD code;
+//! each OFDM symbol consists of 64 subcarriers including the DC. The
+//! nulling procedure is performed on a subcarrier basis. ... Since USRPs
+//! cannot process signals in real-time at 20 MHz, we reduced the
+//! transmitted signal bandwidth to 5 MHz."
+//!
+//! The channel model is frequency-flat *per subcarrier* (each path's phase
+//! is evaluated at the subcarrier frequency), so transmission is computed
+//! in the frequency domain; the time-domain IFFT/FFT round trip is still
+//! performed because the nonlinearities — TX clipping and the receiver's
+//! ADC — act on time-domain samples.
+
+use wivi_num::Complex64;
+
+/// OFDM parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct OfdmConfig {
+    /// Number of subcarriers (power of two, includes DC).
+    pub n_subcarriers: usize,
+    /// Occupied bandwidth in Hz.
+    pub bandwidth_hz: f64,
+    /// Carrier (center) frequency in Hz.
+    pub carrier_hz: f64,
+}
+
+impl OfdmConfig {
+    /// The paper's PHY: 64 subcarriers over 5 MHz at 2.4 GHz.
+    pub fn wivi_default() -> Self {
+        Self {
+            n_subcarriers: 64,
+            bandwidth_hz: 5e6,
+            carrier_hz: wivi_rf::CARRIER_HZ,
+        }
+    }
+
+    /// A reduced 16-subcarrier configuration for fast unit tests. Same
+    /// bandwidth, coarser frequency sampling.
+    pub fn small() -> Self {
+        Self {
+            n_subcarriers: 16,
+            bandwidth_hz: 5e6,
+            carrier_hz: wivi_rf::CARRIER_HZ,
+        }
+    }
+
+    /// Subcarrier spacing in Hz.
+    pub fn subcarrier_spacing(&self) -> f64 {
+        self.bandwidth_hz / self.n_subcarriers as f64
+    }
+
+    /// Absolute RF frequency of subcarrier `k` (`k = 0 .. n_subcarriers`),
+    /// with the DC subcarrier at index `n_subcarriers / 2`.
+    ///
+    /// # Panics
+    /// Panics if `k >= n_subcarriers`.
+    pub fn subcarrier_freq(&self, k: usize) -> f64 {
+        assert!(k < self.n_subcarriers, "subcarrier index out of range");
+        let offset = k as f64 - (self.n_subcarriers / 2) as f64;
+        self.carrier_hz + offset * self.subcarrier_spacing()
+    }
+
+    /// OFDM symbol duration (no cyclic prefix), seconds.
+    pub fn symbol_duration(&self) -> f64 {
+        self.n_subcarriers as f64 / self.bandwidth_hz
+    }
+
+    /// The known sounding preamble: one unit-magnitude symbol per
+    /// subcarrier with Newman (quadratic, Zadoff–Chu-like) phases
+    /// `φ_k = π·k²/N`. Fixed (not keyed) — both ends of a channel sounder
+    /// share it, like an 802.11 LTF. The quadratic phase profile keeps the
+    /// time-domain peak-to-average ratio near 1.3×, which is what lets the
+    /// +12 dB power boost of Algorithm 1 stay inside the PA's linear range.
+    pub fn preamble(&self) -> Vec<Complex64> {
+        let n = self.n_subcarriers as f64;
+        (0..self.n_subcarriers)
+            .map(|k| Complex64::cis(std::f64::consts::PI * (k * k) as f64 / n))
+            .collect()
+    }
+}
+
+/// Frequency-domain symbols → time-domain waveform (unit-power preserving:
+/// uses the unitary-style scaling `x = IFFT(X)·√N` so RMS(x) = RMS(X)).
+pub fn modulate(symbols: &[Complex64]) -> Vec<Complex64> {
+    let n = symbols.len() as f64;
+    let mut t = wivi_num::fft::ifft_owned(symbols);
+    for z in &mut t {
+        *z = z.scale(n.sqrt());
+    }
+    t
+}
+
+/// Time-domain waveform → frequency-domain symbols (inverse of
+/// [`modulate`]).
+pub fn demodulate(waveform: &[Complex64]) -> Vec<Complex64> {
+    let n = waveform.len() as f64;
+    let mut f = wivi_num::fft::fft_owned(waveform);
+    for z in &mut f {
+        *z = z.scale(1.0 / n.sqrt());
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = OfdmConfig::wivi_default();
+        assert_eq!(c.n_subcarriers, 64);
+        assert_eq!(c.bandwidth_hz, 5e6);
+        assert!((c.subcarrier_spacing() - 78_125.0).abs() < 1e-9);
+        assert!((c.symbol_duration() - 12.8e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dc_subcarrier_is_carrier() {
+        let c = OfdmConfig::wivi_default();
+        assert_eq!(c.subcarrier_freq(32), c.carrier_hz);
+        assert!(c.subcarrier_freq(0) < c.carrier_hz);
+        assert!(c.subcarrier_freq(63) > c.carrier_hz);
+    }
+
+    #[test]
+    fn band_edges_span_bandwidth() {
+        let c = OfdmConfig::wivi_default();
+        let span = c.subcarrier_freq(63) - c.subcarrier_freq(0);
+        assert!((span - (c.bandwidth_hz - c.subcarrier_spacing())).abs() < 1e-6);
+    }
+
+    #[test]
+    fn preamble_is_unit_magnitude_and_deterministic() {
+        let c = OfdmConfig::wivi_default();
+        let p1 = c.preamble();
+        let p2 = c.preamble();
+        assert_eq!(p1.len(), 64);
+        for (a, b) in p1.iter().zip(&p2) {
+            assert_eq!(*a, *b);
+            assert!((a.abs() - 1.0).abs() < 1e-12);
+        }
+        // Not all identical (it must exercise the band).
+        assert!(p1.iter().any(|z| (*z - p1[0]).abs() > 1e-9));
+    }
+
+    #[test]
+    fn modulate_demodulate_round_trip() {
+        let c = OfdmConfig::wivi_default();
+        let x = c.preamble();
+        let y = demodulate(&modulate(&x));
+        for (a, b) in x.iter().zip(&y) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn modulation_preserves_power() {
+        let c = OfdmConfig::wivi_default();
+        let x = c.preamble();
+        let t = modulate(&x);
+        let pf: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let pt: f64 = t.iter().map(|z| z.norm_sqr()).sum();
+        assert!((pf - pt).abs() < 1e-9 * pf);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn subcarrier_index_checked() {
+        let _ = OfdmConfig::wivi_default().subcarrier_freq(64);
+    }
+
+    #[test]
+    fn preamble_papr_is_low() {
+        // The +12 dB boost must fit inside the PA linear range: peak
+        // amplitude of the unit-RMS waveform must stay under ~1.5.
+        for cfg in [OfdmConfig::wivi_default(), OfdmConfig::small()] {
+            let t = modulate(&cfg.preamble());
+            let rms = (t.iter().map(|z| z.norm_sqr()).sum::<f64>() / t.len() as f64).sqrt();
+            let peak = t.iter().map(|z| z.abs()).fold(0.0, f64::max);
+            assert!(
+                peak / rms < 1.5,
+                "PAPR {:.2} too high at N={}",
+                peak / rms,
+                cfg.n_subcarriers
+            );
+        }
+    }
+}

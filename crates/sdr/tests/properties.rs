@@ -1,0 +1,61 @@
+//! Property-based tests for the radio front-end's converters.
+
+use proptest::prelude::*;
+use wivi_num::Complex64;
+use wivi_sdr::adc::clip_tx;
+use wivi_sdr::Adc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn quantizer_error_bounded_in_range(x in -0.999f64..0.999, bits in 4u32..16) {
+        let adc = Adc::new(bits, 1.0);
+        let (q, sat) = adc.quantize(Complex64::from_re(x));
+        prop_assert!(!sat);
+        prop_assert!((q.re - x).abs() <= adc.step() / 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn quantizer_saturates_out_of_range(x in 1.0f64..100.0) {
+        let adc = Adc::new(12, 1.0);
+        let (q, sat) = adc.quantize(Complex64::from_re(x));
+        prop_assert!(sat);
+        prop_assert_eq!(q.re, 1.0);
+        let (qn, satn) = adc.quantize(Complex64::from_re(-x));
+        prop_assert!(satn);
+        prop_assert_eq!(qn.re, -1.0);
+    }
+
+    #[test]
+    fn quantizer_is_monotone(a in -2.0f64..2.0, b in -2.0f64..2.0) {
+        let adc = Adc::new(8, 1.0);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let (qlo, _) = adc.quantize(Complex64::from_re(lo));
+        let (qhi, _) = adc.quantize(Complex64::from_re(hi));
+        prop_assert!(qlo.re <= qhi.re);
+    }
+
+    #[test]
+    fn quantizer_is_idempotent(x in -1.5f64..1.5) {
+        let adc = Adc::new(10, 1.0);
+        let (q1, _) = adc.quantize(Complex64::from_re(x));
+        let (q2, _) = adc.quantize(q1);
+        prop_assert_eq!(q1, q2);
+    }
+
+    #[test]
+    fn tx_clip_bounds_amplitude_and_keeps_phase(
+        re in -10.0f64..10.0, im in -10.0f64..10.0, limit in 0.1f64..5.0,
+    ) {
+        let z = Complex64::new(re, im);
+        let mut buf = vec![z];
+        clip_tx(&mut buf, limit);
+        prop_assert!(buf[0].abs() <= limit + 1e-12);
+        if z.abs() > 1e-9 {
+            // Phase preserved.
+            let dphi = (buf[0].arg() - z.arg()).abs();
+            prop_assert!(dphi < 1e-9 || (dphi - std::f64::consts::TAU).abs() < 1e-9);
+        }
+    }
+}

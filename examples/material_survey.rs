@@ -1,0 +1,36 @@
+//! Material survey: how wall construction affects through-wall gesture
+//! detection (paper §7.6 / Fig. 7-6).
+//!
+//! Run with: `cargo run --release --example material_survey`
+
+use wivi::prelude::*;
+use wivi::rf::Point as P;
+
+fn main() {
+    println!("'0'-bit gesture at 3 m behind different obstructions:\n");
+    println!("{:<24} {:>9} {:>10}", "material", "decoded", "SNR (dB)");
+    for material in Material::SURVEY {
+        let script = GestureScript::for_bits(
+            P::new(0.0, 3.0),
+            Vec2::new(0.0, -1.0),
+            GestureStyle::subject(1),
+            3.0,
+            &[false],
+        );
+        let duration = 3.0 + script.duration() + 1.5;
+        let scene = Scene::new(material)
+            .with_office_clutter(Scene::conference_room_large())
+            .with_mover(Mover::human(script));
+        let mut device = WiViDevice::new(scene, WiViConfig::paper_default(), 17);
+        device.calibrate();
+        let d = device.decode_gestures(duration);
+        let ok = d.bits.first().copied().flatten() == Some(false);
+        let snr = d
+            .min_gesture_snr_db()
+            .map(|s| format!("{s:.1}"))
+            .unwrap_or_else(|| "-".into());
+        println!("{:<24} {:>9} {:>10}", material.label(), if ok { "yes" } else { "no" }, snr);
+    }
+    println!("\nDenser materials attenuate every crossing (Table 4.1): the SNR falls");
+    println!("monotonically from free space to 8\" concrete, as in Fig. 7-6(b).");
+}

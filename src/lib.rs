@@ -1,0 +1,44 @@
+//! Wi-Vi — see through walls with Wi-Fi.
+//!
+//! A from-scratch Rust reproduction of *"See Through Walls with WiFi!"*
+//! (Adib & Katabi, ACM SIGCOMM 2013): MIMO interference nulling to remove
+//! the wall's "flash", inverse-SAR tracking of moving humans with the
+//! smoothed MUSIC algorithm, spatial-variance human counting, and a
+//! through-wall gesture communication channel — all running against a
+//! simulated 2.4 GHz MIMO software radio (the hardware substitution is
+//! documented in `DESIGN.md`).
+//!
+//! This umbrella crate re-exports the whole stack:
+//!
+//! * [`num`] — complex arithmetic, FFT, Hermitian eigendecomposition.
+//! * [`rf`] — the through-wall propagation simulator and motion models.
+//! * [`sdr`] — the OFDM MIMO front-end (USRP N210 stand-in).
+//! * [`core`] — nulling, ISAR, MUSIC, counting, gestures, the device.
+//!
+//! ```no_run
+//! use wivi::prelude::*;
+//!
+//! let room = Scene::conference_room_small();
+//! let scene = Scene::new(Material::HollowWall6In)
+//!     .with_office_clutter(room)
+//!     .with_mover(Mover::human(ConfinedRandomWalk::new(room, 7, 1.0, 30.0)));
+//! let mut device = WiViDevice::new(scene, WiViConfig::paper_default(), 42);
+//! device.calibrate();
+//! let spectrogram = device.track(7.0);
+//! println!("{}", spectrogram.render_ascii(19, 72));
+//! ```
+
+pub use wivi_core as core;
+pub use wivi_num as num;
+pub use wivi_rf as rf;
+pub use wivi_sdr as sdr;
+
+/// The most common imports for working with Wi-Vi.
+pub mod prelude {
+    pub use wivi_core::counting::{mean_spatial_variance, VarianceClassifier};
+    pub use wivi_core::{AngleSpectrogram, WiViConfig, WiViDevice};
+    pub use wivi_rf::{
+        ConfinedRandomWalk, GestureScript, GestureStyle, Material, Mover, Point, Rect, Scene,
+        Vec2, WaypointWalker,
+    };
+}
