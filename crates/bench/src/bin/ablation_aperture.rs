@@ -11,7 +11,10 @@ fn main() {
         "Beamwidth vs amount of target motion (emulated aperture length)",
         "angular resolution sharpens with motion; ≈ 4 λ of movement gives a narrow beam",
     );
-    println!("\n{:>10} {:>12} {:>16}", "window w", "motion (λ)", "-3 dB width (°)");
+    println!(
+        "\n{:>10} {:>12} {:>16}",
+        "window w", "motion (λ)", "-3 dB width (°)"
+    );
     let lambda = wivi_rf::carrier_wavelength();
     for window in [8usize, 16, 32, 64, 100, 128, 192] {
         let cfg = IsarConfig {

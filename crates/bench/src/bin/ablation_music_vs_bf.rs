@@ -27,12 +27,21 @@ fn main() {
     let bf = beamform_spectrum(&one, &cfg.isar);
     let mu = music_spectrum(&one, &cfg);
     println!("\nsingle target at sinθ = 0.5:");
-    println!("  conventional beamforming: mean -3 dB width {:>5.1} bins", peak_sharpness(&bf));
-    println!("  smoothed MUSIC:           mean -3 dB width {:>5.1} bins", peak_sharpness(&mu));
+    println!(
+        "  conventional beamforming: mean -3 dB width {:>5.1} bins",
+        peak_sharpness(&bf)
+    );
+    println!(
+        "  smoothed MUSIC:           mean -3 dB width {:>5.1} bins",
+        peak_sharpness(&mu)
+    );
 
     // Two coherent targets, closely spaced.
     let mut two = synthetic_target_trace(&cfg.isar, 400, 1.0, 4.0, 0.55);
-    add(&mut two, &synthetic_target_trace(&cfg.isar, 400, 1.0, 6.0, 0.25));
+    add(
+        &mut two,
+        &synthetic_target_trace(&cfg.isar, 400, 1.0, 6.0, 0.25),
+    );
     let bf2 = beamform_spectrum(&two, &cfg.isar);
     let mu2 = music_spectrum(&two, &cfg);
     let resolved = |spec: &wivi_core::AngleSpectrogram| {
@@ -48,6 +57,9 @@ fn main() {
         100.0 * count as f64 / spec.n_times() as f64
     };
     println!("\ntwo coherent targets at sinθ = 0.55 and 0.25:");
-    println!("  windows with both peaks resolved: beamforming {:>4.0}%  MUSIC {:>4.0}%",
-        resolved(&bf2), resolved(&mu2));
+    println!(
+        "  windows with both peaks resolved: beamforming {:>4.0}%  MUSIC {:>4.0}%",
+        resolved(&bf2),
+        resolved(&mu2)
+    );
 }

@@ -54,7 +54,7 @@ fn main() {
         Material::HollowWall6In,
         Material::ConcreteWall8In,
     ];
-    let rows = parallel_map(&mats.to_vec(), |&m| {
+    let rows = parallel_map(mats.as_ref(), |&m| {
         let d = doppler_margin(m, 81);
         let n = nulled_margin(m, 81);
         vec![

@@ -4,9 +4,7 @@
 //! be tuned against the paper's shapes.
 
 use wivi_bench::runner::parallel_map;
-use wivi_bench::scenarios::{
-    run_counting_trial, run_nulling_trial, GestureTrial, Room,
-};
+use wivi_bench::scenarios::{run_counting_trial, run_nulling_trial, GestureTrial, Room};
 use wivi_rf::Material;
 
 fn main() {

@@ -32,8 +32,7 @@ fn main() {
             })
             .sum::<f64>()
             / db.len() as f64;
-        let nsig: f64 =
-            eig.iter().map(|e| e.n_signal as f64).sum::<f64>() / eig.len() as f64;
+        let nsig: f64 = eig.iter().map(|e| e.n_signal as f64).sum::<f64>() / eig.len() as f64;
         (n, var, mass, nsig)
     });
     println!("{:>2} {:>10} {:>8} {:>6}", "n", "var", "mass", "nsig");

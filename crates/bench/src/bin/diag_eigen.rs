@@ -2,8 +2,8 @@
 //! Not part of the experiment suite; used to calibrate the MUSIC
 //! signal-subspace detector.
 
-use wivi_core::music::music_spectrum_with_eigen;
 use wivi_core::counting::mean_spatial_variance;
+use wivi_core::music::music_spectrum_with_eigen;
 use wivi_core::{WiViConfig, WiViDevice};
 use wivi_rf::{Material, Mover, Point, Scene, WaypointWalker};
 
@@ -35,12 +35,15 @@ fn run(label: &str, scene: Scene, seed: u64) {
 }
 
 fn main() {
-    let static_scene = || {
-        Scene::new(Material::HollowWall6In).with_office_clutter(Scene::conference_room_small())
-    };
+    let static_scene =
+        || Scene::new(Material::HollowWall6In).with_office_clutter(Scene::conference_room_small());
     run("static", static_scene(), 1);
     let walker = static_scene().with_mover(Mover::human(WaypointWalker::new(
-        vec![Point::new(-1.5, 4.0), Point::new(0.0, 1.2), Point::new(1.5, 4.0)],
+        vec![
+            Point::new(-1.5, 4.0),
+            Point::new(0.0, 1.2),
+            Point::new(1.5, 4.0),
+        ],
         1.0,
     )));
     run("walker", walker, 2);

@@ -5,14 +5,21 @@ use wivi_bench::scenarios::{run_counting_trial, Room};
 fn main() {
     let specs: Vec<(Room, usize, u64)> = [Room::Small, Room::Large]
         .iter()
-        .flat_map(|&r| (0..4usize).flat_map(move |n| (0..4u64).map(move |s| (r, n, 9000 + 16*n as u64 + s))))
+        .flat_map(|&r| {
+            (0..4usize).flat_map(move |n| (0..4u64).map(move |s| (r, n, 9000 + 16 * n as u64 + s)))
+        })
         .collect();
-    let out = parallel_map(&specs, |&(r, n, seed)| (r, n, run_counting_trial(r, n, seed, 25.0)));
+    let out = parallel_map(&specs, |&(r, n, seed)| {
+        (r, n, run_counting_trial(r, n, seed, 25.0))
+    });
     for room in [Room::Small, Room::Large] {
         println!("== {room:?} ==");
         for n in 0..4 {
-            let vs: Vec<String> = out.iter().filter(|(r, k, _)| *r == room && *k == n)
-                .map(|(_, _, v)| format!("{:>9.0}", v)).collect();
+            let vs: Vec<String> = out
+                .iter()
+                .filter(|(r, k, _)| *r == room && *k == n)
+                .map(|(_, _, v)| format!("{:>9.0}", v))
+                .collect();
             println!("  {n}: {}", vs.join(" "));
         }
     }

@@ -13,11 +13,19 @@ fn main() {
          approaches while the other recedes",
     );
     let a = WaypointWalker::new(
-        vec![Point::new(-2.5, 1.5), Point::new(-0.5, 3.9), Point::new(1.5, 1.4)],
+        vec![
+            Point::new(-2.5, 1.5),
+            Point::new(-0.5, 3.9),
+            Point::new(1.5, 1.4),
+        ],
         1.0,
     );
     let b = WaypointWalker::new(
-        vec![Point::new(2.4, 3.8), Point::new(0.8, 1.2), Point::new(2.6, 2.4)],
+        vec![
+            Point::new(2.4, 3.8),
+            Point::new(0.8, 1.2),
+            Point::new(2.6, 2.4),
+        ],
         0.9,
     );
     let duration = a.duration().max(b.duration()) + 0.5;

@@ -41,7 +41,11 @@ fn main() {
         let bar = if w >= 0 {
             format!("{}|{}", " ".repeat(30), "#".repeat(w as usize))
         } else {
-            format!("{}{}|", " ".repeat((30 + w) as usize), "#".repeat((-w) as usize))
+            format!(
+                "{}{}|",
+                " ".repeat((30 + w) as usize),
+                "#".repeat((-w) as usize)
+            )
         };
         println!("  t={:>5.1}s {bar}", spec.times_s[i]);
     }

@@ -45,7 +45,10 @@ fn run_case(label: &str, facing: Vec2, kind: GestureKind, expect: &str) {
             }
         }
     }
-    println!("  {label:<34} measured θ = {:>4.0}°   (paper: {expect})", best.1);
+    println!(
+        "  {label:<34} measured θ = {:>4.0}°   (paper: {expect})",
+        best.1
+    );
 }
 
 fn main() {
@@ -57,8 +60,18 @@ fn main() {
     );
     println!();
     let toward_device = Vec2::new(0.0, -1.0);
-    run_case("(a) step forward, facing device", toward_device, GestureKind::StepForward, "+90°");
-    run_case("(b) step backward, facing device", toward_device, GestureKind::StepBackward, "-90°");
+    run_case(
+        "(a) step forward, facing device",
+        toward_device,
+        GestureKind::StepForward,
+        "+90°",
+    );
+    run_case(
+        "(b) step backward, facing device",
+        toward_device,
+        GestureKind::StepBackward,
+        "-90°",
+    );
     run_case(
         "(c) step forward, slanted 30°",
         toward_device.rotated(30f64.to_radians()),

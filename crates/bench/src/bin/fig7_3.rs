@@ -19,15 +19,26 @@ fn main() {
         .flat_map(|n| (0..per_class as u64).map(move |s| (n, 730 + 16 * n as u64 + s)))
         .collect();
     let vars = parallel_map(&specs, |&(n, seed)| {
-        (n, run_counting_trial(Room::Small, n, seed, COUNTING_TRIAL_S))
+        (
+            n,
+            run_counting_trial(Room::Small, n, seed, COUNTING_TRIAL_S),
+        )
     });
     for n in 0..4usize {
-        let class: Vec<f64> = vars.iter().filter(|(k, _)| *k == n).map(|(_, v)| *v).collect();
+        let class: Vec<f64> = vars
+            .iter()
+            .filter(|(k, _)| *k == n)
+            .map(|(_, v)| *v)
+            .collect();
         report::print_cdf(&format!("{n} humans (variance)"), &class, 9);
     }
     println!("\nclass medians (variance grows with count, diminishing steps):");
     for n in 0..4usize {
-        let class: Vec<f64> = vars.iter().filter(|(k, _)| *k == n).map(|(_, v)| *v).collect();
+        let class: Vec<f64> = vars
+            .iter()
+            .filter(|(k, _)| *k == n)
+            .map(|(_, v)| *v)
+            .collect();
         println!("  {n} humans: median {:>12.0}", stats::median(&class));
     }
 }

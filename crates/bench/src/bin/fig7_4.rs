@@ -32,11 +32,17 @@ fn main() {
         (d, bit, o.all_correct(), o.any_flip())
     });
 
-    println!("\n{:>9} {:>12} {:>12} {:>7}", "distance", "bit '0' %", "bit '1' %", "flips");
+    println!(
+        "\n{:>9} {:>12} {:>12} {:>7}",
+        "distance", "bit '0' %", "bit '1' %", "flips"
+    );
     let mut any_flip_total = false;
     for d in 1..=14u64 {
         let pct = |bit: bool| {
-            let sel: Vec<_> = out.iter().filter(|(dd, b, _, _)| *dd == d && *b == !bit).collect();
+            let sel: Vec<_> = out
+                .iter()
+                .filter(|(dd, b, _, _)| *dd == d && *b != bit)
+                .collect();
             // note: bit '0' == false
             if sel.is_empty() {
                 return f64::NAN;
@@ -45,7 +51,13 @@ fn main() {
         };
         let flips = out.iter().any(|(dd, _, _, f)| *dd == d && *f);
         any_flip_total |= flips;
-        println!("{:>7} m {:>11.0}% {:>11.0}% {:>7}", d, pct(true), pct(false), flips);
+        println!(
+            "{:>7} m {:>11.0}% {:>11.0}% {:>7}",
+            d,
+            pct(true),
+            pct(false),
+            flips
+        );
     }
     println!(
         "\nbit flips observed anywhere: {} (paper: never — erasures only)",

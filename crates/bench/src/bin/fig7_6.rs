@@ -36,8 +36,7 @@ fn main() {
         .iter()
         .map(|&m| {
             let sel: Vec<_> = out.iter().filter(|(mm, _, _)| *mm == m).collect();
-            let acc =
-                100.0 * sel.iter().filter(|(_, ok, _)| *ok).count() as f64 / sel.len() as f64;
+            let acc = 100.0 * sel.iter().filter(|(_, ok, _)| *ok).count() as f64 / sel.len() as f64;
             let snrs: Vec<f64> = sel.iter().filter_map(|(_, _, s)| *s).collect();
             let (mean, min, max) = if snrs.is_empty() {
                 (f64::NAN, f64::NAN, f64::NAN)

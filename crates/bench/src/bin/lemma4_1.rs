@@ -32,13 +32,20 @@ fn main() {
     }
 
     println!("\nOn the simulated radio (with noise): residual power history of Algorithm 1");
-    let scene = Scene::new(Material::HollowWall6In).with_office_clutter(Scene::conference_room_small());
+    let scene =
+        Scene::new(Material::HollowWall6In).with_office_clutter(Scene::conference_room_small());
     let mut dev = WiViDevice::new(scene, WiViConfig::paper_default(), 11);
     let rep = dev.calibrate();
     println!("  un-nulled power:        {:.3e}", rep.unnulled_power);
-    println!("  after initial null:     {:.3e}", rep.initial_residual_power);
+    println!(
+        "  after initial null:     {:.3e}",
+        rep.initial_residual_power
+    );
     for (i, p) in rep.residual_history.iter().enumerate() {
         println!("  after iteration {:>2}:     {:.3e}", i + 1, p);
     }
-    println!("  iterations to converge: {} (plateaus at the noise floor)", rep.iterations);
+    println!(
+        "  iterations to converge: {} (plateaus at the noise floor)",
+        rep.iterations
+    );
 }

@@ -27,7 +27,10 @@ fn main() {
         times.push(dt);
     }
     let mean = times.iter().sum::<f64>() / times.len() as f64;
-    println!("\nper-trace processing time over {} runs: mean {:.3} s  (runs: {:?})",
-        times.len(), mean,
-        times.iter().map(|t| format!("{t:.3}")).collect::<Vec<_>>());
+    println!(
+        "\nper-trace processing time over {} runs: mean {:.3} s  (runs: {:?})",
+        times.len(),
+        mean,
+        times.iter().map(|t| format!("{t:.3}")).collect::<Vec<_>>()
+    );
 }

@@ -1,0 +1,108 @@
+//! The streaming-pipeline benchmark: runs the acceptance scenario grid
+//! (2 rooms × 3 materials × 0–3 humans) in parallel through the batched
+//! streaming device pipeline, verifies thread-count-independent
+//! determinism, and writes `BENCH_pipeline.json` with per-stage
+//! wall-clock and throughput so future PRs have a perf trajectory.
+//!
+//! `--quick` shortens trials; `--full` uses the paper's 25 s counting
+//! duration.
+
+use std::time::Instant;
+
+use wivi_bench::engine::{write_pipeline_json, ScenarioGrid, ScenarioRunner};
+use wivi_bench::{quick_mode, report};
+use wivi_core::WiViConfig;
+
+fn main() {
+    report::header(
+        "BENCH pipeline",
+        "Parallel multi-scenario engine over the streaming pipeline",
+        "real-time target: ≥ 312.5 channel-samples/sec/trial (§7.1 rate)",
+    );
+
+    let mut grid = ScenarioGrid::standard();
+    let mode = if quick_mode() {
+        grid.duration_s = 1.0;
+        "quick"
+    } else if std::env::args().any(|a| a == "--full") {
+        grid.duration_s = 25.0;
+        "full"
+    } else {
+        "standard"
+    };
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
+    println!(
+        "\ngrid: {} rooms × {} materials × {} counts × {} motions = {} trials, {}s each, {} threads",
+        grid.rooms.len(),
+        grid.materials.len(),
+        grid.human_counts.len(),
+        grid.motions.len(),
+        grid.len(),
+        grid.duration_s,
+        threads
+    );
+
+    // Determinism check first (small slice of the grid, 1 vs N threads).
+    let mut probe = grid.clone();
+    probe.duration_s = grid.duration_s.min(1.0);
+    probe.materials.truncate(1);
+    let seq = ScenarioRunner::new(WiViConfig::paper_default())
+        .with_threads(1)
+        .run(&probe);
+    let par = ScenarioRunner::new(WiViConfig::paper_default()).run(&probe);
+    for (a, b) in seq.iter().zip(&par) {
+        assert_eq!(
+            a.variance.to_bits(),
+            b.variance.to_bits(),
+            "thread-count dependence at {}",
+            a.spec.label()
+        );
+    }
+    println!(
+        "determinism: {} probe trials identical at 1 vs {} threads",
+        seq.len(),
+        threads
+    );
+
+    // The timed run.
+    let runner = ScenarioRunner::new(WiViConfig::paper_default());
+    let t0 = Instant::now();
+    let results = runner.run(&grid);
+    let wall = t0.elapsed().as_secs_f64();
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.spec.label(),
+                format!("{:.1}", r.nulling_db),
+                format!("{:.0}", r.variance),
+                format!("{:.2}", r.calibrate_s),
+                format!("{:.2}", r.stream_s),
+                format!("{:.0}", r.samples_per_sec()),
+            ]
+        })
+        .collect();
+    report::print_table(
+        &[
+            "scenario", "null dB", "variance", "cal s", "stream s", "samp/s",
+        ],
+        &rows,
+    );
+
+    let total_samples: usize = results.iter().map(|r| r.n_samples).sum();
+    println!(
+        "\n{} trials, {} channel samples in {:.2}s wall ⇒ {:.0} samples/sec aggregate",
+        results.len(),
+        total_samples,
+        wall,
+        total_samples as f64 / wall
+    );
+
+    let path = "BENCH_pipeline.json";
+    write_pipeline_json(path, &results, wall, threads, mode)
+        .expect("failed to write BENCH_pipeline.json");
+    println!("wrote {path} ({mode} mode, {}s trials)", grid.duration_s);
+}

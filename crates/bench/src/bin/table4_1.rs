@@ -39,7 +39,12 @@ fn main() {
     })
     .collect();
     report::print_table(
-        &["material", "one-way dB (table)", "round-trip dB (measured)", "round-trip dB (expected)"],
+        &[
+            "material",
+            "one-way dB (table)",
+            "round-trip dB (measured)",
+            "round-trip dB (expected)",
+        ],
         &rows,
     );
     println!("\nThe measured round-trip attenuation of a behind-wall reflection matches 2× the");

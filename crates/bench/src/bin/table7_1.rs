@@ -35,7 +35,12 @@ fn main() {
         })
         .collect();
     let results = parallel_map(&specs, |&(room, n, seed)| {
-        (room, n, seed, run_counting_trial(room, n, seed, COUNTING_TRIAL_S))
+        (
+            room,
+            n,
+            seed,
+            run_counting_trial(room, n, seed, COUNTING_TRIAL_S),
+        )
     });
 
     // Disjoint-trial cross-validation within each room: even seeds train,

@@ -1,0 +1,544 @@
+//! The multi-scenario engine: declarative trial grids, a parallel runner,
+//! and machine-readable per-stage performance reporting.
+//!
+//! The paper's evaluation — and every related through-wall system (crowd
+//! counting, 2.4 GHz commodity-Wi-Fi imaging) — lives or dies by sweeping
+//! many scene configurations. The seed repo's binaries each hand-rolled
+//! their own (room, material, count, seed) loops; this module replaces
+//! that with one engine:
+//!
+//! * [`ScenarioSpec`] — one fully-described trial: room × material ×
+//!   subject count × motion model × trial index. Its seed is a *stable
+//!   hash of the coordinates*, so a trial's randomness is independent of
+//!   grid shape, enumeration order, and executor thread count.
+//! * [`ScenarioGrid`] — the Cartesian product enumerator.
+//! * [`ScenarioRunner`] — executes a grid in parallel over the streaming
+//!   device pipeline (calibrate → batched observation stream → incremental
+//!   MUSIC → streaming variance sink), timing each stage.
+//! * [`write_pipeline_json`] — emits `BENCH_pipeline.json` so future PRs
+//!   have a perf trajectory to compare against.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use wivi_core::device::DEFAULT_BATCH_LEN;
+use wivi_core::{WiViConfig, WiViDevice};
+use wivi_num::rng::Rng64;
+use wivi_rf::{BodyConfig, Material, Mover, Point, Scene, WaypointWalker};
+
+use crate::runner::parallel_map_threads;
+use crate::scenarios::{add_random_walkers, Room};
+
+/// How the subjects of a scenario move (the motion-model axis of the
+/// grid).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MotionModel {
+    /// People moving "at will": seeded [`ConfinedRandomWalk`]s (§7.2).
+    RandomWalk,
+    /// Pacing a straight line parallel to the wall — the classic Fig. 7-2
+    /// trajectory shape.
+    Pacing,
+    /// Walking a loop around the room's perimeter.
+    Perimeter,
+}
+
+impl MotionModel {
+    /// Stable tag used in seeds and reports.
+    pub fn tag(self) -> &'static str {
+        match self {
+            MotionModel::RandomWalk => "random_walk",
+            MotionModel::Pacing => "pacing",
+            MotionModel::Perimeter => "perimeter",
+        }
+    }
+}
+
+fn material_tag(m: Material) -> &'static str {
+    match m {
+        Material::FreeSpace => "free_space",
+        Material::TintedGlass => "tinted_glass",
+        Material::SolidWoodDoor => "solid_wood_door",
+        Material::HollowWall6In => "hollow_wall_6in",
+        Material::ConcreteWall8In => "concrete_8in",
+        Material::ConcreteWall18In => "concrete_18in",
+        Material::ReinforcedConcrete => "reinforced_concrete",
+    }
+}
+
+fn room_tag(r: Room) -> &'static str {
+    match r {
+        Room::Small => "small_7x4",
+        Room::Large => "large_11x7",
+    }
+}
+
+/// One fully-described trial of the scenario grid.
+#[derive(Clone, Copy, Debug)]
+pub struct ScenarioSpec {
+    pub room: Room,
+    pub material: Material,
+    pub n_humans: usize,
+    pub motion: MotionModel,
+    /// Trial index within this grid cell.
+    pub trial: u64,
+    /// Recording duration, seconds.
+    pub duration_s: f64,
+}
+
+impl ScenarioSpec {
+    /// The trial's deterministic seed: an FNV-1a hash of the scenario
+    /// coordinates. Depends only on *what the trial is*, never on where it
+    /// sits in the grid or which thread runs it.
+    pub fn seed(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        eat(room_tag(self.room).as_bytes());
+        eat(material_tag(self.material).as_bytes());
+        eat(&(self.n_humans as u64).to_le_bytes());
+        eat(self.motion.tag().as_bytes());
+        eat(&self.trial.to_le_bytes());
+        h
+    }
+
+    /// Human-readable cell label (stable, used in reports and JSON).
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}h/{}#{}",
+            room_tag(self.room),
+            material_tag(self.material),
+            self.n_humans,
+            self.motion.tag(),
+            self.trial
+        )
+    }
+
+    /// Builds the trial's scene: clutter, wall material, and `n_humans`
+    /// movers following the scenario's motion model. Deterministic in
+    /// [`Self::seed`].
+    pub fn build_scene(&self) -> Scene {
+        let rect = self.room.rect();
+        let mut scene = Scene::new(self.material).with_office_clutter(rect);
+        let mix_seed = self.seed() ^ 0xA24B_AED4_963E_E407;
+        if self.motion == MotionModel::RandomWalk {
+            // The §7.2 "moving at will" population, shared with
+            // `scenarios::counting_scene` so the two cannot drift apart.
+            return add_random_walkers(scene, rect, self.n_humans, mix_seed, self.duration_s);
+        }
+        let mut rng = Rng64::seed_from_u64(mix_seed);
+        for _ in 0..self.n_humans {
+            let speed = rng.gen_range(0.8, 1.2); // comfortable walking ±20 %
+            let gait_phase = rng.gen_range(0.0, std::f64::consts::TAU);
+            let mover = match self.motion {
+                MotionModel::RandomWalk => unreachable!("handled above"),
+                MotionModel::Pacing => {
+                    let inner = rect.shrunk(0.4);
+                    let y = rng.gen_range(inner.min.y, inner.max.y);
+                    let line = [Point::new(inner.min.x, y), Point::new(inner.max.x, y)];
+                    // Enough back-and-forth legs to cover the trial.
+                    let mut path = Vec::new();
+                    let legs = (self.duration_s * speed / inner.width()).ceil() as usize + 2;
+                    for leg in 0..legs {
+                        path.push(line[leg % 2]);
+                    }
+                    Mover::with_body(
+                        WaypointWalker::new(path, speed),
+                        BodyConfig::default(),
+                        gait_phase,
+                    )
+                }
+                MotionModel::Perimeter => {
+                    let inner = rect.shrunk(0.5);
+                    let corners = [
+                        Point::new(inner.min.x, inner.min.y),
+                        Point::new(inner.max.x, inner.min.y),
+                        Point::new(inner.max.x, inner.max.y),
+                        Point::new(inner.min.x, inner.max.y),
+                    ];
+                    let lap = 2.0 * (inner.width() + inner.height());
+                    let laps = (self.duration_s * speed / lap).ceil() as usize + 1;
+                    let start = rng.gen_below(4) as usize;
+                    let mut path = Vec::new();
+                    for i in 0..=(4 * laps) {
+                        path.push(corners[(start + i) % 4]);
+                    }
+                    Mover::with_body(
+                        WaypointWalker::new(path, speed),
+                        BodyConfig::default(),
+                        gait_phase,
+                    )
+                }
+            };
+            scene = scene.with_mover(mover);
+        }
+        scene
+    }
+
+    /// Runs the trial through the streaming pipeline, timing each stage.
+    pub fn run(&self, cfg: &WiViConfig, batch_len: usize) -> TrialResult {
+        let t0 = Instant::now();
+        let scene = self.build_scene();
+        let mut dev = WiViDevice::new(scene, *cfg, self.seed());
+        let setup_s = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let nulling_db = dev.calibrate().nulling_db();
+        let calibrate_s = t1.elapsed().as_secs_f64();
+
+        let t2 = Instant::now();
+        let variance = dev.measure_spatial_variance_streaming(self.duration_s, batch_len);
+        let stream_s = t2.elapsed().as_secs_f64();
+
+        let n_samples = (self.duration_s * cfg.radio.channel_rate_hz).round() as usize;
+        TrialResult {
+            spec: *self,
+            seed: self.seed(),
+            variance,
+            nulling_db,
+            n_samples,
+            setup_s,
+            calibrate_s,
+            stream_s,
+        }
+    }
+}
+
+/// Outcome and per-stage wall-clock of one scenario trial.
+#[derive(Clone, Debug)]
+pub struct TrialResult {
+    pub spec: ScenarioSpec,
+    pub seed: u64,
+    /// Mean spatial variance (the counting statistic).
+    pub variance: f64,
+    /// Achieved nulling, dB.
+    pub nulling_db: f64,
+    /// Channel samples streamed through the tracker.
+    pub n_samples: usize,
+    /// Scene construction + device bring-up, seconds.
+    pub setup_s: f64,
+    /// Algorithm 1 (nulling) wall-clock, seconds.
+    pub calibrate_s: f64,
+    /// Streaming record+track+count wall-clock, seconds.
+    pub stream_s: f64,
+}
+
+impl TrialResult {
+    /// Streaming throughput, channel samples per second of wall-clock.
+    pub fn samples_per_sec(&self) -> f64 {
+        self.n_samples as f64 / self.stream_s.max(1e-12)
+    }
+}
+
+/// A Cartesian scenario grid.
+#[derive(Clone, Debug)]
+pub struct ScenarioGrid {
+    pub rooms: Vec<Room>,
+    pub materials: Vec<Material>,
+    pub human_counts: Vec<usize>,
+    pub motions: Vec<MotionModel>,
+    /// Trials per grid cell.
+    pub trials_per_cell: u64,
+    /// Recording duration per trial, seconds.
+    pub duration_s: f64,
+}
+
+impl ScenarioGrid {
+    /// The acceptance grid: 2 rooms × 3 materials × 0–3 humans, random
+    /// walks.
+    pub fn standard() -> Self {
+        Self {
+            rooms: vec![Room::Small, Room::Large],
+            materials: vec![
+                Material::TintedGlass,
+                Material::HollowWall6In,
+                Material::ConcreteWall8In,
+            ],
+            human_counts: vec![0, 1, 2, 3],
+            motions: vec![MotionModel::RandomWalk],
+            trials_per_cell: 1,
+            duration_s: 4.0,
+        }
+    }
+
+    /// Number of trials the grid enumerates.
+    pub fn len(&self) -> usize {
+        self.rooms.len()
+            * self.materials.len()
+            * self.human_counts.len()
+            * self.motions.len()
+            * self.trials_per_cell as usize
+    }
+
+    /// `true` if the grid enumerates nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enumerates every trial in deterministic order.
+    pub fn specs(&self) -> Vec<ScenarioSpec> {
+        let mut out = Vec::with_capacity(self.len());
+        for &room in &self.rooms {
+            for &material in &self.materials {
+                for &n_humans in &self.human_counts {
+                    for &motion in &self.motions {
+                        for trial in 0..self.trials_per_cell {
+                            out.push(ScenarioSpec {
+                                room,
+                                material,
+                                n_humans,
+                                motion,
+                                trial,
+                                duration_s: self.duration_s,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Parallel executor for scenario grids.
+#[derive(Clone, Debug)]
+pub struct ScenarioRunner {
+    pub config: WiViConfig,
+    /// Worker threads (`None` ⇒ `available_parallelism`).
+    pub threads: Option<usize>,
+    /// Observation batch size for the streaming pipeline.
+    pub batch_len: usize,
+}
+
+impl ScenarioRunner {
+    /// A runner over `config` with default parallelism and batching.
+    pub fn new(config: WiViConfig) -> Self {
+        Self {
+            config,
+            threads: None,
+            batch_len: DEFAULT_BATCH_LEN,
+        }
+    }
+
+    /// Caps the worker-thread count (for determinism experiments).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Runs every trial of `grid` in parallel. Results are in grid
+    /// enumeration order and — because each trial's seed hashes only its
+    /// own coordinates — identical for every thread count.
+    pub fn run(&self, grid: &ScenarioGrid) -> Vec<TrialResult> {
+        self.run_specs(&grid.specs())
+    }
+
+    /// Runs an explicit trial list in parallel, preserving order.
+    pub fn run_specs(&self, specs: &[ScenarioSpec]) -> Vec<TrialResult> {
+        let cfg = &self.config;
+        parallel_map_threads(specs, |spec| spec.run(cfg, self.batch_len), self.threads)
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Writes `BENCH_pipeline.json`: run-level aggregates (wall-clock,
+/// throughput in channel-samples/sec, per-stage totals) plus one record
+/// per trial. Hand-rolled JSON — the container has no serde.
+///
+/// `mode` tags the run shape (`"quick"` / `"standard"` / `"full"`), and
+/// the per-trial duration is recorded alongside it, so baselines from
+/// different trial lengths are self-describing and can never be compared
+/// by accident.
+pub fn write_pipeline_json(
+    path: &str,
+    results: &[TrialResult],
+    wall_s: f64,
+    threads: usize,
+    mode: &str,
+) -> std::io::Result<()> {
+    let total_samples: usize = results.iter().map(|r| r.n_samples).sum();
+    let total_stream: f64 = results.iter().map(|r| r.stream_s).sum();
+    let total_calibrate: f64 = results.iter().map(|r| r.calibrate_s).sum();
+    let total_setup: f64 = results.iter().map(|r| r.setup_s).sum();
+    let trial_duration_s = results.first().map_or(0.0, |r| r.spec.duration_s);
+
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"benchmark\": \"wivi_streaming_pipeline\",")?;
+    writeln!(f, "  \"mode\": \"{}\",", json_escape(mode))?;
+    writeln!(f, "  \"trial_duration_s\": {trial_duration_s:.3},")?;
+    writeln!(f, "  \"trials\": {},", results.len())?;
+    writeln!(f, "  \"threads\": {threads},")?;
+    writeln!(f, "  \"wall_clock_s\": {wall_s:.6},")?;
+    writeln!(f, "  \"total_channel_samples\": {total_samples},")?;
+    writeln!(
+        f,
+        "  \"throughput_samples_per_sec\": {:.2},",
+        total_samples as f64 / wall_s.max(1e-12)
+    )?;
+    writeln!(f, "  \"stage_totals_s\": {{")?;
+    writeln!(f, "    \"setup\": {total_setup:.6},")?;
+    writeln!(f, "    \"calibrate\": {total_calibrate:.6},")?;
+    writeln!(f, "    \"stream_track_count\": {total_stream:.6}")?;
+    writeln!(f, "  }},")?;
+    writeln!(f, "  \"results\": [")?;
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        writeln!(
+            f,
+            "    {{\"label\": \"{}\", \"seed\": {}, \"variance\": {:.6}, \
+             \"nulling_db\": {:.3}, \"n_samples\": {}, \"setup_s\": {:.6}, \
+             \"calibrate_s\": {:.6}, \"stream_s\": {:.6}, \
+             \"samples_per_sec\": {:.2}}}{comma}",
+            json_escape(&r.spec.label()),
+            r.seed,
+            r.variance,
+            r.nulling_db,
+            r.n_samples,
+            r.setup_s,
+            r.calibrate_s,
+            r.stream_s,
+            r.samples_per_sec(),
+        )?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_enumerates_full_cartesian_product() {
+        let grid = ScenarioGrid::standard();
+        let specs = grid.specs();
+        assert_eq!(specs.len(), 2 * 3 * 4);
+        assert_eq!(specs.len(), grid.len());
+        assert!(!grid.is_empty());
+        // All seeds distinct.
+        let mut seeds: Vec<u64> = specs.iter().map(|s| s.seed()).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), specs.len());
+    }
+
+    #[test]
+    fn seed_depends_only_on_coordinates() {
+        let a = ScenarioSpec {
+            room: Room::Small,
+            material: Material::HollowWall6In,
+            n_humans: 2,
+            motion: MotionModel::RandomWalk,
+            trial: 3,
+            duration_s: 4.0,
+        };
+        let b = ScenarioSpec {
+            duration_s: 25.0,
+            ..a
+        };
+        // Duration is not a coordinate: the same scenario recorded longer
+        // keeps its randomness.
+        assert_eq!(a.seed(), b.seed());
+        let c = ScenarioSpec { trial: 4, ..a };
+        assert_ne!(a.seed(), c.seed());
+        let d = ScenarioSpec {
+            motion: MotionModel::Pacing,
+            ..a
+        };
+        assert_ne!(a.seed(), d.seed());
+    }
+
+    #[test]
+    fn scenes_are_deterministic_and_respect_spec() {
+        for motion in [
+            MotionModel::RandomWalk,
+            MotionModel::Pacing,
+            MotionModel::Perimeter,
+        ] {
+            let spec = ScenarioSpec {
+                room: Room::Small,
+                material: Material::TintedGlass,
+                n_humans: 3,
+                motion,
+                trial: 0,
+                duration_s: 6.0,
+            };
+            let s1 = spec.build_scene();
+            let s2 = spec.build_scene();
+            assert_eq!(s1.movers.len(), 3);
+            let rect = spec.room.rect();
+            for t in [0.0, 2.0, 5.5] {
+                for (m1, m2) in s1.movers.iter().zip(&s2.movers) {
+                    assert_eq!(m1.position(t), m2.position(t), "{motion:?} t={t}");
+                    assert!(rect.contains(m1.position(t)), "{motion:?} escaped at t={t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn runner_is_thread_count_invariant() {
+        // The acceptance-criterion property: per-trial results identical
+        // independent of executor parallelism.
+        let grid = ScenarioGrid {
+            rooms: vec![Room::Small],
+            materials: vec![Material::HollowWall6In],
+            human_counts: vec![0, 1],
+            motions: vec![MotionModel::RandomWalk],
+            trials_per_cell: 1,
+            duration_s: 0.5,
+        };
+        let runner = |threads| {
+            ScenarioRunner::new(WiViConfig::fast_test())
+                .with_threads(threads)
+                .run(&grid)
+        };
+        let sequential = runner(1);
+        let parallel = runner(4);
+        assert_eq!(sequential.len(), parallel.len());
+        for (a, b) in sequential.iter().zip(&parallel) {
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(
+                a.variance.to_bits(),
+                b.variance.to_bits(),
+                "{}",
+                a.spec.label()
+            );
+            assert_eq!(a.nulling_db.to_bits(), b.nulling_db.to_bits());
+        }
+    }
+
+    #[test]
+    fn pipeline_json_is_written_and_parsable_shape() {
+        let spec = ScenarioSpec {
+            room: Room::Small,
+            material: Material::HollowWall6In,
+            n_humans: 1,
+            motion: MotionModel::RandomWalk,
+            trial: 0,
+            duration_s: 0.5,
+        };
+        let r = spec.run(&WiViConfig::fast_test(), 16);
+        assert_eq!(r.n_samples, (0.5 * 312.5f64).round() as usize);
+        assert!(r.samples_per_sec() > 0.0);
+
+        let path = std::env::temp_dir().join("wivi_bench_pipeline_test.json");
+        let path = path.to_str().unwrap();
+        write_pipeline_json(path, &[r], 1.0, 4, "quick").unwrap();
+        let body = std::fs::read_to_string(path).unwrap();
+        assert!(body.contains("\"benchmark\": \"wivi_streaming_pipeline\""));
+        assert!(body.contains("\"throughput_samples_per_sec\""));
+        assert!(body.contains("\"mode\": \"quick\""));
+        assert!(body.contains("\"trial_duration_s\": 0.500"));
+        assert!(body.contains("small_7x4/hollow_wall_6in/1h/random_walk#0"));
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -7,11 +7,16 @@
 //! * [`scenarios`] — the workload generators: counting trials in the two
 //!   conference rooms, gesture trials at parametric distance / material /
 //!   subject, and the standard scene builders.
-//! * [`runner`] — a crossbeam-based parallel trial executor (experiments
+//! * [`engine`] — the multi-scenario engine: declarative
+//!   (room × material × count × motion) grids, the parallel
+//!   [`ScenarioRunner`](engine::ScenarioRunner) over the streaming device
+//!   pipeline, and `BENCH_pipeline.json` emission.
+//! * [`runner`] — the scoped-thread parallel trial executor (experiments
 //!   are embarrassingly parallel across trials).
 //! * [`report`] — uniform stdout formatting: CDF tables, bar charts,
 //!   confusion matrices, figure headers.
 
+pub mod engine;
 pub mod report;
 pub mod runner;
 pub mod scenarios;

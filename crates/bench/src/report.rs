@@ -14,8 +14,13 @@ pub fn header(id: &str, title: &str, paper_says: &str) {
 /// figures as a table).
 pub fn print_cdf(label: &str, samples: &[f64], rows: usize) {
     let cdf = Cdf::new(samples);
-    println!("\n{label}  (n = {}, min = {:.2}, median = {:.2}, max = {:.2})",
-        cdf.len(), cdf.min(), cdf.quantile(0.5), cdf.max());
+    println!(
+        "\n{label}  (n = {}, min = {:.2}, median = {:.2}, max = {:.2})",
+        cdf.len(),
+        cdf.min(),
+        cdf.quantile(0.5),
+        cdf.max()
+    );
     println!("{:>12}  {:>6}", "x", "F(x)");
     for (x, f) in cdf.rows(rows) {
         println!("{x:>12.2}  {f:>6.3}  |{}", bar(f, 1.0, 40));
@@ -52,7 +57,10 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
         "{}",
         fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>())
     );
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }

@@ -1,11 +1,14 @@
 //! Parallel trial execution.
 //!
 //! Every experiment is a set of independent trials (different seeds,
-//! subjects, distances...), so they parallelize trivially. Workers pull
-//! trial indices from an atomic counter and push results through a
-//! crossbeam channel; results are returned in input order.
+//! subjects, distances...), so they parallelize trivially. Workers on
+//! scoped `std::thread`s pull trial indices from an atomic counter and
+//! write results into per-slot cells; results are returned in input
+//! order, so the output is **independent of the thread count and of
+//! scheduling** — determinism lives in the trial seeds, not the executor.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Maps `f` over `items` in parallel, preserving order.
 ///
@@ -17,40 +20,53 @@ where
     T: Send,
     F: Fn(&I) -> T + Sync,
 {
+    parallel_map_threads(items, f, None)
+}
+
+/// [`parallel_map`] with an explicit worker-thread cap (`None` ⇒
+/// `available_parallelism`). `Some(1)` degenerates to a sequential map —
+/// the determinism baseline the scenario engine's tests compare against.
+pub fn parallel_map_threads<I, T, F>(items: &[I], f: F, threads: Option<usize>) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
     if items.is_empty() {
         return Vec::new();
     }
-    let n_threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
+    let n_threads = threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4)
+        })
+        .max(1)
         .min(items.len());
 
     let next = AtomicUsize::new(0);
-    let (tx, rx) = crossbeam::channel::unbounded::<(usize, T)>();
+    let slots: Vec<Mutex<Option<T>>> = items.iter().map(|_| Mutex::new(None)).collect();
 
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..n_threads {
-            let tx = tx.clone();
-            let next = &next;
-            let f = &f;
-            s.spawn(move |_| loop {
+            s.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= items.len() {
                     break;
                 }
-                tx.send((i, f(&items[i]))).expect("result channel closed");
+                let result = f(&items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
             });
         }
-        drop(tx);
-    })
-    .expect("worker thread panicked");
+    });
 
-    let mut out: Vec<Option<T>> = (0..items.len()).map(|_| None).collect();
-    for (i, v) in rx.iter() {
-        out[i] = Some(v);
-    }
-    out.into_iter()
-        .map(|v| v.expect("missing trial result"))
+    slots
+        .into_iter()
+        .map(|cell| {
+            cell.into_inner()
+                .expect("result slot poisoned")
+                .expect("missing trial result")
+        })
         .collect()
 }
 
@@ -76,5 +92,15 @@ mod tests {
     #[test]
     fn single_item() {
         assert_eq!(parallel_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let items: Vec<u64> = (0..64).collect();
+        let sequential = parallel_map_threads(&items, |&x| x.wrapping_mul(0x9E37), Some(1));
+        for threads in [2, 4, 16] {
+            let parallel = parallel_map_threads(&items, |&x| x.wrapping_mul(0x9E37), Some(threads));
+            assert_eq!(parallel, sequential, "threads = {threads}");
+        }
     }
 }

@@ -6,8 +6,7 @@
 //! varying gait; trials of people "moving at will" (counting) or standing
 //! at parametric distance performing gestures (communication).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use wivi_num::rng::Rng64;
 
 use wivi_core::gesture::GestureDecode;
 use wivi_core::{WiViConfig, WiViDevice};
@@ -44,31 +43,47 @@ pub const COUNTING_TRIAL_S: f64 = 25.0;
 /// decoder's noise-reference window).
 pub const GESTURE_LEAD_IN_S: f64 = 3.0;
 
-/// Builds a counting-trial scene: `n_humans` subjects moving at will in
-/// `room` behind a 6″ hollow wall with office clutter. Deterministic in
-/// `trial_seed`.
-pub fn counting_scene(room: Room, n_humans: usize, trial_seed: u64, duration_s: f64) -> Scene {
-    let rect = room.rect();
-    let mut scene = Scene::new(Material::HollowWall6In).with_office_clutter(rect);
-    let mut rng = StdRng::seed_from_u64(trial_seed.wrapping_mul(0xA24B_AED4_963E_E407));
+/// Adds `n_humans` subjects moving "at will" (seeded random walks with
+/// ±20 % speed jitter and randomized gait phase) confined to `rect`.
+/// Deterministic in `mix_seed` — the shared subject-population step of
+/// [`counting_scene`] and the scenario engine's random-walk grids, so the
+/// two can never drift apart.
+pub fn add_random_walkers(
+    mut scene: Scene,
+    rect: Rect,
+    n_humans: usize,
+    mix_seed: u64,
+    duration_s: f64,
+) -> Scene {
+    let mut rng = Rng64::seed_from_u64(mix_seed);
     for i in 0..n_humans {
-        let walk_seed = rng.gen::<u64>() ^ (i as u64);
-        let speed = rng.gen_range(0.8..1.2); // comfortable walking ±20 %
+        let walk_seed = rng.next_u64() ^ (i as u64);
+        let speed = rng.gen_range(0.8, 1.2); // comfortable walking ±20 %
         let walk = ConfinedRandomWalk::new(rect, walk_seed, speed, duration_s + 20.0);
-        let gait_phase = rng.gen_range(0.0..std::f64::consts::TAU);
+        let gait_phase = rng.gen_range(0.0, std::f64::consts::TAU);
         scene = scene.with_mover(Mover::with_body(walk, BodyConfig::default(), gait_phase));
     }
     scene
 }
 
+/// Builds a counting-trial scene: `n_humans` subjects moving at will in
+/// `room` behind a 6″ hollow wall with office clutter. Deterministic in
+/// `trial_seed`.
+pub fn counting_scene(room: Room, n_humans: usize, trial_seed: u64, duration_s: f64) -> Scene {
+    let rect = room.rect();
+    let scene = Scene::new(Material::HollowWall6In).with_office_clutter(rect);
+    add_random_walkers(
+        scene,
+        rect,
+        n_humans,
+        trial_seed.wrapping_mul(0xA24B_AED4_963E_E407),
+        duration_s,
+    )
+}
+
 /// Runs one counting trial end-to-end and returns its mean spatial
 /// variance (the Fig. 7-3 / Table 7.1 statistic).
-pub fn run_counting_trial(
-    room: Room,
-    n_humans: usize,
-    trial_seed: u64,
-    duration_s: f64,
-) -> f64 {
+pub fn run_counting_trial(room: Room, n_humans: usize, trial_seed: u64, duration_s: f64) -> f64 {
     let scene = counting_scene(room, n_humans, trial_seed, duration_s);
     let mut dev = WiViDevice::new(scene, WiViConfig::paper_default(), trial_seed);
     dev.calibrate();
@@ -167,8 +182,7 @@ pub fn run_nulling_trial(material: Material, trial_seed: u64, trace_s: f64) -> f
     let mut dev = WiViDevice::new(scene, WiViConfig::paper_default(), trial_seed);
     let unnulled = dev.calibrate().unnulled_power;
     let trace = dev.record_trace(trace_s);
-    let mean_power =
-        trace.iter().map(|z| z.norm_sqr()).sum::<f64>() / trace.len() as f64;
+    let mean_power = trace.iter().map(|z| z.norm_sqr()).sum::<f64>() / trace.len() as f64;
     10.0 * (unnulled / mean_power.max(1e-300)).log10()
 }
 

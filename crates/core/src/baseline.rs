@@ -45,7 +45,11 @@ pub struct DopplerReport {
 /// TX antenna 1 at the channel rate after a single AGC pass, then computes
 /// the mean power of the first difference of the channel time series
 /// (static paths and DC cancel; motion and noise remain).
-pub fn doppler_motion_energy(fe: &mut MimoFrontend, n_samples: usize, agc_target: f64) -> DopplerReport {
+pub fn doppler_motion_energy(
+    fe: &mut MimoFrontend,
+    n_samples: usize,
+    agc_target: f64,
+) -> DopplerReport {
     assert!(n_samples >= 2, "need at least two samples to difference");
     assert!(agc_target > 0.0 && agc_target < 1.0);
 

@@ -74,17 +74,25 @@ pub fn spatial_centroid_profile(spec: &AngleSpectrogram) -> Vec<f64> {
 /// centroid, so a lone off-axis body still scores (the DC line is the
 /// natural "no motion" reference).
 pub fn spatial_variance_profile(spec: &AngleSpectrogram) -> Vec<f64> {
-    let db = spec.db_ridges_absolute(RIDGE_THRESHOLD_DB);
-    db.iter()
-        .map(|row| {
-            spec.thetas_deg
-                .iter()
-                .zip(row)
-                .filter(|(th, &w)| th.abs() >= DC_GUARD_DEG && w > 0.0)
-                .map(|(&th, _)| th * th)
-                .sum::<f64>()
-        })
+    spec.power
+        .iter()
+        .map(|row| window_spatial_variance(&spec.thetas_deg, row))
         .collect()
+}
+
+/// The [`spatial_variance_profile`] statistic of a single window, from its
+/// *linear*-power pseudospectrum row. This is the per-column kernel shared
+/// by the offline profile and the [`StreamingVariance`] sink, so the
+/// streaming count statistic matches the one-shot path exactly.
+pub fn window_spatial_variance(thetas_deg: &[f64], power_row: &[f64]) -> f64 {
+    thetas_deg
+        .iter()
+        .zip(power_row)
+        .filter(|(th, &p)| {
+            th.abs() >= DC_GUARD_DEG && 10.0 * p.max(1e-30).log10() >= RIDGE_THRESHOLD_DB
+        })
+        .map(|(&th, _)| th * th)
+        .sum()
 }
 
 /// The single number describing a trial: `VAR[n]` averaged over the
@@ -92,6 +100,44 @@ pub fn spatial_variance_profile(spec: &AngleSpectrogram) -> Vec<f64> {
 pub fn mean_spatial_variance(spec: &AngleSpectrogram) -> f64 {
     let profile = spatial_variance_profile(spec);
     profile.iter().sum::<f64>() / profile.len() as f64
+}
+
+/// The counting statistic as a streaming sink: feed it `A′[θ, n]` columns
+/// as the tracker completes them and read the running mean at any point —
+/// no spectrogram needs to be materialized. Column-for-column it computes
+/// exactly [`window_spatial_variance`], so a fully drained sink equals
+/// [`mean_spatial_variance`] of the equivalent offline spectrogram.
+#[derive(Clone, Debug, Default)]
+pub struct StreamingVariance {
+    sum: f64,
+    n: usize,
+}
+
+impl StreamingVariance {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulates one spectrogram column (linear power per angle).
+    pub fn push_column(&mut self, thetas_deg: &[f64], power_row: &[f64]) {
+        self.sum += window_spatial_variance(thetas_deg, power_row);
+        self.n += 1;
+    }
+
+    /// Columns accumulated so far.
+    pub fn n_columns(&self) -> usize {
+        self.n
+    }
+
+    /// The running mean spatial variance.
+    ///
+    /// # Panics
+    /// Panics if no columns have been pushed.
+    pub fn mean(&self) -> f64 {
+        assert!(self.n > 0, "no spectrogram columns accumulated");
+        self.sum / self.n as f64
+    }
 }
 
 /// A threshold classifier over spatial variance, trained on labelled
@@ -252,7 +298,10 @@ mod tests {
         let v1 = mean_spatial_variance(&one);
         let v2 = mean_spatial_variance(&two);
         assert!(v1 > 0.0);
-        assert!(v2 > v1, "adding a second body must raise variance: {v1} vs {v2}");
+        assert!(
+            v2 > v1,
+            "adding a second body must raise variance: {v1} vs {v2}"
+        );
     }
 
     #[test]
@@ -313,5 +362,22 @@ mod tests {
     fn variance_profile_length_matches_windows() {
         let spec = spec_with_spikes(&[(9, 10.0)]);
         assert_eq!(spatial_variance_profile(&spec).len(), 2);
+    }
+
+    #[test]
+    fn streaming_variance_matches_offline_mean_exactly() {
+        let spec = spec_with_spikes(&[(9, 1000.0), (13, 100.0), (3, 40.0)]);
+        let mut sink = StreamingVariance::new();
+        for row in &spec.power {
+            sink.push_column(&spec.thetas_deg, row);
+        }
+        assert_eq!(sink.n_columns(), spec.n_times());
+        assert_eq!(sink.mean(), mean_spatial_variance(&spec));
+    }
+
+    #[test]
+    #[should_panic(expected = "no spectrogram columns")]
+    fn streaming_variance_requires_columns() {
+        let _ = StreamingVariance::new().mean();
     }
 }

@@ -5,17 +5,31 @@
 //! residual-channel trace at the channel sampling rate, and finally hand
 //! the trace to the mode-specific processor — MUSIC tracking / counting
 //! (mode 1, §3.2) or gesture decoding (mode 2).
+//!
+//! Each mode has two shapes. The `*_streaming` entry points run the real
+//! device's pipeline: observations arrive from the front-end in fixed-size
+//! batches and flow through a [`Stage`](crate::stage::Stage) that emits
+//! spectrogram columns as analysis windows complete, holding only one
+//! window of samples. The offline one-shot methods ([`WiViDevice::track`],
+//! [`WiViDevice::decode_gestures`]) materialize the trace first; both
+//! shapes produce bitwise-identical outputs.
 
 use wivi_num::Complex64;
 use wivi_rf::Scene;
-use wivi_sdr::{MimoFrontend, RadioConfig};
+use wivi_sdr::{MimoFrontend, Observation, RadioConfig};
 
-use crate::counting::mean_spatial_variance;
+use crate::counting::{mean_spatial_variance, StreamingVariance};
 use crate::gesture::{decode, GestureDecode, GestureDecoderConfig};
 use crate::isar::beamform_spectrum;
 use crate::music::{music_spectrum, MusicConfig};
 use crate::nulling::{run_nulling, NullingConfig, NullingReport};
 use crate::spectrogram::AngleSpectrogram;
+use crate::stage::{Stage, StreamingBeamform, StreamingMusic};
+
+/// Default number of observations per batch for the streaming entry
+/// points: 16 channel samples ≈ 51 ms at the paper's 312.5 Hz rate — the
+/// frame-chunked cadence a UHD receive stream delivers.
+pub const DEFAULT_BATCH_LEN: usize = 16;
 
 /// Complete device configuration.
 #[derive(Clone, Copy, Debug)]
@@ -106,6 +120,14 @@ impl WiViDevice {
         self.report.as_ref()
     }
 
+    /// Number of channel samples a recording of `duration_s` seconds
+    /// produces — the one conversion both the offline and streaming paths
+    /// use, so their bitwise-equivalence contract cannot be broken by the
+    /// two rounding independently.
+    fn trace_len(&self, duration_s: f64) -> usize {
+        (duration_s * self.cfg.radio.channel_rate_hz).round() as usize
+    }
+
     /// Records `duration_s` seconds of the nulled residual channel
     /// (subcarrier-combined), at the radio's channel rate.
     ///
@@ -116,15 +138,30 @@ impl WiViDevice {
             self.report.is_some(),
             "call calibrate() before recording traces"
         );
-        let n = (duration_s * self.cfg.radio.channel_rate_hz).round() as usize;
+        let n = self.trace_len(duration_s);
         self.fe.record_trace(n)
     }
 
     /// Mode 1 — imaging/tracking: records a trace and runs smoothed MUSIC,
-    /// producing the paper's `A′[θ, n]`.
+    /// producing the paper's `A′[θ, n]`. Offline one-shot shape; the
+    /// device's real cadence is [`Self::track_streaming`].
     pub fn track(&mut self, duration_s: f64) -> AngleSpectrogram {
         let trace = self.record_trace(duration_s);
         music_spectrum(&trace, &self.cfg.music)
+    }
+
+    /// Mode 1, streaming shape: observations flow from the front-end in
+    /// `batch_len`-sample batches through a [`StreamingMusic`] stage that
+    /// emits spectrogram columns as windows complete. Output is bitwise
+    /// identical to [`Self::track`]; memory is bounded by one analysis
+    /// window instead of the trial length.
+    ///
+    /// # Panics
+    /// Panics if the device has not been calibrated or `batch_len == 0`.
+    pub fn track_streaming(&mut self, duration_s: f64, batch_len: usize) -> AngleSpectrogram {
+        let mut stage = StreamingMusic::new(self.cfg.music);
+        self.run_stage(duration_s, batch_len, &mut stage, |_, _| {});
+        stage.finish()
     }
 
     /// Mode 1 — counting support: the trial's mean spatial variance
@@ -135,14 +172,80 @@ impl WiViDevice {
         mean_spatial_variance(&spec)
     }
 
+    /// Mode 1 counting, streaming shape: the spatial-variance statistic is
+    /// folded column-by-column through a [`StreamingVariance`] sink as the
+    /// tracker emits them — the full pipeline never materializes a trace
+    /// *or* a spectrogram. Equals [`Self::measure_spatial_variance`]
+    /// exactly.
+    ///
+    /// # Panics
+    /// Panics if the device has not been calibrated, `batch_len == 0`, or
+    /// the duration is shorter than one analysis window.
+    pub fn measure_spatial_variance_streaming(&mut self, duration_s: f64, batch_len: usize) -> f64 {
+        let mut stage = StreamingMusic::sink_only(self.cfg.music);
+        let mut sink = StreamingVariance::new();
+        self.run_stage(duration_s, batch_len, &mut stage, |thetas, row| {
+            sink.push_column(thetas, row);
+        });
+        sink.mean()
+    }
+
     /// Mode 2 — gesture interface: records a trace, beamforms it
     /// (Eq. 5.1 — the amplitude-bearing spectrum the matched filter
     /// needs; see [`crate::gesture::signed_amplitude_track`]), and decodes
-    /// the gesture message.
+    /// the gesture message. Offline one-shot shape.
     pub fn decode_gestures(&mut self, duration_s: f64) -> GestureDecode {
         let trace = self.record_trace(duration_s);
         let spec = beamform_spectrum(&trace, &self.cfg.music.isar);
         decode(&spec, &self.cfg.gesture)
+    }
+
+    /// Mode 2, streaming shape: the beamformer consumes observation
+    /// batches incrementally; the matched-filter decode runs once the
+    /// message window closes (the decoder needs the whole track for its
+    /// noise reference). Bitwise identical to [`Self::decode_gestures`].
+    ///
+    /// # Panics
+    /// Panics if the device has not been calibrated or `batch_len == 0`.
+    pub fn decode_gestures_streaming(
+        &mut self,
+        duration_s: f64,
+        batch_len: usize,
+    ) -> GestureDecode {
+        let mut stage = StreamingBeamform::new(self.cfg.music.isar);
+        self.run_stage(duration_s, batch_len, &mut stage, |_, _| {});
+        let spec = stage.finish();
+        decode(&spec, &self.cfg.gesture)
+    }
+
+    /// Drives one tracker stage over `duration_s` of batched observations,
+    /// invoking `on_column(thetas, row)` for every newly completed
+    /// spectrogram column — the composition point between the radio
+    /// stream, a tracker [`Stage`], and any incremental sink.
+    fn run_stage(
+        &mut self,
+        duration_s: f64,
+        batch_len: usize,
+        stage: &mut dyn Stage,
+        mut on_column: impl FnMut(&[f64], &[f64]),
+    ) {
+        assert!(
+            self.report.is_some(),
+            "call calibrate() before recording traces"
+        );
+        let total = self.trace_len(duration_s);
+        let mut stream = self.fe.observe_stream(total, batch_len);
+        let mut batch: Vec<Observation> = Vec::with_capacity(batch_len);
+        let mut samples: Vec<Complex64> = Vec::with_capacity(batch_len);
+        loop {
+            let got = stream.next_batch_into(&mut batch);
+            if got == 0 {
+                break;
+            }
+            samples.clear();
+            samples.extend(batch.iter().map(Observation::combined));
+            stage.push_with(&samples, &mut on_column);
+        }
     }
 
     /// Current scene time, seconds.
@@ -200,7 +303,11 @@ mod tests {
     #[test]
     fn walker_produces_off_dc_energy() {
         let scene = static_scene().with_mover(Mover::human(WaypointWalker::new(
-            vec![Point::new(-1.5, 4.0), Point::new(0.0, 1.2), Point::new(1.5, 4.0)],
+            vec![
+                Point::new(-1.5, 4.0),
+                Point::new(0.0, 1.2),
+                Point::new(1.5, 4.0),
+            ],
             1.0,
         )));
         let mut dev = WiViDevice::new(scene, WiViConfig::fast_test(), 2);

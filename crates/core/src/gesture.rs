@@ -105,7 +105,12 @@ fn triangle(len: usize) -> Vec<f64> {
 pub fn matched_filter(signal: &[f64], template: &[f64]) -> Vec<f64> {
     let n = signal.len();
     let m = template.len();
-    let norm: f64 = template.iter().map(|t| t * t).sum::<f64>().sqrt().max(1e-12);
+    let norm: f64 = template
+        .iter()
+        .map(|t| t * t)
+        .sum::<f64>()
+        .sqrt()
+        .max(1e-12);
     (0..n)
         .map(|center| {
             let mut acc = 0.0;
@@ -276,12 +281,17 @@ mod tests {
         let times: Vec<f64> = (0..n_windows).map(|i| i as f64 * dt).collect();
         let mut power = vec![vec![1.0; 37]; n_windows];
         for &(start, end, pol) in blobs {
-            for t in start..end.min(n_windows) {
+            for (t, row) in power
+                .iter_mut()
+                .enumerate()
+                .take(end.min(n_windows))
+                .skip(start)
+            {
                 // Triangular envelope over the blob.
                 let frac = (t - start) as f64 / (end - start) as f64;
                 let env = 1.0 - (2.0 * frac - 1.0).abs();
                 let idx = if pol > 0 { 27 } else { 9 }; // ±45°
-                power[t][idx] = 1.0 + 100.0 * env;
+                row[idx] = 1.0 + 100.0 * env;
             }
         }
         AngleSpectrogram::new(thetas, times, power)

@@ -22,6 +22,7 @@
 use wivi_num::Complex64;
 
 use crate::spectrogram::AngleSpectrogram;
+use crate::stage::{Stage, StreamingBeamform};
 
 /// Parameters of the emulated array.
 #[derive(Clone, Copy, Debug)]
@@ -112,11 +113,70 @@ impl IsarConfig {
     }
 }
 
+/// The reusable per-window Bartlett beamformer (Eq. 5.1): precomputed
+/// steering vectors applied to one emulated-array window at a time. Shared
+/// by the offline [`beamform_spectrum`] and the incremental
+/// [`StreamingBeamform`](crate::stage::StreamingBeamform) stage.
+pub struct BeamformEngine {
+    cfg: IsarConfig,
+    thetas: Vec<f64>,
+    /// Per-angle steering vectors of window length.
+    steering: Vec<Vec<Complex64>>,
+}
+
+impl BeamformEngine {
+    /// Builds an engine for `cfg`.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration (see [`IsarConfig::validate`]).
+    pub fn new(cfg: IsarConfig) -> Self {
+        cfg.validate();
+        let thetas = cfg.thetas_deg();
+        let steering: Vec<Vec<Complex64>> = thetas
+            .iter()
+            .map(|&th| cfg.steering_vector(th, cfg.window))
+            .collect();
+        Self {
+            cfg,
+            thetas,
+            steering,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn cfg(&self) -> &IsarConfig {
+        &self.cfg
+    }
+
+    /// The angle grid shared by every emitted row.
+    pub fn thetas_deg(&self) -> &[f64] {
+        &self.thetas
+    }
+
+    /// Beamforms one window into a `|A[θ, n]|²` row.
+    ///
+    /// # Panics
+    /// Panics if `window.len()` differs from the configured window.
+    pub fn process_window(&mut self, window: &[Complex64]) -> Vec<f64> {
+        assert_eq!(window.len(), self.cfg.window, "window length mismatch");
+        self.steering
+            .iter()
+            .map(|s| {
+                let a: Complex64 = window.iter().zip(s).map(|(h, e)| *h * e.conj()).sum();
+                a.norm_sqr() / self.cfg.window as f64
+            })
+            .collect()
+    }
+}
+
 /// Classic (Bartlett) beamforming of a nulled-channel trace: Eq. 5.1
 /// evaluated over sliding windows. Returns `|A[θ, n]|²` as an
 /// [`AngleSpectrogram`]. This is both §5.1's tracker and the baseline the
 /// smoothed-MUSIC estimator is compared against (§5.2 footnote 6: "more
 /// noise ... significant side lobes").
+///
+/// Offline entry point over the same [`StreamingBeamform`] stage the
+/// incremental pipeline uses, so the two agree bit-for-bit.
 pub fn beamform_spectrum(trace: &[Complex64], cfg: &IsarConfig) -> AngleSpectrogram {
     cfg.validate();
     assert!(
@@ -125,33 +185,9 @@ pub fn beamform_spectrum(trace: &[Complex64], cfg: &IsarConfig) -> AngleSpectrog
         trace.len(),
         cfg.window
     );
-    let thetas = cfg.thetas_deg();
-    // Precompute steering vectors once.
-    let steering: Vec<Vec<Complex64>> = thetas
-        .iter()
-        .map(|&th| cfg.steering_vector(th, cfg.window))
-        .collect();
-
-    let times = cfg.window_times(trace.len());
-    let mut power = Vec::with_capacity(times.len());
-    let mut start = 0usize;
-    while start + cfg.window <= trace.len() {
-        let win = &trace[start..start + cfg.window];
-        let row: Vec<f64> = steering
-            .iter()
-            .map(|s| {
-                let a: Complex64 = win
-                    .iter()
-                    .zip(s)
-                    .map(|(h, e)| *h * e.conj())
-                    .sum();
-                a.norm_sqr() / cfg.window as f64
-            })
-            .collect();
-        power.push(row);
-        start += cfg.hop;
-    }
-    AngleSpectrogram::new(thetas, times, power)
+    let mut stage = StreamingBeamform::new(*cfg);
+    stage.push(trace);
+    stage.finish()
 }
 
 /// Synthesizes the ideal nulled channel of a point target closing range at
@@ -168,10 +204,7 @@ pub fn synthetic_target_trace(
         .map(|i| {
             let t = i as f64 * cfg.sample_period_s;
             let d = range0_m - radial_speed * t;
-            Complex64::from_polar(
-                amplitude,
-                -2.0 * std::f64::consts::TAU * d / cfg.wavelength,
-            )
+            Complex64::from_polar(amplitude, -2.0 * std::f64::consts::TAU * d / cfg.wavelength)
         })
         .collect()
 }

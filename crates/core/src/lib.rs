@@ -21,8 +21,13 @@
 //! * [`gesture`] — the through-wall gesture channel (Ch. 6): matched
 //!   filters, peak detection with the 3 dB SNR rule, and bit decoding
 //!   with erasures.
+//! * [`stage`] — the composable streaming pipeline: trackers as
+//!   [`Stage`]s that consume channel-sample batches incrementally and
+//!   emit `A′[θ, n]` columns as analysis windows complete, bitwise
+//!   identical to the offline entry points.
 //! * [`device`] — [`WiViDevice`], the end-to-end device tying all stages
-//!   together in the paper's two operating modes.
+//!   together in the paper's two operating modes, with both one-shot and
+//!   batch-streaming entry points.
 //! * [`baseline`] — comparison systems: conventional beamforming (what
 //!   MUSIC is shown to beat in §5.2) and a narrowband Doppler detector
 //!   without nulling (the related-work approach the flash defeats, §2.1).
@@ -35,9 +40,11 @@ pub mod isar;
 pub mod music;
 pub mod nulling;
 pub mod spectrogram;
+pub mod stage;
 
 pub use device::{WiViConfig, WiViDevice};
-pub use isar::IsarConfig;
-pub use music::MusicConfig;
+pub use isar::{BeamformEngine, IsarConfig};
+pub use music::{MusicConfig, MusicEngine};
 pub use nulling::{NullingConfig, NullingReport};
 pub use spectrogram::AngleSpectrogram;
+pub use stage::{Stage, StreamingBeamform, StreamingMusic};

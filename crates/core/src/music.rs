@@ -20,10 +20,12 @@
 //! space, `‖U_N^H e‖² = ‖e‖² − ‖U_S^H e‖²`, which needs only
 //! `k_signal ≪ w′` inner products per angle.
 
-use wivi_num::{hermitian_eig, CMatrix, Complex64};
+use wivi_num::eig::{hermitian_eig_in, EigWorkspace};
+use wivi_num::{CMatrix, Complex64};
 
 use crate::isar::IsarConfig;
 use crate::spectrogram::AngleSpectrogram;
+use crate::stage::{Stage, StreamingMusic};
 
 /// Smoothed-MUSIC parameters.
 #[derive(Clone, Copy, Debug)]
@@ -103,13 +105,129 @@ pub struct WindowEigen {
 /// Computes the smoothed correlation matrix of one window (Eq. 5.2 with
 /// the §5.2 smoothing step).
 pub fn smoothed_correlation(window: &[Complex64], subarray: usize) -> CMatrix {
-    assert!(subarray <= window.len(), "subarray larger than window");
-    let n_sub = window.len() - subarray + 1;
     let mut r = CMatrix::zeros(subarray, subarray);
+    smoothed_correlation_into(window, subarray, &mut r);
+    r
+}
+
+/// [`smoothed_correlation`] into a caller-provided (reused) matrix — the
+/// allocation-free accumulation step of the streaming tracker. The matrix
+/// is zeroed first, so a reused buffer is indistinguishable from a fresh
+/// one.
+///
+/// # Panics
+/// Panics if `subarray > window.len()` or the matrix is not
+/// `subarray × subarray`.
+pub fn smoothed_correlation_into(window: &[Complex64], subarray: usize, r: &mut CMatrix) {
+    assert!(subarray <= window.len(), "subarray larger than window");
+    assert_eq!(
+        (r.rows(), r.cols()),
+        (subarray, subarray),
+        "correlation buffer shape mismatch"
+    );
+    let n_sub = window.len() - subarray + 1;
+    r.fill_zero();
     for s in 0..n_sub {
         r.add_outer(&window[s..s + subarray], 1.0 / n_sub as f64);
     }
-    r
+}
+
+/// The reusable per-window smoothed-MUSIC processor: precomputed steering
+/// vectors plus correlation/eigendecomposition scratch. One engine serves
+/// both the offline [`music_spectrum`] path and the incremental
+/// [`StreamingMusic`](crate::stage::StreamingMusic) stage, so the two are
+/// bitwise identical by construction; window-rate processing performs no
+/// heap allocation beyond the emitted row itself.
+pub struct MusicEngine {
+    cfg: MusicConfig,
+    thetas: Vec<f64>,
+    /// Per-angle steering vectors of subarray length.
+    steering: Vec<Vec<Complex64>>,
+    /// `‖e‖²` for the unit-modulus steering vectors.
+    e_norm_sqr: f64,
+    corr: CMatrix,
+    eig_ws: EigWorkspace,
+}
+
+impl MusicEngine {
+    /// Builds an engine for `cfg`.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration (see [`MusicConfig::validate`]).
+    pub fn new(cfg: MusicConfig) -> Self {
+        cfg.validate();
+        let thetas = cfg.isar.thetas_deg();
+        let steering: Vec<Vec<Complex64>> = thetas
+            .iter()
+            .map(|&th| cfg.isar.steering_vector(th, cfg.subarray))
+            .collect();
+        Self {
+            cfg,
+            thetas,
+            steering,
+            e_norm_sqr: cfg.subarray as f64,
+            corr: CMatrix::zeros(cfg.subarray, cfg.subarray),
+            eig_ws: EigWorkspace::new(cfg.subarray),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn cfg(&self) -> &MusicConfig {
+        &self.cfg
+    }
+
+    /// The angle grid shared by every emitted row.
+    pub fn thetas_deg(&self) -> &[f64] {
+        &self.thetas
+    }
+
+    /// Processes one analysis window into a pseudospectrum row (Eq. 5.3)
+    /// plus its eigen-structure.
+    ///
+    /// # Panics
+    /// Panics if `window.len()` differs from the configured window.
+    pub fn process_window(&mut self, window: &[Complex64]) -> (Vec<f64>, WindowEigen) {
+        assert_eq!(window.len(), self.cfg.isar.window, "window length mismatch");
+        smoothed_correlation_into(window, self.cfg.subarray, &mut self.corr);
+        hermitian_eig_in(&self.corr, &mut self.eig_ws);
+        let n_signal = signal_subspace_dim(
+            self.eig_ws.values(),
+            self.cfg.signal_threshold_db,
+            self.cfg.max_sources,
+            self.cfg.noise_floor_power,
+        );
+
+        let u = self.eig_ws.vectors();
+        let e_norm_sqr = self.e_norm_sqr;
+        let row: Vec<f64> = self
+            .steering
+            .iter()
+            .map(|e| {
+                // ‖U_N^H e‖² = ‖e‖² − Σ_signal |u_j^H e|²
+                let sig_proj: f64 = (0..n_signal)
+                    .map(|j| {
+                        e.iter()
+                            .enumerate()
+                            .map(|(i, ej)| u[(i, j)].conj() * *ej)
+                            .sum::<Complex64>()
+                            .norm_sqr()
+                    })
+                    .sum();
+                let noise_norm = (e_norm_sqr - sig_proj).max(e_norm_sqr * 1e-12);
+                // Normalized so that a steering vector with *no* signal
+                // alignment scores exactly 1: the pseudospectrum has an
+                // absolute floor, which downstream statistics (ridge
+                // thresholds, spatial variance) rely on.
+                e_norm_sqr / noise_norm
+            })
+            .collect();
+
+        let eigen = WindowEigen {
+            eigenvalues: self.eig_ws.values().to_vec(),
+            n_signal,
+        };
+        (row, eigen)
+    }
 }
 
 /// Estimates the signal-subspace dimension from a descending eigenvalue
@@ -143,77 +261,24 @@ pub fn signal_subspace_dim(
 /// Runs smoothed MUSIC over a nulled-channel trace, producing the paper's
 /// `A′[θ, n]` (Eq. 5.3) as an [`AngleSpectrogram`], plus the per-window
 /// eigen-structure.
+///
+/// This is the *offline* entry point; it drives the same
+/// [`StreamingMusic`] stage the incremental pipeline uses, fed in one
+/// push, so batch-incremental and one-shot processing agree bit-for-bit.
 pub fn music_spectrum_with_eigen(
     trace: &[Complex64],
     cfg: &MusicConfig,
 ) -> (AngleSpectrogram, Vec<WindowEigen>) {
     cfg.validate();
-    let w = cfg.isar.window;
     assert!(
-        trace.len() >= w,
-        "trace shorter ({}) than the analysis window ({w})",
-        trace.len()
+        trace.len() >= cfg.isar.window,
+        "trace shorter ({}) than the analysis window ({})",
+        trace.len(),
+        cfg.isar.window
     );
-
-    let thetas = cfg.isar.thetas_deg();
-    let steering: Vec<Vec<Complex64>> = thetas
-        .iter()
-        .map(|&th| cfg.isar.steering_vector(th, cfg.subarray))
-        .collect();
-    let e_norm_sqr = cfg.subarray as f64; // ‖e‖² for unit-modulus steering
-
-    let times = cfg.isar.window_times(trace.len());
-    let mut power = Vec::with_capacity(times.len());
-    let mut eigens = Vec::with_capacity(times.len());
-
-    let mut start = 0usize;
-    while start + w <= trace.len() {
-        let window = &trace[start..start + w];
-        let r = smoothed_correlation(window, cfg.subarray);
-        let eig = hermitian_eig(&r);
-        let n_signal = signal_subspace_dim(
-            &eig.values,
-            cfg.signal_threshold_db,
-            cfg.max_sources,
-            cfg.noise_floor_power,
-        );
-
-        // Signal-space eigenvectors (columns 0..n_signal).
-        let signal_vecs: Vec<Vec<Complex64>> =
-            (0..n_signal).map(|j| eig.vectors.col(j)).collect();
-
-        let row: Vec<f64> = steering
-            .iter()
-            .map(|e| {
-                // ‖U_N^H e‖² = ‖e‖² − Σ_signal |u_j^H e|²
-                let sig_proj: f64 = signal_vecs
-                    .iter()
-                    .map(|u| {
-                        u.iter()
-                            .zip(e)
-                            .map(|(uj, ej)| uj.conj() * *ej)
-                            .sum::<Complex64>()
-                            .norm_sqr()
-                    })
-                    .sum();
-                let noise_norm = (e_norm_sqr - sig_proj).max(e_norm_sqr * 1e-12);
-                // Normalized so that a steering vector with *no* signal
-                // alignment scores exactly 1: the pseudospectrum has an
-                // absolute floor, which downstream statistics (ridge
-                // thresholds, spatial variance) rely on.
-                e_norm_sqr / noise_norm
-            })
-            .collect();
-
-        power.push(row);
-        eigens.push(WindowEigen {
-            eigenvalues: eig.values,
-            n_signal,
-        });
-        start += cfg.isar.hop;
-    }
-
-    (AngleSpectrogram::new(thetas, times, power), eigens)
+    let mut stage = StreamingMusic::new(*cfg);
+    stage.push(trace);
+    stage.finish_with_eigen()
 }
 
 /// Runs smoothed MUSIC over a nulled-channel trace (the common entry
@@ -226,12 +291,11 @@ pub fn music_spectrum(trace: &[Complex64], cfg: &MusicConfig) -> AngleSpectrogra
 mod tests {
     use super::*;
     use crate::isar::synthetic_target_trace;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-    use wivi_num::rng::complex_gaussian;
+    use wivi_num::hermitian_eig;
+    use wivi_num::rng::{complex_gaussian, Rng64};
 
     fn add_noise(trace: &mut [Complex64], sigma: f64, seed: u64) {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::seed_from_u64(seed);
         for z in trace.iter_mut() {
             *z += complex_gaussian(&mut rng, sigma);
         }
@@ -250,7 +314,10 @@ mod tests {
         add_noise(&mut trace, 0.05, 1);
         let spec = music_spectrum(&trace, &cfg);
         let th = spec.dominant_angle(0, 0.0).unwrap();
-        assert!((th - 30.0).abs() <= 6.0, "MUSIC peak at {th}° (expected 30°)");
+        assert!(
+            (th - 30.0).abs() <= 6.0,
+            "MUSIC peak at {th}° (expected 30°)"
+        );
     }
 
     #[test]
@@ -284,8 +351,8 @@ mod tests {
         let b1 = spec.angle_index(44.4); // sinθ = 0.7
         let b2 = spec.angle_index(-26.7); // sinθ = −0.45
         let mut hits = 0;
-        for t in 0..spec.n_times() {
-            if db[t][b1] > db[t][floor] + 3.0 && db[t][b2] > db[t][floor] + 3.0 {
+        for row in &db {
+            if row[b1] > row[floor] + 3.0 && row[b2] > row[floor] + 3.0 {
                 hits += 1;
             }
         }
@@ -303,16 +370,20 @@ mod tests {
         let mut one = synthetic_target_trace(&cfg.isar, 200, 1.0, 4.0, 0.5);
         add_noise(&mut one, 0.01, 4);
         let (_, eig1) = music_spectrum_with_eigen(&one, &cfg);
-        let mean1: f64 =
-            eig1.iter().map(|e| e.n_signal as f64).sum::<f64>() / eig1.len() as f64;
+        let mean1: f64 = eig1.iter().map(|e| e.n_signal as f64).sum::<f64>() / eig1.len() as f64;
 
         let mut three = synthetic_target_trace(&cfg.isar, 200, 1.0, 4.0, 0.5);
-        add_traces(&mut three, &synthetic_target_trace(&cfg.isar, 200, 1.0, 5.0, -0.4));
-        add_traces(&mut three, &synthetic_target_trace(&cfg.isar, 200, 1.0, 6.0, 0.9));
+        add_traces(
+            &mut three,
+            &synthetic_target_trace(&cfg.isar, 200, 1.0, 5.0, -0.4),
+        );
+        add_traces(
+            &mut three,
+            &synthetic_target_trace(&cfg.isar, 200, 1.0, 6.0, 0.9),
+        );
         add_noise(&mut three, 0.01, 5);
         let (_, eig3) = music_spectrum_with_eigen(&three, &cfg);
-        let mean3: f64 =
-            eig3.iter().map(|e| e.n_signal as f64).sum::<f64>() / eig3.len() as f64;
+        let mean3: f64 = eig3.iter().map(|e| e.n_signal as f64).sum::<f64>() / eig3.len() as f64;
 
         assert!(
             mean3 > mean1,

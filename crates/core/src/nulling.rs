@@ -270,21 +270,14 @@ mod tests {
         let _ = run_nulling(&mut fe, &NullingConfig::default());
         let trace = fe.record_trace(80);
         let mean: Complex64 = trace.iter().copied().sum::<Complex64>() / trace.len() as f64;
-        let rms_var = (trace
-            .iter()
-            .map(|z| (*z - mean).norm_sqr())
-            .sum::<f64>()
-            / trace.len() as f64)
-            .sqrt();
+        let rms_var =
+            (trace.iter().map(|z| (*z - mean).norm_sqr()).sum::<f64>() / trace.len() as f64).sqrt();
         // Compare against a static scene's post-null trace.
         let mut fe2 = MimoFrontend::new(scene(), quiet_radio(), 44);
         let _ = run_nulling(&mut fe2, &NullingConfig::default());
         let quiet = fe2.record_trace(80);
         let qmean: Complex64 = quiet.iter().copied().sum::<Complex64>() / quiet.len() as f64;
-        let q_rms = (quiet
-            .iter()
-            .map(|z| (*z - qmean).norm_sqr())
-            .sum::<f64>()
+        let q_rms = (quiet.iter().map(|z| (*z - qmean).norm_sqr()).sum::<f64>()
             / quiet.len() as f64)
             .sqrt();
         assert!(

@@ -50,9 +50,7 @@ impl AngleSpectrogram {
         self.thetas_deg
             .iter()
             .enumerate()
-            .min_by(|a, b| {
-                (a.1 - deg).abs().partial_cmp(&(b.1 - deg).abs()).unwrap()
-            })
+            .min_by(|a, b| (a.1 - deg).abs().partial_cmp(&(b.1 - deg).abs()).unwrap())
             .unwrap()
             .0
     }

@@ -323,7 +323,7 @@ mod tests {
 
     #[test]
     fn sum_over_iterator() {
-        let v = vec![Complex64::new(1.0, 1.0); 4];
+        let v = [Complex64::new(1.0, 1.0); 4];
         let s: Complex64 = v.iter().sum();
         assert_eq!(s, Complex64::new(4.0, 4.0));
     }

@@ -57,19 +57,94 @@ impl HermitianEig {
 /// quadratic; well-conditioned correlation matrices converge in < 10 sweeps.
 const MAX_SWEEPS: usize = 64;
 
+/// Reusable scratch for [`hermitian_eig_in`]: the working copy of the
+/// matrix, the accumulated rotations, and the sorted output buffers.
+///
+/// The streaming MUSIC tracker eigendecomposes one `w′ × w′` correlation
+/// matrix per analysis window at the channel rate; allocating five fresh
+/// `O(n²)` buffers per window dominated the allocator profile. A workspace
+/// is created once per tracker and reused for every window with **zero
+/// per-call heap allocation**. Results are bitwise identical to
+/// [`hermitian_eig`] (same sweep order, same rotation arithmetic).
+#[derive(Clone, Debug)]
+pub struct EigWorkspace {
+    n: usize,
+    /// Working copy, diagonalized in place.
+    m: CMatrix,
+    /// Accumulated unitary.
+    u: CMatrix,
+    /// Unsorted diagonal.
+    lambdas: Vec<f64>,
+    /// Descending-eigenvalue permutation.
+    order: Vec<usize>,
+    /// Sorted eigenvalues (the public output).
+    values: Vec<f64>,
+    /// Sorted eigenvectors (the public output).
+    vectors: CMatrix,
+}
+
+impl EigWorkspace {
+    /// Creates a workspace for `n × n` problems.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            m: CMatrix::zeros(n, n),
+            u: CMatrix::zeros(n, n),
+            lambdas: vec![0.0; n],
+            order: (0..n).collect(),
+            values: vec![0.0; n],
+            vectors: CMatrix::zeros(n, n),
+        }
+    }
+
+    /// The problem dimension this workspace serves.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Eigenvalues of the most recent [`hermitian_eig_in`] call, descending.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Eigenvector matrix of the most recent call (column `i` pairs with
+    /// `values()[i]`).
+    pub fn vectors(&self) -> &CMatrix {
+        &self.vectors
+    }
+
+    /// Number of eigenvalues exceeding `threshold` (MUSIC's signal-subspace
+    /// dimension test, mirroring [`HermitianEig::count_above`]).
+    pub fn count_above(&self, threshold: f64) -> usize {
+        self.values.iter().filter(|&&v| v > threshold).count()
+    }
+
+    /// Copies the current result out as an owned [`HermitianEig`].
+    pub fn to_eig(&self) -> HermitianEig {
+        HermitianEig {
+            values: self.values.clone(),
+            vectors: self.vectors.clone(),
+        }
+    }
+}
+
 /// Computes the eigendecomposition of a Hermitian matrix by cyclic Jacobi
-/// rotations.
+/// rotations, reusing `ws` for all scratch and output storage (zero heap
+/// allocation per call). Results land in [`EigWorkspace::values`] /
+/// [`EigWorkspace::vectors`].
 ///
 /// The input is **assumed Hermitian**; only numerical (rounding-level)
 /// deviation is tolerated. Use [`CMatrix::hermitian_deviation`] upstream if
 /// the provenance of the matrix is in doubt.
 ///
 /// # Panics
-/// Panics if `a` is not square, or if it deviates from Hermitian symmetry
-/// by more than `1e-8 · (1 + ‖A‖_F)`.
-pub fn hermitian_eig(a: &CMatrix) -> HermitianEig {
+/// Panics if `a` is not square, if its dimension differs from the
+/// workspace's, or if it deviates from Hermitian symmetry by more than
+/// `1e-8 · (1 + ‖A‖_F)`.
+pub fn hermitian_eig_in(a: &CMatrix, ws: &mut EigWorkspace) {
     assert!(a.is_square(), "eigendecomposition requires a square matrix");
     let n = a.rows();
+    assert_eq!(n, ws.n, "workspace dimension mismatch");
     let scale = 1.0 + a.frobenius_norm();
     assert!(
         a.hermitian_deviation() <= 1e-8 * scale,
@@ -78,8 +153,49 @@ pub fn hermitian_eig(a: &CMatrix) -> HermitianEig {
         scale
     );
 
-    let mut m = a.clone();
-    let mut u = CMatrix::identity(n);
+    ws.m.copy_from(a);
+    ws.u.set_identity();
+    jacobi_diagonalize(&mut ws.m, &mut ws.u, scale);
+
+    // Extract and sort descending.
+    let m = &ws.m;
+    for (i, l) in ws.lambdas.iter_mut().enumerate() {
+        *l = m[(i, i)].re;
+    }
+    for (i, o) in ws.order.iter_mut().enumerate() {
+        *o = i;
+    }
+    let lambdas = &ws.lambdas;
+    ws.order
+        .sort_by(|&i, &j| lambdas[j].partial_cmp(&lambdas[i]).unwrap());
+    for c in 0..n {
+        ws.values[c] = ws.lambdas[ws.order[c]];
+        for r in 0..n {
+            ws.vectors[(r, c)] = ws.u[(r, ws.order[c])];
+        }
+    }
+}
+
+/// Computes the eigendecomposition of a Hermitian matrix by cyclic Jacobi
+/// rotations. Convenience wrapper over [`hermitian_eig_in`] that allocates
+/// a fresh workspace; hot paths should hold an [`EigWorkspace`] instead.
+///
+/// # Panics
+/// Panics if `a` is not square, or if it deviates from Hermitian symmetry
+/// by more than `1e-8 · (1 + ‖A‖_F)`.
+pub fn hermitian_eig(a: &CMatrix) -> HermitianEig {
+    let mut ws = EigWorkspace::new(a.rows());
+    hermitian_eig_in(a, &mut ws);
+    HermitianEig {
+        values: ws.values,
+        vectors: ws.vectors,
+    }
+}
+
+/// The cyclic-Jacobi sweep loop shared by the planned and unplanned entry
+/// points: diagonalizes `m` in place, accumulating rotations into `u`.
+fn jacobi_diagonalize(m: &mut CMatrix, u: &mut CMatrix, scale: f64) {
+    let n = m.rows();
 
     // Absolute threshold under which an off-diagonal entry counts as zero.
     let tol = 1e-14 * scale;
@@ -143,36 +259,68 @@ pub fn hermitian_eig(a: &CMatrix) -> HermitianEig {
             }
         }
     }
-
-    // Extract and sort descending.
-    let mut order: Vec<usize> = (0..n).collect();
-    let lambdas: Vec<f64> = (0..n).map(|i| m[(i, i)].re).collect();
-    order.sort_by(|&i, &j| lambdas[j].partial_cmp(&lambdas[i]).unwrap());
-
-    let values: Vec<f64> = order.iter().map(|&i| lambdas[i]).collect();
-    let vectors = CMatrix::from_fn(n, n, |r, c| u[(r, order[c])]);
-
-    HermitianEig { values, vectors }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use crate::rng::Rng64;
 
     fn random_hermitian(n: usize, seed: u64) -> CMatrix {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::seed_from_u64(seed);
         let mut a = CMatrix::zeros(n, n);
         for r in 0..n {
-            a[(r, r)] = Complex64::from_re(rng.gen_range(-2.0..2.0));
+            a[(r, r)] = Complex64::from_re(rng.gen_range(-2.0, 2.0));
             for c in (r + 1)..n {
-                let z = Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0));
+                let z = Complex64::new(rng.gen_range(-1.0, 1.0), rng.gen_range(-1.0, 1.0));
                 a[(r, c)] = z;
                 a[(c, r)] = z.conj();
             }
         }
         a
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_allocation_bitwise() {
+        // One workspace across many different matrices must behave exactly
+        // like allocating fresh buffers per call — no state may leak from
+        // one decomposition into the next.
+        let mut ws = EigWorkspace::new(8);
+        for seed in 0..6 {
+            let a = random_hermitian(8, seed);
+            hermitian_eig_in(&a, &mut ws);
+            let fresh = hermitian_eig(&a);
+            assert_eq!(
+                ws.values(),
+                fresh.values.as_slice(),
+                "values differ at seed {seed}"
+            );
+            assert_eq!(
+                *ws.vectors(),
+                fresh.vectors,
+                "vectors differ at seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn workspace_accessors_are_consistent() {
+        let a = random_hermitian(5, 42);
+        let mut ws = EigWorkspace::new(5);
+        hermitian_eig_in(&a, &mut ws);
+        assert_eq!(ws.n(), 5);
+        let owned = ws.to_eig();
+        assert_eq!(owned.values, ws.values());
+        let thresh = ws.values()[2];
+        assert_eq!(ws.count_above(thresh), owned.count_above(thresh));
+    }
+
+    #[test]
+    #[should_panic(expected = "workspace dimension mismatch")]
+    fn workspace_dimension_checked() {
+        let a = random_hermitian(4, 1);
+        let mut ws = EigWorkspace::new(5);
+        hermitian_eig_in(&a, &mut ws);
     }
 
     #[test]
@@ -205,7 +353,10 @@ mod tests {
             let e = hermitian_eig(&a);
             let r = e.reconstruct();
             let err = (&r - &a).frobenius_norm();
-            assert!(err < 1e-10 * (1.0 + a.frobenius_norm()), "seed {seed}: err {err}");
+            assert!(
+                err < 1e-10 * (1.0 + a.frobenius_norm()),
+                "seed {seed}: err {err}"
+            );
         }
     }
 
@@ -274,17 +425,20 @@ mod tests {
 
     #[test]
     fn psd_correlation_matrix_has_nonnegative_spectrum() {
-        let mut rng = StdRng::seed_from_u64(99);
+        let mut rng = Rng64::seed_from_u64(99);
         let mut r = CMatrix::zeros(10, 10);
         for _ in 0..25 {
             let v: Vec<Complex64> = (0..10)
-                .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+                .map(|_| Complex64::new(rng.gen_range(-1.0, 1.0), rng.gen_range(-1.0, 1.0)))
                 .collect();
             r.add_outer(&v, 1.0);
         }
         let e = hermitian_eig(&r);
         for &lambda in &e.values {
-            assert!(lambda > -1e-9, "PSD matrix produced negative eigenvalue {lambda}");
+            assert!(
+                lambda > -1e-9,
+                "PSD matrix produced negative eigenvalue {lambda}"
+            );
         }
     }
 }

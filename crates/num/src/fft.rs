@@ -9,8 +9,142 @@
 //! Conventions: [`fft`] computes the *unnormalized* forward DFT
 //! `X[k] = Σ_n x[n]·e^{-2πikn/N}`; [`ifft`] applies the `1/N` factor so that
 //! `ifft(fft(x)) == x`.
+//!
+//! The streaming radio front-end transforms two blocks per channel sample
+//! at 312.5 Hz, so the per-call trigonometry and the bit-reversal index
+//! arithmetic are worth hoisting: [`FftPlan`] precomputes both once and
+//! then transforms in place with **zero per-call heap allocation**. The
+//! plan evaluates its twiddle tables with the same repeated-multiplication
+//! recurrence as the free functions, so planned and unplanned transforms
+//! agree bit-for-bit.
 
 use crate::Complex64;
+
+/// A precomputed transform plan for one power-of-two length: bit-reversal
+/// permutation plus per-stage twiddle tables for both directions.
+///
+/// [`FftPlan::forward`] and [`FftPlan::inverse`] are in-place and perform
+/// no heap allocation — the workhorse API for the per-sample OFDM path.
+#[derive(Clone, Debug)]
+pub struct FftPlan {
+    n: usize,
+    /// `bitrev[i]` = bit-reversed index of `i` (only entries with
+    /// `bitrev[i] > i` trigger a swap, mirroring the in-place permutation).
+    bitrev: Vec<u32>,
+    /// Forward twiddles, stages concatenated: for each butterfly length
+    /// `len = 2, 4, …, n`, the `len/2` factors `w^k`. Total `n − 1` entries.
+    fwd: Vec<Complex64>,
+    /// Inverse twiddles, same layout.
+    inv: Vec<Complex64>,
+}
+
+impl FftPlan {
+    /// Plans transforms of length `n`.
+    ///
+    /// # Panics
+    /// Panics if `n` is not a power of two.
+    pub fn new(n: usize) -> Self {
+        assert!(
+            is_power_of_two(n),
+            "FFT length must be a power of two, got {n}"
+        );
+        let bits = n.trailing_zeros();
+        let bitrev = (0..n)
+            .map(|i| {
+                if n == 1 {
+                    0
+                } else {
+                    (i.reverse_bits() >> (usize::BITS - bits)) as u32
+                }
+            })
+            .collect();
+
+        let mut fwd = Vec::with_capacity(n.saturating_sub(1));
+        let mut inv = Vec::with_capacity(n.saturating_sub(1));
+        for (table, sign) in [(&mut fwd, -1.0), (&mut inv, 1.0)] {
+            let mut len = 2;
+            while len <= n {
+                let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+                let wlen = Complex64::cis(ang);
+                // The same `w *= wlen` recurrence the unplanned transform
+                // uses, so planned results are bitwise identical.
+                let mut w = Complex64::ONE;
+                for _ in 0..len / 2 {
+                    table.push(w);
+                    w *= wlen;
+                }
+                len <<= 1;
+            }
+        }
+        Self {
+            n,
+            bitrev,
+            fwd,
+            inv,
+        }
+    }
+
+    /// The planned transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` for the degenerate length-0 plan (never constructible — kept
+    /// for API completeness alongside [`Self::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place forward DFT. Allocation-free.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` differs from the planned length.
+    pub fn forward(&self, data: &mut [Complex64]) {
+        self.run(data, &self.fwd);
+    }
+
+    /// In-place inverse DFT including the `1/N` normalization.
+    /// Allocation-free.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` differs from the planned length.
+    pub fn inverse(&self, data: &mut [Complex64]) {
+        self.run(data, &self.inv);
+        let scale = 1.0 / self.n as f64;
+        for z in data.iter_mut() {
+            *z = z.scale(scale);
+        }
+    }
+
+    fn run(&self, data: &mut [Complex64], twiddles: &[Complex64]) {
+        assert_eq!(data.len(), self.n, "buffer length does not match the plan");
+        let n = self.n;
+        if n <= 1 {
+            return;
+        }
+        for i in 0..n {
+            let j = self.bitrev[i] as usize;
+            if j > i {
+                data.swap(i, j);
+            }
+        }
+        let mut len = 2;
+        let mut offset = 0;
+        while len <= n {
+            let stage = &twiddles[offset..offset + len / 2];
+            for start in (0..n).step_by(len) {
+                for (k, &w) in stage.iter().enumerate() {
+                    let u = data[start + k];
+                    let v = data[start + k + len / 2] * w;
+                    data[start + k] = u + v;
+                    data[start + k + len / 2] = u - v;
+                }
+            }
+            offset += len / 2;
+            len <<= 1;
+        }
+    }
+}
 
 /// Returns `true` if `n` is a power of two (and nonzero).
 #[inline]
@@ -54,7 +188,10 @@ pub fn ifft_owned(data: &[Complex64]) -> Vec<Complex64> {
 
 fn transform(data: &mut [Complex64], inverse: bool) {
     let n = data.len();
-    assert!(is_power_of_two(n), "FFT length must be a power of two, got {n}");
+    assert!(
+        is_power_of_two(n),
+        "FFT length must be a power of two, got {n}"
+    );
     if n <= 1 {
         return;
     }
@@ -95,10 +232,7 @@ mod tests {
     fn assert_close(a: &[Complex64], b: &[Complex64], tol: f64) {
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(b) {
-            assert!(
-                (*x - *y).abs() < tol,
-                "mismatch: {x} vs {y} (tol {tol})"
-            );
+            assert!((*x - *y).abs() < tol, "mismatch: {x} vs {y} (tol {tol})");
         }
     }
 
@@ -178,6 +312,50 @@ mod tests {
     fn rejects_non_power_of_two() {
         let mut x = vec![Complex64::ZERO; 12];
         fft(&mut x);
+    }
+
+    #[test]
+    fn plan_matches_free_functions_bitwise() {
+        for n in [1usize, 2, 8, 16, 64] {
+            let plan = FftPlan::new(n);
+            let x: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new((i as f64 * 0.61).sin(), (i as f64 * 1.7).cos()))
+                .collect();
+
+            let mut planned = x.clone();
+            plan.forward(&mut planned);
+            let legacy = fft_owned(&x);
+            assert_eq!(planned, legacy, "forward mismatch at n={n}");
+
+            plan.inverse(&mut planned);
+            let mut legacy_rt = legacy;
+            ifft(&mut legacy_rt);
+            assert_eq!(planned, legacy_rt, "inverse mismatch at n={n}");
+        }
+    }
+
+    #[test]
+    fn plan_is_reusable() {
+        let plan = FftPlan::new(16);
+        let x: Vec<Complex64> = (0..16).map(|i| Complex64::from_re(i as f64)).collect();
+        let mut a = x.clone();
+        plan.forward(&mut a);
+        plan.inverse(&mut a);
+        let mut b = x.clone();
+        plan.forward(&mut b);
+        plan.inverse(&mut b);
+        assert_eq!(a, b);
+        for (orig, rt) in x.iter().zip(&a) {
+            assert!((*orig - *rt).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match the plan")]
+    fn plan_rejects_wrong_length() {
+        let plan = FftPlan::new(8);
+        let mut x = vec![Complex64::ZERO; 16];
+        plan.forward(&mut x);
     }
 
     #[test]

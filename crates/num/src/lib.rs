@@ -12,8 +12,8 @@
 //! * [`CMatrix`] and [`eig::hermitian_eig`] — dense complex matrices and a
 //!   cyclic-Jacobi Hermitian eigensolver, the core of MUSIC ([`matrix`],
 //!   [`eig`]).
-//! * [`rng`] — Box–Muller normal and circularly-symmetric complex Gaussian
-//!   sampling on top of any [`rand::Rng`].
+//! * [`rng`] — the deterministic in-house [`rng::Rng64`] generator with
+//!   Box–Muller normal and circularly-symmetric complex Gaussian sampling.
 //! * [`stats`] — means, variances, percentiles, empirical CDFs and the
 //!   dB conversions used throughout the evaluation harness.
 
@@ -25,5 +25,7 @@ pub mod rng;
 pub mod stats;
 
 pub use complex::Complex64;
-pub use eig::{hermitian_eig, HermitianEig};
+pub use eig::{hermitian_eig, EigWorkspace, HermitianEig};
+pub use fft::FftPlan;
 pub use matrix::CMatrix;
+pub use rng::Rng64;

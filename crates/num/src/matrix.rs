@@ -100,7 +100,10 @@ impl CMatrix {
     /// # Panics
     /// Panics unless the matrix is `n × n` with `n == v.len()`.
     pub fn add_outer(&mut self, v: &[Complex64], k: f64) {
-        assert!(self.is_square() && self.rows == v.len(), "outer-product shape mismatch");
+        assert!(
+            self.is_square() && self.rows == v.len(),
+            "outer-product shape mismatch"
+        );
         for r in 0..self.rows {
             let vr = v[r];
             for c in 0..self.cols {
@@ -160,6 +163,37 @@ impl CMatrix {
         for z in &mut self.data {
             *z = z.scale(k);
         }
+    }
+
+    /// Zeroes every entry in place (scratch-reuse reset: a zeroed reused
+    /// matrix is indistinguishable from a fresh [`CMatrix::zeros`]).
+    pub fn fill_zero(&mut self) {
+        self.data.fill(Complex64::ZERO);
+    }
+
+    /// Overwrites `self` with the identity in place.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn set_identity(&mut self) {
+        assert!(self.is_square(), "identity requires a square matrix");
+        self.data.fill(Complex64::ZERO);
+        for i in 0..self.rows {
+            self[(i, i)] = Complex64::ONE;
+        }
+    }
+
+    /// Copies `other`'s entries into `self` without reallocating.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn copy_from(&mut self, other: &CMatrix) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "copy_from shape mismatch"
+        );
+        self.data.copy_from_slice(&other.data);
     }
 }
 
@@ -240,7 +274,9 @@ mod tests {
 
     #[test]
     fn identity_is_multiplicative_neutral() {
-        let a = CMatrix::from_fn(3, 3, |r, cidx| c((r * 3 + cidx) as f64, r as f64 - cidx as f64));
+        let a = CMatrix::from_fn(3, 3, |r, cidx| {
+            c((r * 3 + cidx) as f64, r as f64 - cidx as f64)
+        });
         let i = CMatrix::identity(3);
         assert_eq!(&a * &i, a);
         assert_eq!(&i * &a, a);
@@ -302,6 +338,26 @@ mod tests {
         let a = CMatrix::zeros(2, 3);
         let b = CMatrix::zeros(2, 3);
         let _ = &a * &b;
+    }
+
+    #[test]
+    fn scratch_reuse_helpers() {
+        let a = CMatrix::from_fn(3, 3, |r, cidx| c(r as f64, cidx as f64));
+        let mut scratch = CMatrix::from_fn(3, 3, |_, _| c(9.0, 9.0));
+        scratch.copy_from(&a);
+        assert_eq!(scratch, a);
+        scratch.set_identity();
+        assert_eq!(scratch, CMatrix::identity(3));
+        scratch.fill_zero();
+        assert_eq!(scratch, CMatrix::zeros(3, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "copy_from shape mismatch")]
+    fn copy_from_checks_shape() {
+        let a = CMatrix::zeros(2, 3);
+        let mut b = CMatrix::zeros(3, 2);
+        b.copy_from(&a);
     }
 
     #[test]

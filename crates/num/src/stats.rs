@@ -88,10 +88,7 @@ impl Cdf {
     pub fn new(samples: &[f64]) -> Self {
         assert!(!samples.is_empty(), "CDF of empty sample set");
         let mut sorted = samples.to_vec();
-        assert!(
-            sorted.iter().all(|x| !x.is_nan()),
-            "CDF input contains NaN"
-        );
+        assert!(sorted.iter().all(|x| !x.is_nan()), "CDF input contains NaN");
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         Self { sorted }
     }

@@ -1,105 +1,154 @@
-//! Property-based tests for the numerics substrate.
+//! Property-style tests for the numerics substrate.
+//!
+//! The container has no third-party crates, so instead of `proptest` these
+//! drive each invariant over a deterministic [`Rng64`] sample sweep — same
+//! properties, reproducible cases.
 
-use proptest::prelude::*;
+use wivi_num::rng::Rng64;
 use wivi_num::{fft, hermitian_eig, CMatrix, Complex64};
 
-fn complex_strategy() -> impl Strategy<Value = Complex64> {
-    (-10.0f64..10.0, -10.0f64..10.0).prop_map(|(re, im)| Complex64::new(re, im))
+const CASES: u64 = 64;
+
+fn random_complex(rng: &mut Rng64) -> Complex64 {
+    Complex64::new(rng.gen_range(-10.0, 10.0), rng.gen_range(-10.0, 10.0))
 }
 
-fn signal_strategy(len: usize) -> impl Strategy<Value = Vec<Complex64>> {
-    proptest::collection::vec(complex_strategy(), len)
+fn random_signal(rng: &mut Rng64, len: usize) -> Vec<Complex64> {
+    (0..len).map(|_| random_complex(rng)).collect()
 }
 
-fn hermitian_strategy(n: usize) -> impl Strategy<Value = CMatrix> {
-    proptest::collection::vec(complex_strategy(), n * n).prop_map(move |v| {
-        let a = CMatrix::from_rows(n, n, v);
-        // (A + A^H)/2 is Hermitian for any A.
-        let mut h = &a + &a.hermitian();
-        h.scale_mut(0.5);
-        h
-    })
+fn random_hermitian(rng: &mut Rng64, n: usize) -> CMatrix {
+    let a = CMatrix::from_fn(n, n, |_, _| random_complex(rng));
+    // (A + A^H)/2 is Hermitian for any A.
+    let mut h = &a + &a.hermitian();
+    h.scale_mut(0.5);
+    h
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn fft_ifft_round_trip(x in signal_strategy(64)) {
+#[test]
+fn fft_ifft_round_trip() {
+    let mut rng = Rng64::seed_from_u64(101);
+    for _ in 0..CASES {
+        let x = random_signal(&mut rng, 64);
         let y = fft::ifft_owned(&fft::fft_owned(&x));
         for (a, b) in x.iter().zip(&y) {
-            prop_assert!((*a - *b).abs() < 1e-9);
+            assert!((*a - *b).abs() < 1e-9);
         }
     }
+}
 
-    #[test]
-    fn fft_preserves_energy(x in signal_strategy(32)) {
+#[test]
+fn fft_preserves_energy() {
+    let mut rng = Rng64::seed_from_u64(102);
+    for _ in 0..CASES {
+        let x = random_signal(&mut rng, 32);
         let time: f64 = x.iter().map(|z| z.norm_sqr()).sum();
         let freq: f64 = fft::fft_owned(&x).iter().map(|z| z.norm_sqr()).sum::<f64>() / 32.0;
-        prop_assert!((time - freq).abs() <= 1e-9 * (1.0 + time));
+        assert!((time - freq).abs() <= 1e-9 * (1.0 + time));
     }
+}
 
-    #[test]
-    fn fft_is_linear(x in signal_strategy(16), y in signal_strategy(16), k in -5.0f64..5.0) {
+#[test]
+fn fft_is_linear() {
+    let mut rng = Rng64::seed_from_u64(103);
+    for _ in 0..CASES {
+        let x = random_signal(&mut rng, 16);
+        let y = random_signal(&mut rng, 16);
+        let k = rng.gen_range(-5.0, 5.0);
         let lhs: Vec<Complex64> = x.iter().zip(&y).map(|(a, b)| *a + b.scale(k)).collect();
         let f_lhs = fft::fft_owned(&lhs);
         let fx = fft::fft_owned(&x);
         let fy = fft::fft_owned(&y);
         for i in 0..16 {
-            prop_assert!((f_lhs[i] - (fx[i] + fy[i].scale(k))).abs() < 1e-8);
+            assert!((f_lhs[i] - (fx[i] + fy[i].scale(k))).abs() < 1e-8);
         }
     }
+}
 
-    #[test]
-    fn eig_reconstructs_hermitian(a in hermitian_strategy(6)) {
+#[test]
+fn eig_reconstructs_hermitian() {
+    let mut rng = Rng64::seed_from_u64(104);
+    for case in 0..CASES {
+        let a = random_hermitian(&mut rng, 6);
         let e = hermitian_eig(&a);
         let err = (&e.reconstruct() - &a).frobenius_norm();
-        prop_assert!(err < 1e-8 * (1.0 + a.frobenius_norm()), "err {err}");
+        assert!(
+            err < 1e-8 * (1.0 + a.frobenius_norm()),
+            "case {case}: err {err}"
+        );
     }
+}
 
-    #[test]
-    fn eig_vectors_orthonormal(a in hermitian_strategy(5)) {
+#[test]
+fn eig_vectors_orthonormal() {
+    let mut rng = Rng64::seed_from_u64(105);
+    for _ in 0..CASES {
+        let a = random_hermitian(&mut rng, 5);
         let e = hermitian_eig(&a);
         let gram = &e.vectors.hermitian() * &e.vectors;
-        prop_assert!((&gram - &CMatrix::identity(5)).frobenius_norm() < 1e-8);
+        assert!((&gram - &CMatrix::identity(5)).frobenius_norm() < 1e-8);
     }
+}
 
-    #[test]
-    fn eig_values_sorted_and_real_trace_preserved(a in hermitian_strategy(5)) {
+#[test]
+fn eig_values_sorted_and_real_trace_preserved() {
+    let mut rng = Rng64::seed_from_u64(106);
+    for _ in 0..CASES {
+        let a = random_hermitian(&mut rng, 5);
         let e = hermitian_eig(&a);
         for w in e.values.windows(2) {
-            prop_assert!(w[0] >= w[1] - 1e-12);
+            assert!(w[0] >= w[1] - 1e-12);
         }
         let trace: f64 = (0..5).map(|i| a[(i, i)].re).sum();
         let sum: f64 = e.values.iter().sum();
-        prop_assert!((trace - sum).abs() < 1e-8 * (1.0 + trace.abs()));
+        assert!((trace - sum).abs() < 1e-8 * (1.0 + trace.abs()));
     }
+}
 
-    #[test]
-    fn complex_field_axioms(a in complex_strategy(), b in complex_strategy(), c in complex_strategy()) {
+#[test]
+fn complex_field_axioms() {
+    let mut rng = Rng64::seed_from_u64(107);
+    for _ in 0..CASES {
+        let a = random_complex(&mut rng);
+        let b = random_complex(&mut rng);
+        let c = random_complex(&mut rng);
         // Distributivity and associativity within numeric tolerance.
-        prop_assert!(((a + b) * c - (a * c + b * c)).abs() < 1e-9 * (1.0 + c.abs() * (a.abs() + b.abs())));
-        prop_assert!(((a * b) * c - a * (b * c)).abs() < 1e-9 * (1.0 + a.abs() * b.abs() * c.abs()));
+        assert!(
+            ((a + b) * c - (a * c + b * c)).abs() < 1e-9 * (1.0 + c.abs() * (a.abs() + b.abs()))
+        );
+        assert!(((a * b) * c - a * (b * c)).abs() < 1e-9 * (1.0 + a.abs() * b.abs() * c.abs()));
         // |ab| = |a||b|.
-        prop_assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-9 * (1.0 + a.abs() * b.abs()));
+        assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-9 * (1.0 + a.abs() * b.abs()));
     }
+}
 
-    #[test]
-    fn percentile_is_monotone(mut xs in proptest::collection::vec(-100.0f64..100.0, 3..40),
-                              p1 in 0.0f64..100.0, p2 in 0.0f64..100.0) {
+#[test]
+fn percentile_is_monotone() {
+    let mut rng = Rng64::seed_from_u64(108);
+    for _ in 0..CASES {
+        let len = 3 + rng.gen_below(37) as usize;
+        let mut xs: Vec<f64> = (0..len).map(|_| rng.gen_range(-100.0, 100.0)).collect();
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p1 = rng.gen_range(0.0, 100.0);
+        let p2 = rng.gen_range(0.0, 100.0);
         let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
         let a = wivi_num::stats::percentile(&xs, lo);
         let b = wivi_num::stats::percentile(&xs, hi);
-        prop_assert!(a <= b + 1e-12);
+        assert!(a <= b + 1e-12);
     }
+}
 
-    #[test]
-    fn cdf_bounds_and_monotonicity(xs in proptest::collection::vec(-50.0f64..50.0, 1..50), q in 0.0f64..1.0) {
+#[test]
+fn cdf_bounds_and_monotonicity() {
+    let mut rng = Rng64::seed_from_u64(109);
+    for _ in 0..CASES {
+        let len = 1 + rng.gen_below(49) as usize;
+        let xs: Vec<f64> = (0..len).map(|_| rng.gen_range(-50.0, 50.0)).collect();
+        let q = rng.next_f64();
         let cdf = wivi_num::stats::Cdf::new(&xs);
         let v = cdf.quantile(q);
-        prop_assert!(v >= cdf.min() - 1e-12 && v <= cdf.max() + 1e-12);
-        prop_assert!(cdf.eval(cdf.min() - 1.0) == 0.0);
-        prop_assert!(cdf.eval(cdf.max()) == 1.0);
+        assert!(v >= cdf.min() - 1e-12 && v <= cdf.max() + 1e-12);
+        assert!(cdf.eval(cdf.min() - 1.0) == 0.0);
+        assert!(cdf.eval(cdf.max()) == 1.0);
     }
 }

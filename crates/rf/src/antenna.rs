@@ -100,8 +100,8 @@ mod tests {
     fn pattern_is_symmetric_and_monotone_off_axis() {
         let a = Antenna::directional_6dbi(Vec2::UNIT_Y);
         let mut prev = a.power_gain(Vec2::UNIT_Y);
-        for deg in [15.0, 30.0, 45.0, 60.0, 75.0] {
-            let th = (deg as f64).to_radians();
+        for deg in [15.0f64, 30.0, 45.0, 60.0, 75.0] {
+            let th = deg.to_radians();
             let g_pos = a.power_gain(Vec2::UNIT_Y.rotated(th));
             let g_neg = a.power_gain(Vec2::UNIT_Y.rotated(-th));
             assert!((g_pos - g_neg).abs() < 1e-12, "asymmetric at {deg}°");
@@ -116,7 +116,10 @@ mod tests {
         let back = a.power_gain(-Vec2::UNIT_Y);
         let peak = a.power_gain(Vec2::UNIT_Y);
         let rejection_db = 10.0 * (peak / back).log10();
-        assert!((rejection_db - 20.0).abs() < 0.5, "rejection {rejection_db} dB");
+        assert!(
+            (rejection_db - 20.0).abs() < 0.5,
+            "rejection {rejection_db} dB"
+        );
     }
 
     #[test]

@@ -82,19 +82,36 @@ impl Scene {
     /// # Panics
     /// Panics if `tx_idx >= 2`.
     pub fn trace_paths(&self, tx_idx: usize, t: f64) -> Vec<Path> {
-        let mut out = self.trace_static_paths(tx_idx);
-        out.extend(self.trace_mover_paths(tx_idx, t));
+        let mut out = Vec::with_capacity(2 + self.clutter.len());
+        self.trace_paths_into(tx_idx, t, &mut out);
         out
+    }
+
+    /// Traces every path into a caller-provided buffer (cleared first).
+    /// The streaming front-end calls this at the channel rate; reusing one
+    /// buffer keeps the per-sample radio path allocation-free.
+    ///
+    /// # Panics
+    /// Panics if `tx_idx >= 2`.
+    pub fn trace_paths_into(&self, tx_idx: usize, t: f64, out: &mut Vec<Path>) {
+        out.clear();
+        self.append_static_paths(tx_idx, out);
+        self.append_mover_paths(tx_idx, t, out);
     }
 
     /// Only the static paths (direct + flash + clutter). These are what
     /// MIMO nulling cancels; tests use this to verify the residual.
     pub fn trace_static_paths(&self, tx_idx: usize) -> Vec<Path> {
+        let mut out = Vec::with_capacity(2 + self.clutter.len());
+        self.append_static_paths(tx_idx, &mut out);
+        out
+    }
+
+    fn append_static_paths(&self, tx_idx: usize, out: &mut Vec<Path>) {
         assert!(tx_idx < 2, "Wi-Vi has exactly two transmit antennas");
         let tx = self.device.tx[tx_idx];
         let rx = self.device.rx;
         let lambda = crate::carrier_wavelength();
-        let mut out = Vec::with_capacity(2 + self.clutter.len());
 
         // 1. Direct leakage.
         {
@@ -129,21 +146,34 @@ impl Scene {
         for (i, s) in self.clutter.iter().enumerate() {
             out.push(self.scatter_path(tx, rx, s, PathKind::Clutter(i)));
         }
-        out
     }
 
     /// Only the movers' paths at time `t`.
     pub fn trace_mover_paths(&self, tx_idx: usize, t: f64) -> Vec<Path> {
+        let mut out = Vec::new();
+        self.append_mover_paths(tx_idx, t, &mut out);
+        out
+    }
+
+    fn append_mover_paths(&self, tx_idx: usize, t: f64, out: &mut Vec<Path>) {
         assert!(tx_idx < 2, "Wi-Vi has exactly two transmit antennas");
         let tx = self.device.tx[tx_idx];
         let rx = self.device.rx;
-        let mut out = Vec::new();
         for (mi, mover) in self.movers.iter().enumerate() {
-            for (pi, s) in mover.scatterers(t).iter().enumerate() {
-                out.push(self.scatter_path(tx, rx, s, PathKind::Mover { mover: mi, part: pi }));
-            }
+            let mut pi = 0;
+            mover.for_each_scatterer(t, |s| {
+                out.push(self.scatter_path(
+                    tx,
+                    rx,
+                    s,
+                    PathKind::Mover {
+                        mover: mi,
+                        part: pi,
+                    },
+                ));
+                pi += 1;
+            });
         }
-        out
     }
 
     /// Bistatic scattering path TX → scatterer → RX with wall attenuation
@@ -205,8 +235,7 @@ mod tests {
     fn flash_dominates_behind_wall_reflections() {
         // Ch. 4: the flash is orders of magnitude above anything behind the
         // wall. Place a human 3 m behind a hollow wall and compare.
-        let scene =
-            Scene::new(Material::HollowWall6In).with_mover(human_at(Point::new(0.0, 3.0)));
+        let scene = Scene::new(Material::HollowWall6In).with_mover(human_at(Point::new(0.0, 3.0)));
         let paths = scene.trace_paths(0, 0.0);
         let flash = paths
             .iter()
@@ -237,7 +266,10 @@ mod tests {
         let i_amp = isotropic.trace_static_paths(0)[0].amplitude;
         // §4.1: directional antennas attenuate the direct channel relative
         // to a typical MIMO system.
-        assert!(d_amp < i_amp / 2.0, "directional {d_amp} vs isotropic {i_amp}");
+        assert!(
+            d_amp < i_amp / 2.0,
+            "directional {d_amp} vs isotropic {i_amp}"
+        );
     }
 
     #[test]
@@ -316,8 +348,8 @@ mod tests {
         // Round-trip shortening ≈ 2 cm (monostatic approximation: the TX
         // and RX are nearly co-located relative to a 3 m range).
         assert!((dlen - 0.02).abs() < 0.002, "Δlength {dlen}");
-        let phase_turns = (p0.gain(CARRIER_HZ).arg() - p1.gain(CARRIER_HZ).arg()).abs()
-            / std::f64::consts::TAU;
+        let phase_turns =
+            (p0.gain(CARRIER_HZ).arg() - p1.gain(CARRIER_HZ).arg()).abs() / std::f64::consts::TAU;
         assert!((phase_turns - dlen / lambda).abs() < 1e-6);
     }
 
@@ -354,8 +386,7 @@ mod tests {
     #[test]
     fn subcarrier_channels_decorrelate_with_delay_spread() {
         // 5 MHz apart on a ~10 m path set should visibly rotate phases.
-        let scene = Scene::new(Material::HollowWall6In)
-            .with_mover(human_at(Point::new(2.0, 4.0)));
+        let scene = Scene::new(Material::HollowWall6In).with_mover(human_at(Point::new(2.0, 4.0)));
         let h_lo = scene.channel_gain(0, CARRIER_HZ - 2.5e6, 0.0);
         let h_hi = scene.channel_gain(0, CARRIER_HZ + 2.5e6, 0.0);
         assert!((h_lo - h_hi).abs() > 1e-9);

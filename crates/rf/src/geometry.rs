@@ -209,7 +209,10 @@ impl Rect {
 
     /// Clamps a point to the rectangle.
     pub fn clamp(&self, p: Point) -> Point {
-        Point::new(p.x.clamp(self.min.x, self.max.x), p.y.clamp(self.min.y, self.max.y))
+        Point::new(
+            p.x.clamp(self.min.x, self.max.x),
+            p.y.clamp(self.min.y, self.max.y),
+        )
     }
 
     /// Shrinks the rectangle by `margin` on every side.

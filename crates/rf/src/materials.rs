@@ -149,7 +149,10 @@ mod tests {
     #[test]
     fn round_trip_doubles_one_way() {
         for m in Material::SURVEY {
-            assert_eq!(m.round_trip_attenuation_db(), 2.0 * m.one_way_attenuation_db());
+            assert_eq!(
+                m.round_trip_attenuation_db(),
+                2.0 * m.one_way_attenuation_db()
+            );
         }
     }
 

@@ -19,8 +19,7 @@
 //! pre-generate their path from a seed), so every experiment is exactly
 //! reproducible.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use wivi_num::rng::Rng64;
 
 use crate::geometry::{Point, Rect, Vec2};
 use crate::scene::Scatterer;
@@ -147,11 +146,11 @@ impl ConfinedRandomWalk {
     /// Panics if `duration <= 0` or `speed <= 0`.
     pub fn new(room: Rect, seed: u64, speed: f64, duration: f64) -> Self {
         assert!(duration > 0.0 && speed > 0.0);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::seed_from_u64(seed);
         let inner = room.shrunk((0.3_f64).min(room.width().min(room.height()) / 4.0));
         let mut pos = Point::new(
-            rng.gen_range(inner.min.x..inner.max.x),
-            rng.gen_range(inner.min.y..inner.max.y),
+            rng.gen_range(inner.min.x, inner.max.x),
+            rng.gen_range(inner.min.y, inner.max.y),
         );
         let n = (duration / Self::SAMPLE_DT).ceil() as usize + 2;
         let mut samples = Vec::with_capacity(n);
@@ -160,8 +159,7 @@ impl ConfinedRandomWalk {
         while samples.len() < n {
             // Occasionally stand still for a moment.
             if rng.gen_bool(0.25) {
-                let pause_steps =
-                    (rng.gen_range(0.3..1.2) / Self::SAMPLE_DT).ceil() as usize;
+                let pause_steps = (rng.gen_range(0.3, 1.2) / Self::SAMPLE_DT).ceil() as usize;
                 for _ in 0..pause_steps {
                     samples.push(pos);
                 }
@@ -169,14 +167,14 @@ impl ConfinedRandomWalk {
             }
             // Pick a target a comfortable leg away, inside the room.
             let target = Point::new(
-                rng.gen_range(inner.min.x..inner.max.x),
-                rng.gen_range(inner.min.y..inner.max.y),
+                rng.gen_range(inner.min.x, inner.max.x),
+                rng.gen_range(inner.min.y, inner.max.y),
             );
             let leg = target - pos;
             if leg.norm() < 0.5 {
                 continue;
             }
-            let leg_speed = speed * rng.gen_range(0.8..1.2);
+            let leg_speed = speed * rng.gen_range(0.8, 1.2);
             let steps = (leg.norm() / (leg_speed * Self::SAMPLE_DT)).ceil() as usize;
             for k in 1..=steps {
                 samples.push(pos.lerp(target, k as f64 / steps as f64));
@@ -252,14 +250,14 @@ impl GestureStyle {
     /// A randomized per-subject style (deterministic in `seed`), matching
     /// the variability of the paper's 8 volunteers (2.2 ± 0.4 s).
     pub fn subject(seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        let forward_step_m = rng.gen_range(0.60..0.90);
+        let mut rng = Rng64::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let forward_step_m = rng.gen_range(0.60, 0.90);
         Self {
             forward_step_m,
             // Backward steps are a fraction of the subject's forward step.
-            backward_step_m: forward_step_m * rng.gen_range(0.70..0.92),
-            gesture_duration_s: rng.gen_range(1.8..2.6),
-            pause_s: rng.gen_range(0.4..0.8),
+            backward_step_m: forward_step_m * rng.gen_range(0.70, 0.92),
+            gesture_duration_s: rng.gen_range(1.8, 2.6),
+            pause_s: rng.gen_range(0.4, 0.8),
         }
     }
 }
@@ -461,29 +459,38 @@ impl Mover {
 
     /// The instantaneous set of body scatterers at time `t`.
     pub fn scatterers(&self, t: f64) -> Vec<Scatterer> {
+        let mut out = Vec::with_capacity(3);
+        self.for_each_scatterer(t, |s| out.push(*s));
+        out
+    }
+
+    /// Visits each body scatterer at time `t` without allocating — the
+    /// channel tracer calls this at the radio's channel rate, so the hot
+    /// path must not build a fresh `Vec` per sample.
+    pub fn for_each_scatterer(&self, t: f64, mut f: impl FnMut(&Scatterer)) {
         let torso = self.motion.position(t);
-        let mut out = vec![Scatterer {
+        f(&Scatterer {
             position: torso,
             sqrt_rcs: self.body.torso_reflectivity,
-        }];
+        });
         if self.body.limb_reflectivity > 0.0 {
             // Limbs swing along the heading while walking; when standing
             // they rest at fixed offsets (static → nulled).
-            let axis = self.motion.heading(t).unwrap_or(Vec2::UNIT_X);
-            let swing = if self.motion.heading(t).is_some() {
+            let heading = self.motion.heading(t);
+            let axis = heading.unwrap_or(Vec2::UNIT_X);
+            let swing = if heading.is_some() {
                 let phase = std::f64::consts::TAU * self.body.gait_hz * t + self.gait_phase;
                 self.body.limb_swing_m * phase.sin()
             } else {
                 self.body.limb_swing_m * 0.5
             };
             for sign in [1.0, -1.0] {
-                out.push(Scatterer {
+                f(&Scatterer {
                     position: torso + axis * (swing * sign),
                     sqrt_rcs: self.body.limb_reflectivity,
                 });
             }
         }
-        out
     }
 }
 
@@ -502,7 +509,11 @@ mod tests {
     #[test]
     fn waypoint_walker_constant_speed() {
         let w = WaypointWalker::new(
-            vec![Point::new(0.0, 0.0), Point::new(4.0, 0.0), Point::new(4.0, 3.0)],
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(4.0, 0.0),
+                Point::new(4.0, 3.0),
+            ],
             1.0,
         );
         assert_eq!(w.path_length(), 7.0);

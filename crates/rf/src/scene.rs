@@ -102,16 +102,37 @@ impl Scene {
         let c = room.center();
         self.clutter.extend_from_slice(&[
             // Conference table (large, room centre).
-            Scatterer { position: c, sqrt_rcs: 0.9 },
+            Scatterer {
+                position: c,
+                sqrt_rcs: 0.9,
+            },
             // Chairs around it.
-            Scatterer { position: Point::new(c.x - 1.0, c.y - 0.6), sqrt_rcs: 0.3 },
-            Scatterer { position: Point::new(c.x + 1.0, c.y - 0.6), sqrt_rcs: 0.3 },
-            Scatterer { position: Point::new(c.x - 1.0, c.y + 0.6), sqrt_rcs: 0.3 },
+            Scatterer {
+                position: Point::new(c.x - 1.0, c.y - 0.6),
+                sqrt_rcs: 0.3,
+            },
+            Scatterer {
+                position: Point::new(c.x + 1.0, c.y - 0.6),
+                sqrt_rcs: 0.3,
+            },
+            Scatterer {
+                position: Point::new(c.x - 1.0, c.y + 0.6),
+                sqrt_rcs: 0.3,
+            },
             // Whiteboard near the back wall.
-            Scatterer { position: Point::new(c.x, room.max.y - 0.2), sqrt_rcs: 0.6 },
+            Scatterer {
+                position: Point::new(c.x, room.max.y - 0.2),
+                sqrt_rcs: 0.6,
+            },
             // Radio-side reflections (in front of the wall, y < 0).
-            Scatterer { position: Point::new(0.4, -0.8), sqrt_rcs: 0.25 }, // mounting table
-            Scatterer { position: Point::new(-0.6, -1.4), sqrt_rcs: 0.2 }, // floor bounce
+            Scatterer {
+                position: Point::new(0.4, -0.8),
+                sqrt_rcs: 0.25,
+            }, // mounting table
+            Scatterer {
+                position: Point::new(-0.6, -1.4),
+                sqrt_rcs: 0.2,
+            }, // floor bounce
         ]);
         self
     }

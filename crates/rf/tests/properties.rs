@@ -1,35 +1,46 @@
-//! Property-based tests for the propagation simulator's invariants.
+//! Property-style tests for the propagation simulator's invariants,
+//! driven by a deterministic [`Rng64`] sample sweep (no third-party
+//! property-testing crates are available offline).
 
-use proptest::prelude::*;
+use wivi_num::rng::Rng64;
 use wivi_rf::channel::gain_from_paths;
-use wivi_rf::{Material, Motion, Mover, Point, Rect, Scene, Stationary, WaypointWalker, CARRIER_HZ};
+use wivi_rf::{
+    Material, Motion, Mover, Point, Rect, Scene, Stationary, WaypointWalker, CARRIER_HZ,
+};
 
-fn point_behind_wall() -> impl Strategy<Value = Point> {
-    (-3.0f64..3.0, 0.5f64..6.0).prop_map(|(x, y)| Point::new(x, y))
+const CASES: u64 = 48;
+
+fn point_behind_wall(rng: &mut Rng64) -> Point {
+    Point::new(rng.gen_range(-3.0, 3.0), rng.gen_range(0.5, 6.0))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn channel_is_linear_in_scatterers(p1 in point_behind_wall(), p2 in point_behind_wall()) {
+#[test]
+fn channel_is_linear_in_scatterers() {
+    let mut rng = Rng64::seed_from_u64(201);
+    for _ in 0..CASES {
+        let p1 = point_behind_wall(&mut rng);
+        let p2 = point_behind_wall(&mut rng);
         // The whole nulling premise: path gains superpose linearly.
         let base = Scene::new(Material::HollowWall6In);
-        let with_a = Scene::new(Material::HollowWall6In)
-            .with_mover(Mover::human(Stationary(p1)));
-        let with_b = Scene::new(Material::HollowWall6In)
-            .with_mover(Mover::human(Stationary(p2)));
+        let with_a = Scene::new(Material::HollowWall6In).with_mover(Mover::human(Stationary(p1)));
+        let with_b = Scene::new(Material::HollowWall6In).with_mover(Mover::human(Stationary(p2)));
         let with_both = Scene::new(Material::HollowWall6In)
             .with_mover(Mover::human(Stationary(p1)))
             .with_mover(Mover::human(Stationary(p2)));
         let g = |s: &Scene| s.channel_gain(0, CARRIER_HZ, 0.0);
         let lhs = g(&with_both);
         let rhs = g(&with_a) + g(&with_b) - g(&base);
-        prop_assert!((lhs - rhs).abs() < 1e-12 * (1.0 + lhs.abs()));
+        assert!((lhs - rhs).abs() < 1e-12 * (1.0 + lhs.abs()));
     }
+}
 
-    #[test]
-    fn farther_targets_are_weaker(x in -2.0f64..2.0, y1 in 1.0f64..3.0, dy in 0.5f64..5.0) {
+#[test]
+fn farther_targets_are_weaker() {
+    let mut rng = Rng64::seed_from_u64(202);
+    for _ in 0..CASES {
+        let x = rng.gen_range(-2.0, 2.0);
+        let y1 = rng.gen_range(1.0, 3.0);
+        let dy = rng.gen_range(0.5, 5.0);
         let amp = |p: Point| {
             Scene::new(Material::HollowWall6In)
                 .with_mover(Mover::human(Stationary(p)))
@@ -37,58 +48,81 @@ proptest! {
                 .amplitude
         };
         // Move straight back along the boresight: amplitude must drop.
-        prop_assert!(amp(Point::new(x, y1 + dy)) < amp(Point::new(x, y1)));
+        assert!(amp(Point::new(x, y1 + dy)) < amp(Point::new(x, y1)));
     }
+}
 
-    #[test]
-    fn denser_walls_attenuate_more(p in point_behind_wall()) {
+#[test]
+fn denser_walls_attenuate_more() {
+    let mut rng = Rng64::seed_from_u64(203);
+    for _ in 0..CASES {
+        let p = point_behind_wall(&mut rng);
         let amp = |m: Material| {
             Scene::new(m)
                 .with_mover(Mover::human(Stationary(p)))
                 .trace_mover_paths(0, 0.0)[0]
                 .amplitude
         };
-        prop_assert!(amp(Material::FreeSpace) > amp(Material::HollowWall6In));
-        prop_assert!(amp(Material::HollowWall6In) > amp(Material::ReinforcedConcrete));
+        assert!(amp(Material::FreeSpace) > amp(Material::HollowWall6In));
+        assert!(amp(Material::HollowWall6In) > amp(Material::ReinforcedConcrete));
     }
+}
 
-    #[test]
-    fn path_gain_magnitude_is_frequency_flat(p in point_behind_wall(), df in -2.5e6f64..2.5e6) {
+#[test]
+fn path_gain_magnitude_is_frequency_flat() {
+    let mut rng = Rng64::seed_from_u64(204);
+    for _ in 0..CASES {
+        let p = point_behind_wall(&mut rng);
+        let df = rng.gen_range(-2.5e6, 2.5e6);
         // Per-path |gain| must not depend on the subcarrier; only phase does.
         let scene = Scene::new(Material::HollowWall6In).with_mover(Mover::human(Stationary(p)));
         let paths = scene.trace_paths(0, 0.0);
         let g1 = gain_from_paths(&paths[..1], CARRIER_HZ);
         let g2 = gain_from_paths(&paths[..1], CARRIER_HZ + df);
-        prop_assert!((g1.abs() - g2.abs()).abs() < 1e-15);
+        assert!((g1.abs() - g2.abs()).abs() < 1e-15);
     }
+}
 
-    #[test]
-    fn waypoint_walker_stays_on_polyline_extent(
-        speed in 0.3f64..2.0,
-        t in 0.0f64..60.0,
-    ) {
+#[test]
+fn waypoint_walker_stays_on_polyline_extent() {
+    let mut rng = Rng64::seed_from_u64(205);
+    for _ in 0..CASES {
+        let speed = rng.gen_range(0.3, 2.0);
+        let t = rng.gen_range(0.0, 60.0);
         let w = WaypointWalker::new(
-            vec![Point::new(-2.0, 1.0), Point::new(2.0, 1.0), Point::new(2.0, 4.0)],
+            vec![
+                Point::new(-2.0, 1.0),
+                Point::new(2.0, 1.0),
+                Point::new(2.0, 4.0),
+            ],
             speed,
         );
         let p = w.position(t);
-        prop_assert!((-2.0..=2.0).contains(&p.x));
-        prop_assert!((1.0..=4.0).contains(&p.y));
+        assert!((-2.0..=2.0).contains(&p.x));
+        assert!((1.0..=4.0).contains(&p.y));
     }
+}
 
-    #[test]
-    fn confined_walk_never_escapes(seed in 0u64..500, t in 0.0f64..20.0) {
+#[test]
+fn confined_walk_never_escapes() {
+    let mut rng = Rng64::seed_from_u64(206);
+    for _ in 0..CASES {
+        let seed = rng.gen_below(500);
+        let t = rng.gen_range(0.0, 20.0);
         let room = Rect::new(Point::new(-3.5, 0.2), Point::new(3.5, 4.2));
         let walk = wivi_rf::ConfinedRandomWalk::new(room, seed, 1.0, 20.0);
-        prop_assert!(room.contains(walk.position(t)));
+        assert!(room.contains(walk.position(t)));
     }
+}
 
-    #[test]
-    fn gesture_script_bit_pairs_return_home(
-        bits in proptest::collection::vec(any::<bool>(), 1..5),
-        step in 0.4f64..0.9,
-    ) {
-        use wivi_rf::{GestureScript, GestureStyle, Vec2};
+#[test]
+fn gesture_script_bit_pairs_return_home() {
+    use wivi_rf::{GestureScript, GestureStyle, Vec2};
+    let mut rng = Rng64::seed_from_u64(207);
+    for _ in 0..CASES {
+        let n_bits = 1 + rng.gen_below(4) as usize;
+        let bits: Vec<bool> = (0..n_bits).map(|_| rng.gen_bool(0.5)).collect();
+        let step = rng.gen_range(0.4, 0.9);
         let style = GestureStyle {
             forward_step_m: step,
             backward_step_m: step, // symmetric for exact return
@@ -98,14 +132,17 @@ proptest! {
         let base = Point::new(0.0, 3.0);
         let g = GestureScript::for_bits(base, Vec2::new(0.0, -1.0), style, 0.0, &bits);
         let end = g.position(g.duration() + 1.0);
-        prop_assert!(end.distance(base) < 1e-9, "ended {end:?}");
+        assert!(end.distance(base) < 1e-9, "ended {end:?}");
     }
+}
 
-    #[test]
-    fn mirror_preserves_x_and_distance_to_wall(x in -10.0f64..10.0, y in -10.0f64..10.0) {
-        let p = Point::new(x, y);
+#[test]
+fn mirror_preserves_x_and_distance_to_wall() {
+    let mut rng = Rng64::seed_from_u64(208);
+    for _ in 0..CASES {
+        let p = Point::new(rng.gen_range(-10.0, 10.0), rng.gen_range(-10.0, 10.0));
         let m = p.mirror_y();
-        prop_assert_eq!(m.x, p.x);
-        prop_assert_eq!(m.y, -p.y);
+        assert_eq!(m.x, p.x);
+        assert_eq!(m.y, -p.y);
     }
 }

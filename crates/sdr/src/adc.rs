@@ -207,7 +207,10 @@ mod tests {
 
     #[test]
     fn tx_clipping_preserves_phase() {
-        let mut buf = vec![Complex64::from_polar(5.0, 1.0), Complex64::from_polar(0.5, -2.0)];
+        let mut buf = vec![
+            Complex64::from_polar(5.0, 1.0),
+            Complex64::from_polar(0.5, -2.0),
+        ];
         let frac = clip_tx(&mut buf, 2.0);
         assert_eq!(frac, 0.5);
         assert!((buf[0].abs() - 2.0).abs() < 1e-12);

@@ -19,16 +19,14 @@
 //! drifting residual, and why the emulated ISAR array sees successive
 //! spatial positions.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-use wivi_num::rng::complex_gaussian;
+use wivi_num::fft::FftPlan;
+use wivi_num::rng::{complex_gaussian, Rng64};
 use wivi_num::Complex64;
-use wivi_rf::channel::gain_from_paths;
+use wivi_rf::channel::{gain_from_paths, Path};
 use wivi_rf::Scene;
 
 use crate::adc::{clip_tx, Adc, QuantizeOutcome};
-use crate::ofdm::{demodulate, modulate, OfdmConfig};
+use crate::ofdm::{demodulate_in_place, modulate_in_place, OfdmConfig};
 
 /// Radio parameters for the simulated front-end.
 #[derive(Clone, Copy, Debug)]
@@ -129,11 +127,21 @@ impl Observation {
     }
 }
 
+/// Which antennas drive one transmission block (see
+/// [`MimoFrontend::transmit`]).
+#[derive(Clone, Copy, Debug)]
+enum TxMode {
+    /// Preamble on one antenna only (channel sounding).
+    Sound(usize),
+    /// Both antennas concurrently; antenna 2 applies the precoder.
+    Observe,
+}
+
 /// The simulated 3-antenna MIMO radio bound to a scene.
 pub struct MimoFrontend {
     scene: Scene,
     cfg: RadioConfig,
-    rng: StdRng,
+    rng: Rng64,
     /// Linear RX amplitude gain ahead of the ADC.
     rx_gain: f64,
     /// Linear TX amplitude multiplier on top of `cfg.tx_amplitude`.
@@ -144,6 +152,17 @@ pub struct MimoFrontend {
     now: f64,
     /// Accumulated per-TX-chain LO phase drift (Wiener processes), radians.
     phase_walk: [f64; 2],
+    /// FFT plan for the OFDM symbol length (shared by TX and RX chains).
+    plan: FftPlan,
+    /// The sounding preamble, computed once.
+    preamble: Vec<Complex64>,
+    /// Scratch: one OFDM block, reused by the per-antenna PA round trip and
+    /// the receiver chain.
+    scratch_block: Vec<Complex64>,
+    /// Scratch: the superposed received spectrum.
+    scratch_rx: Vec<Complex64>,
+    /// Scratch: traced propagation paths.
+    scratch_paths: Vec<Path>,
 }
 
 impl MimoFrontend {
@@ -152,15 +171,21 @@ impl MimoFrontend {
         assert!(cfg.noise_sigma >= 0.0);
         assert!(cfg.tx_amplitude > 0.0 && cfg.tx_linear_limit > 0.0);
         assert!(cfg.channel_rate_hz > 0.0 && cfg.sounding_dwell_s > 0.0);
+        let k = cfg.ofdm.n_subcarriers;
         Self {
             scene,
             cfg,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng64::seed_from_u64(seed),
             rx_gain: 1.0,
             tx_boost: 1.0,
             precoder: None,
             now: 0.0,
             phase_walk: [0.0; 2],
+            plan: FftPlan::new(k),
+            preamble: cfg.ofdm.preamble(),
+            scratch_block: vec![Complex64::ZERO; k],
+            scratch_rx: vec![Complex64::ZERO; k],
+            scratch_paths: Vec::new(),
         }
     }
 
@@ -248,11 +273,8 @@ impl MimoFrontend {
         self.now += dt;
         if self.cfg.phase_drift_std > 0.0 && dt > 0.0 {
             for w in &mut self.phase_walk {
-                *w += wivi_num::rng::normal(
-                    &mut self.rng,
-                    0.0,
-                    self.cfg.phase_drift_std * dt.sqrt(),
-                );
+                *w +=
+                    wivi_num::rng::normal(&mut self.rng, 0.0, self.cfg.phase_drift_std * dt.sqrt());
             }
         }
     }
@@ -262,12 +284,7 @@ impl MimoFrontend {
     /// sounding dwell.
     pub fn sound(&mut self, tx_idx: usize) -> Observation {
         assert!(tx_idx < 2, "Wi-Vi has exactly two transmit antennas");
-        let unit: Vec<Complex64> = vec![Complex64::ONE; self.cfg.ofdm.n_subcarriers];
-        let weights: [Option<&[Complex64]>; 2] = match tx_idx {
-            0 => [Some(&unit), None],
-            _ => [None, Some(&unit)],
-        };
-        let obs = self.transmit(weights);
+        let obs = self.transmit(TxMode::Sound(tx_idx));
         self.advance_clock(self.cfg.sounding_dwell_s);
         obs
     }
@@ -280,12 +297,11 @@ impl MimoFrontend {
     /// # Panics
     /// Panics if no precoder is installed.
     pub fn observe(&mut self) -> Observation {
-        let p = self
-            .precoder
-            .clone()
-            .expect("observe() requires a precoder; call set_precoder first");
-        let unit: Vec<Complex64> = vec![Complex64::ONE; self.cfg.ofdm.n_subcarriers];
-        let obs = self.transmit([Some(&unit), Some(&p)]);
+        assert!(
+            self.precoder.is_some(),
+            "observe() requires a precoder; call set_precoder first"
+        );
+        let obs = self.transmit(TxMode::Observe);
         self.advance_clock(1.0 / self.cfg.channel_rate_hz);
         obs
     }
@@ -293,59 +309,160 @@ impl MimoFrontend {
     /// Records a trace of `n` residual-channel samples at the channel
     /// rate, combining subcarriers per sample.
     pub fn record_trace(&mut self, n: usize) -> Vec<Complex64> {
-        (0..n).map(|_| self.observe().combined()).collect()
+        let mut out = Vec::with_capacity(n);
+        self.record_trace_into(n, &mut out);
+        out
     }
 
-    /// Full TX→RX simulation with per-antenna subcarrier weights.
-    fn transmit(&mut self, weights: [Option<&[Complex64]>; 2]) -> Observation {
+    /// Appends `n` subcarrier-combined residual-channel samples to `out`
+    /// without allocating beyond the output's own growth — the batch
+    /// streaming path calls this once per fixed-size batch into a reused
+    /// buffer.
+    pub fn record_trace_into(&mut self, n: usize, out: &mut Vec<Complex64>) {
+        out.reserve(n);
+        for _ in 0..n {
+            let s = self.observe().combined();
+            out.push(s);
+        }
+    }
+
+    /// Streams `total` residual-channel observations in batches of
+    /// `batch_len` — the front-end's real-time delivery shape. The stream
+    /// borrows the front-end mutably, so the radio cannot be reconfigured
+    /// mid-stream; scene time advances sample-by-sample exactly as in
+    /// [`Self::observe`], and a fully drained stream leaves the front-end
+    /// in the same state as `total` direct `observe()` calls.
+    ///
+    /// # Panics
+    /// Panics if `batch_len == 0` or no precoder is installed.
+    pub fn observe_stream(&mut self, total: usize, batch_len: usize) -> ObservationStream<'_> {
+        assert!(batch_len > 0, "batch length must be positive");
+        assert!(
+            self.precoder.is_some(),
+            "observe() requires a precoder; call set_precoder first"
+        );
+        ObservationStream {
+            fe: self,
+            remaining: total,
+            batch_len,
+        }
+    }
+
+    /// Full TX→RX simulation of one OFDM block.
+    fn transmit(&mut self, mode: TxMode) -> Observation {
         let k = self.cfg.ofdm.n_subcarriers;
-        let x = self.cfg.ofdm.preamble();
         let tx_scale = self.cfg.tx_amplitude * self.tx_boost;
 
-        // Superpose the two antennas' contributions per subcarrier.
-        let mut y = vec![Complex64::ZERO; k];
-        for (ant, w) in weights.iter().enumerate() {
-            let Some(w) = w else { continue };
-            assert_eq!(w.len(), k, "weight vector length mismatch");
-            // PA: modulate, clip to the linear range, re-analyze. Under
-            // normal operation nothing clips and this is a no-op round
-            // trip; over-boosted transmissions distort here.
+        // Superpose the active antennas' contributions per subcarrier.
+        self.scratch_rx.fill(Complex64::ZERO);
+        for ant in 0..2 {
+            match mode {
+                TxMode::Sound(idx) if ant != idx => continue,
+                _ => {}
+            }
             // Per-chain LO phase: slow drift plus fast jitter. This is
             // what ultimately limits how long an installed null survives.
             let lo_phase = Complex64::cis(
                 self.phase_walk[ant]
                     + wivi_num::rng::normal(&mut self.rng, 0.0, self.cfg.phase_noise_std),
             );
-            let sym: Vec<Complex64> = (0..k)
-                .map(|i| x[i] * w[i] * lo_phase * tx_scale)
-                .collect();
-            let mut t = modulate(&sym);
-            clip_tx(&mut t, self.cfg.tx_linear_limit);
-            let sym = demodulate(&t);
-
-            let paths = self.scene.trace_paths(ant, self.now);
             for i in 0..k {
-                let h = gain_from_paths(&paths, self.cfg.ofdm.subcarrier_freq(i));
-                y[i] += h * sym[i];
+                let w = match (mode, ant) {
+                    // Antenna 2 applies the installed precoding weight when
+                    // both antennas transmit.
+                    (TxMode::Observe, 1) => self.precoder.as_ref().unwrap()[i],
+                    _ => Complex64::ONE,
+                };
+                self.scratch_block[i] = self.preamble[i] * w * lo_phase * tx_scale;
+            }
+            // PA: modulate, clip to the linear range, re-analyze. Under
+            // normal operation nothing clips and this is a no-op round
+            // trip; over-boosted transmissions distort here.
+            modulate_in_place(&self.plan, &mut self.scratch_block);
+            clip_tx(&mut self.scratch_block, self.cfg.tx_linear_limit);
+            demodulate_in_place(&self.plan, &mut self.scratch_block);
+
+            self.scene
+                .trace_paths_into(ant, self.now, &mut self.scratch_paths);
+            for i in 0..k {
+                let h = gain_from_paths(&self.scratch_paths, self.cfg.ofdm.subcarrier_freq(i));
+                self.scratch_rx[i] += h * self.scratch_block[i];
             }
         }
 
         // Receiver: time-domain antenna noise, analog gain, ADC.
-        let mut yt = modulate(&y);
-        for z in yt.iter_mut() {
+        self.scratch_block.copy_from_slice(&self.scratch_rx);
+        modulate_in_place(&self.plan, &mut self.scratch_block);
+        for z in self.scratch_block.iter_mut() {
             *z = (*z + complex_gaussian(&mut self.rng, self.cfg.noise_sigma)).scale(self.rx_gain);
         }
-        let outcome = self.cfg.adc.quantize_block(&mut yt);
-        let yf = demodulate(&yt);
+        let outcome = self.cfg.adc.quantize_block(&mut self.scratch_block);
+        demodulate_in_place(&self.plan, &mut self.scratch_block);
 
         // Normalize back to channel units.
         let norm = tx_scale * self.rx_gain;
-        let h = (0..k).map(|i| yf[i] / x[i] / norm).collect();
+        let h = (0..k)
+            .map(|i| self.scratch_block[i] / self.preamble[i] / norm)
+            .collect();
         Observation {
             h,
             outcome,
             time: self.now,
         }
+    }
+}
+
+/// A borrowing iterator over fixed-size [`Observation`] batches — the
+/// stand-in for the frame-chunked delivery a real UHD receive stream
+/// provides. Produced by [`MimoFrontend::observe_stream`].
+pub struct ObservationStream<'a> {
+    fe: &'a mut MimoFrontend,
+    remaining: usize,
+    batch_len: usize,
+}
+
+impl ObservationStream<'_> {
+    /// Observations not yet emitted.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// The configured (maximum) batch size.
+    pub fn batch_len(&self) -> usize {
+        self.batch_len
+    }
+
+    /// Fills `out` (cleared first) with the next batch, returning how many
+    /// observations were produced — `0` once the stream is exhausted. The
+    /// allocation-conscious alternative to the `Iterator` impl: one output
+    /// buffer serves the whole stream.
+    pub fn next_batch_into(&mut self, out: &mut Vec<Observation>) -> usize {
+        out.clear();
+        let n = self.remaining.min(self.batch_len);
+        out.reserve(n);
+        for _ in 0..n {
+            out.push(self.fe.observe());
+        }
+        self.remaining -= n;
+        n
+    }
+}
+
+impl Iterator for ObservationStream<'_> {
+    type Item = Vec<Observation>;
+
+    fn next(&mut self) -> Option<Vec<Observation>> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let mut batch = Vec::new();
+        self.next_batch_into(&mut batch);
+        Some(batch)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining.div_ceil(self.batch_len);
+        (n, Some(n))
     }
 }
 
@@ -405,12 +522,7 @@ mod tests {
         fe.set_rx_gain(30.0);
         let h1 = fe.sound(0);
         let h2 = fe.sound(1);
-        let p: Vec<Complex64> = h1
-            .h
-            .iter()
-            .zip(&h2.h)
-            .map(|(a, b)| -(*a) / *b)
-            .collect();
+        let p: Vec<Complex64> = h1.h.iter().zip(&h2.h).map(|(a, b)| -(*a) / *b).collect();
         let before = h1.mean_power();
         fe.set_precoder(p);
         let after = fe.observe().mean_power();
@@ -456,7 +568,7 @@ mod tests {
         let scene = Scene::new(Material::HollowWall6In)
             .with_mover(Mover::human(Stationary(Point::new(1.0, 4.0))));
         let cfg = quiet_cfg();
-        let mut fe = MimoFrontend::new(scene, cfg, 6);
+        let fe = MimoFrontend::new(scene, cfg, 6);
 
         // Human-only channel magnitude (ground truth, carrier):
         let human_amp: f64 = fe
@@ -503,7 +615,8 @@ mod tests {
         // The residual channel must vary over time (the human's phase
         // rotates) by more than the noise floor.
         let mean: Complex64 = trace.iter().copied().sum::<Complex64>() / trace.len() as f64;
-        let var: f64 = trace.iter().map(|z| (*z - mean).norm_sqr()).sum::<f64>() / trace.len() as f64;
+        let var: f64 =
+            trace.iter().map(|z| (*z - mean).norm_sqr()).sum::<f64>() / trace.len() as f64;
         assert!(
             var.sqrt() > cfg.noise_sigma / (cfg.ofdm.n_subcarriers as f64).sqrt(),
             "trace variation {} below combined noise",
@@ -563,5 +676,78 @@ mod tests {
     fn observe_without_precoder_panics() {
         let mut fe = MimoFrontend::new(test_scene(), quiet_cfg(), 12);
         let _ = fe.observe();
+    }
+
+    /// Builds a nulled front-end ready for observation.
+    fn nulled_frontend(seed: u64) -> MimoFrontend {
+        let mut fe = MimoFrontend::new(test_scene(), RadioConfig::fast_test(), seed);
+        fe.set_rx_gain(30.0);
+        let h1 = fe.sound(0);
+        let h2 = fe.sound(1);
+        let p: Vec<Complex64> = h1.h.iter().zip(&h2.h).map(|(a, b)| -(*a) / *b).collect();
+        fe.set_precoder(p);
+        fe
+    }
+
+    #[test]
+    fn batched_stream_matches_direct_observation_exactly() {
+        // The streaming contract: draining batches produces the identical
+        // observation sequence (times, channels, telemetry) as one-shot
+        // recording, regardless of the batch size.
+        let total = 50;
+        let mut fe = nulled_frontend(21);
+        let direct: Vec<Observation> = (0..total).map(|_| fe.observe()).collect();
+
+        for batch_len in [1usize, 7, 16, 64] {
+            let mut fe2 = nulled_frontend(21);
+            let mut streamed: Vec<Observation> = Vec::new();
+            for batch in fe2.observe_stream(total, batch_len) {
+                assert!(batch.len() <= batch_len);
+                streamed.extend(batch);
+            }
+            assert_eq!(streamed.len(), total);
+            for (a, b) in direct.iter().zip(&streamed) {
+                assert_eq!(a.time, b.time, "batch_len {batch_len}");
+                assert_eq!(a.h, b.h, "batch_len {batch_len}");
+            }
+            assert_eq!(fe.now(), fe2.now());
+        }
+    }
+
+    #[test]
+    fn stream_next_batch_into_reuses_one_buffer() {
+        let mut fe = nulled_frontend(22);
+        let mut stream = fe.observe_stream(10, 4);
+        assert_eq!(stream.remaining(), 10);
+        assert_eq!(stream.batch_len(), 4);
+        let mut buf = Vec::new();
+        let mut sizes = Vec::new();
+        loop {
+            let n = stream.next_batch_into(&mut buf);
+            if n == 0 {
+                break;
+            }
+            sizes.push(n);
+        }
+        assert_eq!(sizes, vec![4, 4, 2]);
+        assert_eq!(stream.remaining(), 0);
+    }
+
+    #[test]
+    fn record_trace_into_appends_to_reused_buffer() {
+        let mut fe = nulled_frontend(23);
+        let expect = fe.record_trace(12);
+        let mut fe2 = nulled_frontend(23);
+        let mut buf = Vec::new();
+        fe2.record_trace_into(8, &mut buf);
+        fe2.record_trace_into(4, &mut buf);
+        assert_eq!(buf, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch length must be positive")]
+    fn stream_rejects_zero_batch() {
+        let mut fe = nulled_frontend(24);
+        let _ = fe.observe_stream(10, 0);
     }
 }

@@ -12,6 +12,7 @@
 //! performed because the nonlinearities — TX clipping and the receiver's
 //! ADC — act on time-domain samples.
 
+use wivi_num::fft::FftPlan;
 use wivi_num::Complex64;
 
 /// OFDM parameters.
@@ -83,23 +84,45 @@ impl OfdmConfig {
 /// Frequency-domain symbols → time-domain waveform (unit-power preserving:
 /// uses the unitary-style scaling `x = IFFT(X)·√N` so RMS(x) = RMS(X)).
 pub fn modulate(symbols: &[Complex64]) -> Vec<Complex64> {
-    let n = symbols.len() as f64;
-    let mut t = wivi_num::fft::ifft_owned(symbols);
-    for z in &mut t {
-        *z = z.scale(n.sqrt());
-    }
+    let plan = FftPlan::new(symbols.len());
+    let mut t = symbols.to_vec();
+    modulate_in_place(&plan, &mut t);
     t
 }
 
 /// Time-domain waveform → frequency-domain symbols (inverse of
 /// [`modulate`]).
 pub fn demodulate(waveform: &[Complex64]) -> Vec<Complex64> {
-    let n = waveform.len() as f64;
-    let mut f = wivi_num::fft::fft_owned(waveform);
-    for z in &mut f {
+    let plan = FftPlan::new(waveform.len());
+    let mut f = waveform.to_vec();
+    demodulate_in_place(&plan, &mut f);
+    f
+}
+
+/// In-place, allocation-free [`modulate`] against a precomputed plan — the
+/// per-channel-sample path of the streaming front-end (two transforms per
+/// observed sample at 312.5 Hz).
+///
+/// # Panics
+/// Panics if `buf.len()` differs from the planned length.
+pub fn modulate_in_place(plan: &FftPlan, buf: &mut [Complex64]) {
+    let n = buf.len() as f64;
+    plan.inverse(buf);
+    for z in buf.iter_mut() {
+        *z = z.scale(n.sqrt());
+    }
+}
+
+/// In-place, allocation-free [`demodulate`] against a precomputed plan.
+///
+/// # Panics
+/// Panics if `buf.len()` differs from the planned length.
+pub fn demodulate_in_place(plan: &FftPlan, buf: &mut [Complex64]) {
+    let n = buf.len() as f64;
+    plan.forward(buf);
+    for z in buf.iter_mut() {
         *z = z.scale(1.0 / n.sqrt());
     }
-    f
 }
 
 #[cfg(test)]
@@ -162,6 +185,21 @@ mod tests {
         let pf: f64 = x.iter().map(|z| z.norm_sqr()).sum();
         let pt: f64 = t.iter().map(|z| z.norm_sqr()).sum();
         assert!((pf - pt).abs() < 1e-9 * pf);
+    }
+
+    #[test]
+    fn in_place_matches_owned_bitwise() {
+        let c = OfdmConfig::wivi_default();
+        let plan = FftPlan::new(c.n_subcarriers);
+        let x = c.preamble();
+
+        let mut t = x.clone();
+        modulate_in_place(&plan, &mut t);
+        assert_eq!(t, modulate(&x));
+
+        let mut f = t.clone();
+        demodulate_in_place(&plan, &mut f);
+        assert_eq!(f, demodulate(&t));
     }
 
     #[test]

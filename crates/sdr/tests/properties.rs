@@ -1,61 +1,81 @@
-//! Property-based tests for the radio front-end's converters.
+//! Property-style tests for the radio front-end's converters, driven by a
+//! deterministic [`Rng64`] sample sweep (no third-party property-testing
+//! crates are available offline).
 
-use proptest::prelude::*;
+use wivi_num::rng::Rng64;
 use wivi_num::Complex64;
 use wivi_sdr::adc::clip_tx;
 use wivi_sdr::Adc;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: u64 = 128;
 
-    #[test]
-    fn quantizer_error_bounded_in_range(x in -0.999f64..0.999, bits in 4u32..16) {
+#[test]
+fn quantizer_error_bounded_in_range() {
+    let mut rng = Rng64::seed_from_u64(301);
+    for _ in 0..CASES {
+        let x = rng.gen_range(-0.999, 0.999);
+        let bits = 4 + rng.gen_below(12) as u32;
         let adc = Adc::new(bits, 1.0);
         let (q, sat) = adc.quantize(Complex64::from_re(x));
-        prop_assert!(!sat);
-        prop_assert!((q.re - x).abs() <= adc.step() / 2.0 + 1e-12);
+        assert!(!sat);
+        assert!((q.re - x).abs() <= adc.step() / 2.0 + 1e-12);
     }
+}
 
-    #[test]
-    fn quantizer_saturates_out_of_range(x in 1.0f64..100.0) {
+#[test]
+fn quantizer_saturates_out_of_range() {
+    let mut rng = Rng64::seed_from_u64(302);
+    for _ in 0..CASES {
+        let x = rng.gen_range(1.0, 100.0);
         let adc = Adc::new(12, 1.0);
         let (q, sat) = adc.quantize(Complex64::from_re(x));
-        prop_assert!(sat);
-        prop_assert_eq!(q.re, 1.0);
+        assert!(sat);
+        assert_eq!(q.re, 1.0);
         let (qn, satn) = adc.quantize(Complex64::from_re(-x));
-        prop_assert!(satn);
-        prop_assert_eq!(qn.re, -1.0);
+        assert!(satn);
+        assert_eq!(qn.re, -1.0);
     }
+}
 
-    #[test]
-    fn quantizer_is_monotone(a in -2.0f64..2.0, b in -2.0f64..2.0) {
+#[test]
+fn quantizer_is_monotone() {
+    let mut rng = Rng64::seed_from_u64(303);
+    for _ in 0..CASES {
+        let a = rng.gen_range(-2.0, 2.0);
+        let b = rng.gen_range(-2.0, 2.0);
         let adc = Adc::new(8, 1.0);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
         let (qlo, _) = adc.quantize(Complex64::from_re(lo));
         let (qhi, _) = adc.quantize(Complex64::from_re(hi));
-        prop_assert!(qlo.re <= qhi.re);
+        assert!(qlo.re <= qhi.re);
     }
+}
 
-    #[test]
-    fn quantizer_is_idempotent(x in -1.5f64..1.5) {
+#[test]
+fn quantizer_is_idempotent() {
+    let mut rng = Rng64::seed_from_u64(304);
+    for _ in 0..CASES {
+        let x = rng.gen_range(-1.5, 1.5);
         let adc = Adc::new(10, 1.0);
         let (q1, _) = adc.quantize(Complex64::from_re(x));
         let (q2, _) = adc.quantize(q1);
-        prop_assert_eq!(q1, q2);
+        assert_eq!(q1, q2);
     }
+}
 
-    #[test]
-    fn tx_clip_bounds_amplitude_and_keeps_phase(
-        re in -10.0f64..10.0, im in -10.0f64..10.0, limit in 0.1f64..5.0,
-    ) {
-        let z = Complex64::new(re, im);
+#[test]
+fn tx_clip_bounds_amplitude_and_keeps_phase() {
+    let mut rng = Rng64::seed_from_u64(305);
+    for _ in 0..CASES {
+        let z = Complex64::new(rng.gen_range(-10.0, 10.0), rng.gen_range(-10.0, 10.0));
+        let limit = rng.gen_range(0.1, 5.0);
         let mut buf = vec![z];
         clip_tx(&mut buf, limit);
-        prop_assert!(buf[0].abs() <= limit + 1e-12);
+        assert!(buf[0].abs() <= limit + 1e-12);
         if z.abs() > 1e-9 {
             // Phase preserved.
             let dphi = (buf[0].arg() - z.arg()).abs();
-            prop_assert!(dphi < 1e-9 || (dphi - std::f64::consts::TAU).abs() < 1e-9);
+            assert!(dphi < 1e-9 || (dphi - std::f64::consts::TAU).abs() < 1e-9);
         }
     }
 }

@@ -8,8 +8,10 @@ use wivi::rf::Point as P;
 
 fn main() {
     let message = [false, true, true, false]; // "0110"
-    println!("sending message {:?} by gesture from 4 m behind a hollow wall...",
-        message.iter().map(|b| *b as u8).collect::<Vec<_>>());
+    println!(
+        "sending message {:?} by gesture from 4 m behind a hollow wall...",
+        message.iter().map(|b| *b as u8).collect::<Vec<_>>()
+    );
 
     // Encoder: bit '0' = step forward then back; '1' = back then forward.
     let script = GestureScript::for_bits(
@@ -31,8 +33,15 @@ fn main() {
 
     println!("\ndetected gestures:");
     for g in &decode.gestures {
-        let dir = if g.polarity > 0 { "forward " } else { "backward" };
-        println!("  t = {:>5.1} s  step {dir}  (SNR {:>4.1} dB)", g.time_s, g.snr_db);
+        let dir = if g.polarity > 0 {
+            "forward "
+        } else {
+            "backward"
+        };
+        println!(
+            "  t = {:>5.1} s  step {dir}  (SNR {:>4.1} dB)",
+            g.time_s, g.snr_db
+        );
     }
     let bits: Vec<String> = decode
         .bits

@@ -34,7 +34,11 @@ fn main() {
     println!("decision threshold: {:.0}", classifier.thresholds()[0]);
 
     // Monitor "unknown" rooms.
-    for (label, n, seed) in [("room A", 0usize, 31u64), ("room B", 1, 32), ("room C", 2, 33)] {
+    for (label, n, seed) in [
+        ("room A", 0usize, 31u64),
+        ("room B", 1, 32),
+        ("room C", 2, 33),
+    ] {
         let v = measure(n, seed);
         let verdict = if classifier.classify(v) == 0 {
             "clear"

@@ -29,7 +29,12 @@ fn main() {
             .min_gesture_snr_db()
             .map(|s| format!("{s:.1}"))
             .unwrap_or_else(|| "-".into());
-        println!("{:<24} {:>9} {:>10}", material.label(), if ok { "yes" } else { "no" }, snr);
+        println!(
+            "{:<24} {:>9} {:>10}",
+            material.label(),
+            if ok { "yes" } else { "no" },
+            snr
+        );
     }
     println!("\nDenser materials attenuate every crossing (Table 4.1): the SNR falls");
     println!("monotonically from free space to 8\" concrete, as in Fig. 7-6(b).");

@@ -27,11 +27,25 @@ fn main() {
     let mut training = Vec::new();
     for n in 0..4usize {
         for s in 0..2u64 {
-            training.push((n, trial(Scene::conference_room_small(), n, 400 + 10 * n as u64 + s, 15.0)));
+            training.push((
+                n,
+                trial(
+                    Scene::conference_room_small(),
+                    n,
+                    400 + 10 * n as u64 + s,
+                    15.0,
+                ),
+            ));
         }
     }
     let clf = VarianceClassifier::train(&training, 4);
-    println!("learned thresholds: {:?}\n", clf.thresholds().iter().map(|t| *t as u64).collect::<Vec<_>>());
+    println!(
+        "learned thresholds: {:?}\n",
+        clf.thresholds()
+            .iter()
+            .map(|t| *t as u64)
+            .collect::<Vec<_>>()
+    );
 
     // ...test in the large room (the paper's cross-room protocol).
     for (n, seed) in [(0usize, 91u64), (1, 92), (2, 93), (3, 94)] {

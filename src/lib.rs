@@ -10,10 +10,13 @@
 //!
 //! This umbrella crate re-exports the whole stack:
 //!
-//! * [`num`] — complex arithmetic, FFT, Hermitian eigendecomposition.
+//! * [`num`] — complex arithmetic, FFT plans, Hermitian eigendecomposition,
+//!   the deterministic RNG.
 //! * [`rf`] — the through-wall propagation simulator and motion models.
-//! * [`sdr`] — the OFDM MIMO front-end (USRP N210 stand-in).
-//! * [`core`] — nulling, ISAR, MUSIC, counting, gestures, the device.
+//! * [`sdr`] — the OFDM MIMO front-end (USRP N210 stand-in) with its
+//!   batched observation stream.
+//! * [`core`] — nulling, ISAR, MUSIC, the streaming stages, counting,
+//!   gestures, the device.
 //!
 //! ```no_run
 //! use wivi::prelude::*;
@@ -27,6 +30,18 @@
 //! let spectrogram = device.track(7.0);
 //! println!("{}", spectrogram.render_ascii(19, 72));
 //! ```
+//!
+//! The device also runs in its real-time shape — observations stream in
+//! fixed-size batches and spectrogram columns appear as analysis windows
+//! complete, bitwise identical to the offline pass:
+//!
+//! ```no_run
+//! # use wivi::prelude::*;
+//! # let scene = Scene::new(Material::HollowWall6In);
+//! # let mut device = WiViDevice::new(scene, WiViConfig::paper_default(), 42);
+//! # device.calibrate();
+//! let spectrogram = device.track_streaming(7.0, 16);
+//! ```
 
 pub use wivi_core as core;
 pub use wivi_num as num;
@@ -35,10 +50,12 @@ pub use wivi_sdr as sdr;
 
 /// The most common imports for working with Wi-Vi.
 pub mod prelude {
-    pub use wivi_core::counting::{mean_spatial_variance, VarianceClassifier};
-    pub use wivi_core::{AngleSpectrogram, WiViConfig, WiViDevice};
+    pub use wivi_core::counting::{mean_spatial_variance, StreamingVariance, VarianceClassifier};
+    pub use wivi_core::{
+        AngleSpectrogram, Stage, StreamingBeamform, StreamingMusic, WiViConfig, WiViDevice,
+    };
     pub use wivi_rf::{
-        ConfinedRandomWalk, GestureScript, GestureStyle, Material, Mover, Point, Rect, Scene,
-        Vec2, WaypointWalker,
+        ConfinedRandomWalk, GestureScript, GestureStyle, Material, Mover, Point, Rect, Scene, Vec2,
+        WaypointWalker,
     };
 }

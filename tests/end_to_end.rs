@@ -5,7 +5,6 @@
 //! w = 40) so they stay quick in debug builds; the full-parameter paths
 //! are exercised by the experiment binaries in `wivi-bench`.
 
-use wivi::core::counting::mean_spatial_variance;
 use wivi::core::music::music_spectrum;
 use wivi::prelude::*;
 use wivi::rf::{Point as P, Stationary};
@@ -27,7 +26,10 @@ fn calibration_reaches_paper_scale_nulling() {
     let mut dev = WiViDevice::new(walled_scene(), WiViConfig::fast_test(), 1);
     let report = dev.calibrate();
     let db = report.nulling_db();
-    assert!((25.0..80.0).contains(&db), "nulling {db:.1} dB out of range");
+    assert!(
+        (25.0..80.0).contains(&db),
+        "nulling {db:.1} dB out of range"
+    );
     assert!(!report.saturated);
 }
 
@@ -92,7 +94,12 @@ fn two_bit_message_decodes_through_wall() {
     let mut dev = WiViDevice::new(scene, quiet_fast_cfg(), 4);
     dev.calibrate();
     let d = dev.decode_gestures(duration);
-    assert_eq!(d.bits, vec![Some(false), Some(true)], "gestures: {:?}", d.gestures);
+    assert_eq!(
+        d.bits,
+        vec![Some(false), Some(true)],
+        "gestures: {:?}",
+        d.gestures
+    );
 }
 
 #[test]
@@ -169,5 +176,8 @@ fn variance_monotone_zero_one_two() {
     };
     let v0 = measure(0, 11);
     let v2 = measure(2, 13);
-    assert!(v2 > 3.0 * v0.max(1.0), "0 vs 2 humans not separated: {v0:.0} vs {v2:.0}");
+    assert!(
+        v2 > 3.0 * v0.max(1.0),
+        "0 vs 2 humans not separated: {v0:.0} vs {v2:.0}"
+    );
 }

@@ -1,0 +1,124 @@
+//! The streaming pipeline's correctness contract: batch-incremental
+//! processing must reproduce the offline one-shot outputs **exactly** —
+//! same spectrogram bits, same counting statistic, same decoded gesture
+//! message — for any batch size, because both shapes drive the same
+//! per-window engines over the same observation sequence.
+
+use wivi::core::counting::mean_spatial_variance;
+use wivi::core::stage::{Stage, StreamingMusic};
+use wivi::prelude::*;
+use wivi::rf::Point as P;
+
+fn walled_scene() -> Scene {
+    Scene::new(Material::HollowWall6In).with_office_clutter(Scene::conference_room_small())
+}
+
+fn walker_scene() -> Scene {
+    walled_scene().with_mover(Mover::human(WaypointWalker::new(
+        vec![P::new(-1.5, 3.5), P::new(0.5, 1.2), P::new(1.5, 3.5)],
+        1.0,
+    )))
+}
+
+fn device(seed: u64) -> WiViDevice {
+    let mut dev = WiViDevice::new(walker_scene(), WiViConfig::fast_test(), seed);
+    dev.calibrate();
+    dev
+}
+
+#[test]
+fn streaming_track_is_bitwise_identical_to_offline() {
+    let duration = 2.0;
+    let offline = device(71).track(duration);
+
+    for batch_len in [1usize, 16, 100] {
+        let streamed = device(71).track_streaming(duration, batch_len);
+        assert_eq!(streamed.thetas_deg, offline.thetas_deg);
+        assert_eq!(streamed.times_s, offline.times_s, "batch {batch_len}");
+        assert_eq!(streamed.power.len(), offline.power.len());
+        for (t, (a, b)) in streamed.power.iter().zip(&offline.power).enumerate() {
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "power differs at window {t} (batch {batch_len})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn streaming_count_statistic_is_exact() {
+    let duration = 2.0;
+    let offline = {
+        let spec = device(72).track(duration);
+        mean_spatial_variance(&spec)
+    };
+    for batch_len in [1usize, 16, 100] {
+        let streamed = device(72).measure_spatial_variance_streaming(duration, batch_len);
+        assert_eq!(
+            streamed.to_bits(),
+            offline.to_bits(),
+            "variance differs at batch {batch_len}"
+        );
+    }
+}
+
+#[test]
+fn streaming_gesture_decode_is_exact() {
+    let style = GestureStyle::default();
+    let script =
+        GestureScript::for_bits(P::new(0.0, 3.0), Vec2::new(0.0, -1.0), style, 3.0, &[false]);
+    let duration = 3.0 + script.duration() + 1.0;
+    let build = || {
+        let scene = walled_scene().with_mover(Mover::human(GestureScript::for_bits(
+            P::new(0.0, 3.0),
+            Vec2::new(0.0, -1.0),
+            style,
+            3.0,
+            &[false],
+        )));
+        let mut dev = WiViDevice::new(scene, WiViConfig::fast_test(), 73);
+        dev.calibrate();
+        dev
+    };
+    let offline = build().decode_gestures(duration);
+    let streamed = build().decode_gestures_streaming(duration, 16);
+    assert_eq!(streamed.bits, offline.bits);
+    assert_eq!(streamed.track, offline.track);
+    assert_eq!(streamed.matched, offline.matched);
+    assert_eq!(streamed.gestures.len(), offline.gestures.len());
+}
+
+#[test]
+fn partial_spectrogram_grows_while_device_streams() {
+    // Drive the stage manually off the device's front-end stream: columns
+    // must appear incrementally, not only at the end.
+    let mut dev = device(74);
+    let cfg = dev.config().music;
+    let rate = dev.config().radio.channel_rate_hz;
+    let total = (2.0 * rate).round() as usize;
+
+    let mut stage = StreamingMusic::new(cfg);
+    let mut growth = Vec::new();
+    let mut batch = Vec::new();
+    let mut stream = dev.frontend_mut().observe_stream(total, 32);
+    loop {
+        let got = stream.next_batch_into(&mut batch);
+        if got == 0 {
+            break;
+        }
+        let samples: Vec<_> = batch.iter().map(|o| o.combined()).collect();
+        stage.push(&samples);
+        growth.push(stage.n_columns());
+    }
+    assert!(growth.len() > 3);
+    assert!(
+        growth[growth.len() - 1] > growth[0],
+        "no incremental columns: {growth:?}"
+    );
+    assert!(growth.windows(2).all(|w| w[0] <= w[1]));
+    let spec = stage.finish();
+    assert_eq!(spec.n_times(), *growth.last().unwrap());
+}
