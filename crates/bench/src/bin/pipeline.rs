@@ -2,14 +2,17 @@
 //! (2 rooms × 3 materials × 0–3 humans) in parallel through the batched
 //! streaming device pipeline, verifies thread-count-independent
 //! determinism, and writes `BENCH_pipeline.json` with per-stage
-//! wall-clock and throughput so future PRs have a perf trajectory.
+//! wall-clock and throughput; then runs the tracking grid (crossing
+//! subjects through detection → association → Kalman filtering) and
+//! writes `BENCH_tracking.json` with count-accuracy / track-purity /
+//! throughput. Future PRs regress against both.
 //!
 //! `--quick` shortens trials; `--full` uses the paper's 25 s counting
 //! duration.
 
 use std::time::Instant;
 
-use wivi_bench::engine::{write_pipeline_json, ScenarioGrid, ScenarioRunner};
+use wivi_bench::engine::{write_pipeline_json, write_tracking_json, ScenarioGrid, ScenarioRunner};
 use wivi_bench::{quick_mode, report};
 use wivi_core::WiViConfig;
 
@@ -105,4 +108,61 @@ fn main() {
     write_pipeline_json(path, &results, wall, threads, mode)
         .expect("failed to write BENCH_pipeline.json");
     println!("wrote {path} ({mode} mode, {}s trials)", grid.duration_s);
+
+    // ---- The tracking stage: the same streaming front half, then the
+    // multi-target tracker instead of the variance sink, scored against
+    // ground-truth trajectories.
+    let mut tgrid = ScenarioGrid::tracking();
+    // `--full` lengthens only the counting grid; the tracking grid keeps
+    // its own duration, so its baselines are tagged independently.
+    let tmode = if quick_mode() {
+        tgrid.duration_s = 2.0;
+        tgrid.human_counts = vec![0, 2];
+        "quick"
+    } else {
+        "standard"
+    };
+    println!(
+        "\ntracking grid: {} rooms × {} counts (crossing lanes) = {} trials, {}s each",
+        tgrid.rooms.len(),
+        tgrid.human_counts.len(),
+        tgrid.len(),
+        tgrid.duration_s
+    );
+    let t1 = Instant::now();
+    let tracking = runner.run_tracking(&tgrid);
+    let twall = t1.elapsed().as_secs_f64();
+
+    let rows: Vec<Vec<String>> = tracking
+        .iter()
+        .map(|r| {
+            vec![
+                r.spec.label(),
+                format!("{}", r.n_tracks),
+                format!("{:.2}", r.count_accuracy),
+                format!("{:.2}", r.track_purity),
+                format!("{}/{}", r.n_entries, r.n_exits),
+                format!("{:.0}", r.samples_per_sec()),
+            ]
+        })
+        .collect();
+    report::print_table(
+        &[
+            "scenario", "tracks", "cnt acc", "purity", "in/out", "samp/s",
+        ],
+        &rows,
+    );
+    let mean_acc =
+        tracking.iter().map(|r| r.count_accuracy).sum::<f64>() / tracking.len().max(1) as f64;
+    let mean_purity =
+        tracking.iter().map(|r| r.track_purity).sum::<f64>() / tracking.len().max(1) as f64;
+    println!(
+        "\ntracking: mean count accuracy {mean_acc:.3}, mean purity {mean_purity:.3}, {:.2}s wall",
+        twall
+    );
+
+    let tpath = "BENCH_tracking.json";
+    write_tracking_json(tpath, &tracking, twall, threads, tmode)
+        .expect("failed to write BENCH_tracking.json");
+    println!("wrote {tpath} ({tmode} mode, {}s trials)", tgrid.duration_s);
 }

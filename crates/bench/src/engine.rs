@@ -26,6 +26,9 @@ use wivi_core::{WiViConfig, WiViDevice};
 use wivi_num::rng::Rng64;
 use wivi_rf::{BodyConfig, Material, Mover, Point, Scene, WaypointWalker};
 
+use wivi_core::counting::DC_GUARD_DEG;
+use wivi_track::{TrackTargets, TrackingReport};
+
 use crate::runner::parallel_map_threads;
 use crate::scenarios::{add_random_walkers, Room};
 
@@ -33,13 +36,21 @@ use crate::scenarios::{add_random_walkers, Room};
 /// grid).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MotionModel {
-    /// People moving "at will": seeded [`ConfinedRandomWalk`]s (§7.2).
+    /// People moving "at will": seeded [`wivi_rf::ConfinedRandomWalk`]s
+    /// (§7.2).
     RandomWalk,
     /// Pacing a straight line parallel to the wall — the classic Fig. 7-2
     /// trajectory shape.
     Pacing,
     /// Walking a loop around the room's perimeter.
     Perimeter,
+    /// The tracking workload: subjects on one-way diagonal lanes,
+    /// alternating approaching/receding, paced so nobody reaches their
+    /// lane's end during the trial. Radial speeds stay well off zero, so
+    /// every subject keeps a ridge clear of the DC guard and their
+    /// angle trajectories cross — the scenario the multi-target
+    /// tracker's metrics are judged on.
+    Crossing,
 }
 
 impl MotionModel {
@@ -49,6 +60,7 @@ impl MotionModel {
             MotionModel::RandomWalk => "random_walk",
             MotionModel::Pacing => "pacing",
             MotionModel::Perimeter => "perimeter",
+            MotionModel::Crossing => "crossing",
         }
     }
 }
@@ -130,7 +142,7 @@ impl ScenarioSpec {
             return add_random_walkers(scene, rect, self.n_humans, mix_seed, self.duration_s);
         }
         let mut rng = Rng64::seed_from_u64(mix_seed);
-        for _ in 0..self.n_humans {
+        for i in 0..self.n_humans {
             let speed = rng.gen_range(0.8, 1.2); // comfortable walking ±20 %
             let gait_phase = rng.gen_range(0.0, std::f64::consts::TAU);
             let mover = match self.motion {
@@ -168,6 +180,83 @@ impl ScenarioSpec {
                     }
                     Mover::with_body(
                         WaypointWalker::new(path, speed),
+                        BodyConfig::default(),
+                        gait_phase,
+                    )
+                }
+                MotionModel::Crossing => {
+                    let mut inner = rect.shrunk(0.4);
+                    // Cap lane depth: the tracking workload probes
+                    // crossing geometry at comparable ranges, not
+                    // extreme-range sensitivity (that axis belongs to the
+                    // material/room sweeps). Deep-room subjects return so
+                    // much less ridge power that they are
+                    // indistinguishable from multipath ghosts.
+                    inner.max.y = inner.max.y.min(4.3);
+                    let x0 = rng.gen_range(inner.min.x, inner.max.x);
+                    // Lanes aim at (or away from) a point at the device's
+                    // depth but laterally offset: the range to the
+                    // receive antenna then changes *monotonically* along
+                    // the whole lane — no subject ever parks on the DC
+                    // line mid-trial — while the radial-speed fraction
+                    // (hence the ridge angle) drifts smoothly and
+                    // differently per subject, so trajectories cross.
+                    // Aim within a narrow cone of the device so the
+                    // radial-speed fraction stays high: a wide-offset
+                    // lane walks mostly sideways, its ridge hugging the
+                    // DC guard.
+                    let aim = Point::new(0.4 * x0 + rng.gen_range(-0.6, 0.6), -1.0);
+                    let (start, dir) = if i % 2 == 0 {
+                        // Approaching: deep in the room walking toward
+                        // `aim` — already 0.6 m into the lane so the
+                        // ridge has power from the first window.
+                        let far = Point::new(x0, inner.max.y);
+                        let dir = (aim - far).normalized();
+                        (far + dir * 0.6, dir)
+                    } else {
+                        // Receding: near (not at) the wall, walking away
+                        // from `aim`. Start within the middle of the
+                        // room's width — a receder hugging a side wall
+                        // walks out through it after a stride.
+                        let start = Point::new(0.35 * x0, inner.min.y + 0.3);
+                        (start, (start - aim).normalized())
+                    };
+                    // Walk to where the lane leaves the (shrunken) room.
+                    let mut reach = f64::INFINITY;
+                    if dir.x.abs() > 1e-9 {
+                        let lim = if dir.x > 0.0 {
+                            inner.max.x
+                        } else {
+                            inner.min.x
+                        };
+                        reach = reach.min((lim - start.x) / dir.x);
+                    }
+                    if dir.y.abs() > 1e-9 {
+                        let lim = if dir.y > 0.0 {
+                            inner.max.y
+                        } else {
+                            inner.min.y
+                        };
+                        reach = reach.min((lim - start.y) / dir.y);
+                    }
+                    let end = Point::new(start.x + reach * dir.x, start.y + reach * dir.y);
+                    // Stratified speed tiers: ridge angle is set by
+                    // radial speed (sin θ = v_r / v_assumed), so two
+                    // subjects at the *same* speed share one unresolvable
+                    // ridge. Tiers force distinct angle bands. The lane
+                    // pacing cap keeps every subject short of their
+                    // lane's end during the trial — a parked subject
+                    // merges with the DC line and stops being trackable
+                    // ground truth — and it takes precedence over the
+                    // detectability floor: on long trials a slow subject
+                    // near the DC guard is scored as undetectable ground
+                    // truth, while a parked one would corrupt it.
+                    let tier: f64 = [0.95, 0.68, 0.5][i % 3];
+                    let lane_speed = (tier * 0.8)
+                        .max(0.3)
+                        .min(start.distance(end) / (self.duration_s + 1.0));
+                    Mover::with_body(
+                        WaypointWalker::new(vec![start, end], lane_speed),
                         BodyConfig::default(),
                         gait_phase,
                     )
@@ -233,6 +322,194 @@ impl TrialResult {
     }
 }
 
+/// Ground-truth ridge angles per analysis window: the angle each mover's
+/// *radial* speed maps to under the ISAR convention
+/// `sin θ = v_radial / v_assumed` (approaching ⇒ positive). Computed by
+/// central finite difference of the mover's range to the receive antenna
+/// across the analysis window — exactly what the emulated array
+/// integrates over.
+pub fn ground_truth_thetas(scene: &Scene, cfg: &WiViConfig, times_s: &[f64]) -> Vec<Vec<f64>> {
+    let rx = scene.device.rx;
+    let isar = &cfg.music.isar;
+    let half = 0.5 * isar.window as f64 * isar.sample_period_s;
+    times_s
+        .iter()
+        .map(|&t| {
+            scene
+                .movers
+                .iter()
+                .map(|m| {
+                    let r0 = m.position(t - half).distance(rx);
+                    let r1 = m.position(t + half).distance(rx);
+                    let v_radial = (r0 - r1) / (2.0 * half);
+                    (v_radial / isar.assumed_speed)
+                        .clamp(-1.0, 1.0)
+                        .asin()
+                        .to_degrees()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Outcome and metrics of one tracking trial: the tracker's report
+/// scored against the scene's ground-truth trajectories.
+#[derive(Clone, Debug)]
+pub struct TrackingTrialResult {
+    pub spec: ScenarioSpec,
+    pub seed: u64,
+    /// Analysis windows processed.
+    pub n_windows: usize,
+    /// Confirmed tracks over the trial.
+    pub n_tracks: usize,
+    /// Fraction of windows (after the unavoidable confirmation latency)
+    /// where the confirmed-track count equals the number of movers whose
+    /// ground-truth angle is clear of the DC guard.
+    pub count_accuracy: f64,
+    /// Detection-weighted track purity: per track, the share of its
+    /// observations whose nearest ground-truth mover is the track's
+    /// majority mover; 1.0 for an empty scene correctly left trackless.
+    pub track_purity: f64,
+    /// Entry / exit events emitted.
+    pub n_entries: usize,
+    pub n_exits: usize,
+    /// Achieved nulling, dB.
+    pub nulling_db: f64,
+    /// Channel samples streamed.
+    pub n_samples: usize,
+    /// Scene construction + device bring-up, seconds.
+    pub setup_s: f64,
+    /// Algorithm 1 (nulling) wall-clock, seconds.
+    pub calibrate_s: f64,
+    /// Streaming record+MUSIC+track wall-clock, seconds.
+    pub stream_s: f64,
+}
+
+impl TrackingTrialResult {
+    /// Tracking-stage throughput, channel samples per second.
+    pub fn samples_per_sec(&self) -> f64 {
+        self.n_samples as f64 / self.stream_s.max(1e-12)
+    }
+}
+
+/// Scores a tracking report against ground truth. Split out of
+/// [`ScenarioSpec::run_tracking`] so tests can score synthetic reports.
+pub fn score_tracking(
+    report: &TrackingReport,
+    gt: &[Vec<f64>],
+    confirm_latency_windows: usize,
+) -> (f64, f64) {
+    // A mover counts as trackable ground truth when its ridge sits clear
+    // of the DC guard (plus one 3° bin of slack for the ridge skirt).
+    let detectable_margin = DC_GUARD_DEG + 3.0;
+    let n = report.confirmed_counts.len();
+    let eval_from = confirm_latency_windows.min(n);
+    let mut matched = 0usize;
+    let mut evaluated = 0usize;
+    for (gt_row, &count) in gt[eval_from..n]
+        .iter()
+        .zip(&report.confirmed_counts[eval_from..n])
+    {
+        let detectable = gt_row
+            .iter()
+            .filter(|th| th.abs() >= detectable_margin)
+            .count();
+        evaluated += 1;
+        if count == detectable {
+            matched += 1;
+        }
+    }
+    let count_accuracy = if evaluated == 0 {
+        0.0
+    } else {
+        matched as f64 / evaluated as f64
+    };
+
+    let n_movers = gt.first().map_or(0, Vec::len);
+    let mut purity_weighted = 0.0;
+    let mut purity_weight = 0usize;
+    for tr in &report.tracks {
+        if n_movers == 0 {
+            continue;
+        }
+        let mut votes = vec![0usize; n_movers];
+        for p in &tr.history {
+            if let Some(z) = p.observed {
+                let nearest = (0..n_movers)
+                    .min_by(|&a, &b| {
+                        (gt[p.window][a] - z)
+                            .abs()
+                            .partial_cmp(&(gt[p.window][b] - z).abs())
+                            .unwrap()
+                    })
+                    .unwrap();
+                votes[nearest] += 1;
+            }
+        }
+        let total: usize = votes.iter().sum();
+        if total > 0 {
+            let majority = *votes.iter().max().unwrap();
+            purity_weighted += majority as f64;
+            purity_weight += total;
+        }
+    }
+    let track_purity = if purity_weight > 0 {
+        purity_weighted / purity_weight as f64
+    } else if n_movers == 0 && report.tracks.is_empty() {
+        1.0
+    } else {
+        0.0
+    };
+    (count_accuracy, track_purity)
+}
+
+impl ScenarioSpec {
+    /// Runs the trial through the streaming *tracking* pipeline
+    /// (calibrate → batched observations → incremental MUSIC →
+    /// multi-target tracker) and scores it against the scene's
+    /// ground-truth trajectories.
+    pub fn run_tracking(&self, cfg: &WiViConfig, batch_len: usize) -> TrackingTrialResult {
+        let t0 = Instant::now();
+        let scene = self.build_scene();
+        // An identical scene copy for ground truth: the device consumes
+        // its own.
+        let gt_scene = self.build_scene();
+        let mut dev = WiViDevice::new(scene, *cfg, self.seed());
+        let setup_s = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let nulling_db = dev.calibrate().nulling_db();
+        let calibrate_s = t1.elapsed().as_secs_f64();
+
+        let t2 = Instant::now();
+        let report = dev.track_targets_streaming(self.duration_s, batch_len);
+        let stream_s = t2.elapsed().as_secs_f64();
+
+        let gt = ground_truth_thetas(&gt_scene, cfg, &report.times_s);
+        // Warm-up excluded from scoring: confirmation plus the dominance
+        // veto's evidence window.
+        let latency = report.cfg.confirm_hits + wivi_track::tracker::DOMINANCE_GAP_WINDOW;
+        let (count_accuracy, track_purity) = score_tracking(&report, &gt, latency);
+
+        let n_samples = (self.duration_s * cfg.radio.channel_rate_hz).round() as usize;
+        TrackingTrialResult {
+            spec: *self,
+            seed: self.seed(),
+            n_windows: report.n_windows(),
+            n_tracks: report.tracks.len(),
+            count_accuracy,
+            track_purity,
+            n_entries: report.entries().len(),
+            n_exits: report.exits().len(),
+            nulling_db,
+            n_samples,
+            setup_s,
+            calibrate_s,
+            stream_s,
+        }
+    }
+}
+
 /// A Cartesian scenario grid.
 #[derive(Clone, Debug)]
 pub struct ScenarioGrid {
@@ -259,6 +536,19 @@ impl ScenarioGrid {
             ],
             human_counts: vec![0, 1, 2, 3],
             motions: vec![MotionModel::RandomWalk],
+            trials_per_cell: 1,
+            duration_s: 4.0,
+        }
+    }
+
+    /// The tracking-acceptance grid: both rooms, the standard wall,
+    /// 0–3 crossing subjects.
+    pub fn tracking() -> Self {
+        Self {
+            rooms: vec![Room::Small, Room::Large],
+            materials: vec![Material::HollowWall6In],
+            human_counts: vec![0, 1, 2, 3],
+            motions: vec![MotionModel::Crossing],
             trials_per_cell: 1,
             duration_s: 4.0,
         }
@@ -341,6 +631,23 @@ impl ScenarioRunner {
         let cfg = &self.config;
         parallel_map_threads(specs, |spec| spec.run(cfg, self.batch_len), self.threads)
     }
+
+    /// Runs every trial of `grid` through the tracking pipeline in
+    /// parallel, with the same thread-count-invariance guarantee as
+    /// [`Self::run`].
+    pub fn run_tracking(&self, grid: &ScenarioGrid) -> Vec<TrackingTrialResult> {
+        self.run_tracking_specs(&grid.specs())
+    }
+
+    /// Runs an explicit trial list through the tracking pipeline.
+    pub fn run_tracking_specs(&self, specs: &[ScenarioSpec]) -> Vec<TrackingTrialResult> {
+        let cfg = &self.config;
+        parallel_map_threads(
+            specs,
+            |spec| spec.run_tracking(cfg, self.batch_len),
+            self.threads,
+        )
+    }
 }
 
 fn json_escape(s: &str) -> String {
@@ -403,6 +710,81 @@ pub fn write_pipeline_json(
             r.n_samples,
             r.setup_s,
             r.calibrate_s,
+            r.stream_s,
+            r.samples_per_sec(),
+        )?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    Ok(())
+}
+
+/// Writes `BENCH_tracking.json`: run-level aggregates (wall-clock,
+/// throughput, mean count accuracy / track purity over the grid) plus one
+/// record per trial. Field documentation lives in DESIGN.md §8.
+pub fn write_tracking_json(
+    path: &str,
+    results: &[TrackingTrialResult],
+    wall_s: f64,
+    threads: usize,
+    mode: &str,
+) -> std::io::Result<()> {
+    let total_samples: usize = results.iter().map(|r| r.n_samples).sum();
+    let total_stream: f64 = results.iter().map(|r| r.stream_s).sum();
+    let trial_duration_s = results.first().map_or(0.0, |r| r.spec.duration_s);
+    let mean = |f: &dyn Fn(&TrackingTrialResult) -> f64| -> f64 {
+        if results.is_empty() {
+            0.0
+        } else {
+            results.iter().map(f).sum::<f64>() / results.len() as f64
+        }
+    };
+
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"benchmark\": \"wivi_tracking_pipeline\",")?;
+    writeln!(f, "  \"mode\": \"{}\",", json_escape(mode))?;
+    writeln!(f, "  \"trial_duration_s\": {trial_duration_s:.3},")?;
+    writeln!(f, "  \"trials\": {},", results.len())?;
+    writeln!(f, "  \"threads\": {threads},")?;
+    writeln!(f, "  \"wall_clock_s\": {wall_s:.6},")?;
+    writeln!(f, "  \"total_channel_samples\": {total_samples},")?;
+    writeln!(
+        f,
+        "  \"throughput_samples_per_sec\": {:.2},",
+        total_samples as f64 / wall_s.max(1e-12)
+    )?;
+    writeln!(f, "  \"tracking_stage_total_s\": {total_stream:.6},")?;
+    writeln!(
+        f,
+        "  \"mean_count_accuracy\": {:.4},",
+        mean(&|r| r.count_accuracy)
+    )?;
+    writeln!(
+        f,
+        "  \"mean_track_purity\": {:.4},",
+        mean(&|r| r.track_purity)
+    )?;
+    writeln!(f, "  \"results\": [")?;
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        writeln!(
+            f,
+            "    {{\"label\": \"{}\", \"seed\": {}, \"n_windows\": {}, \
+             \"n_tracks\": {}, \"count_accuracy\": {:.4}, \
+             \"track_purity\": {:.4}, \"entries\": {}, \"exits\": {}, \
+             \"nulling_db\": {:.3}, \"n_samples\": {}, \"stream_s\": {:.6}, \
+             \"samples_per_sec\": {:.2}}}{comma}",
+            json_escape(&r.spec.label()),
+            r.seed,
+            r.n_windows,
+            r.n_tracks,
+            r.count_accuracy,
+            r.track_purity,
+            r.n_entries,
+            r.n_exits,
+            r.nulling_db,
+            r.n_samples,
             r.stream_s,
             r.samples_per_sec(),
         )?;
@@ -513,6 +895,153 @@ mod tests {
                 a.spec.label()
             );
             assert_eq!(a.nulling_db.to_bits(), b.nulling_db.to_bits());
+        }
+    }
+
+    #[test]
+    fn crossing_scenes_are_deterministic_and_paced_inside_the_room() {
+        for n in [1usize, 2, 3] {
+            let spec = ScenarioSpec {
+                room: Room::Small,
+                material: Material::HollowWall6In,
+                n_humans: n,
+                motion: MotionModel::Crossing,
+                trial: 0,
+                duration_s: 4.0,
+            };
+            let s1 = spec.build_scene();
+            let s2 = spec.build_scene();
+            assert_eq!(s1.movers.len(), n);
+            let rect = spec.room.rect();
+            for t in [0.0, 2.0, 4.0] {
+                for (m1, m2) in s1.movers.iter().zip(&s2.movers) {
+                    assert_eq!(m1.position(t), m2.position(t));
+                    assert!(rect.contains(m1.position(t)), "escaped at t={t}");
+                }
+            }
+            // Nobody parks during the trial: every mover still moves at
+            // the end.
+            for m in &s1.movers {
+                let d = m.position(4.0).distance(m.position(3.8));
+                assert!(d > 0.01, "mover parked before the trial ended");
+            }
+        }
+    }
+
+    #[test]
+    fn ground_truth_thetas_sign_convention() {
+        // An approaching mover closes range ⇒ positive θ; receding ⇒
+        // negative.
+        let spec = ScenarioSpec {
+            room: Room::Small,
+            material: Material::HollowWall6In,
+            n_humans: 2, // mover 0 approaches, mover 1 recedes
+            motion: MotionModel::Crossing,
+            trial: 0,
+            duration_s: 4.0,
+        };
+        let scene = spec.build_scene();
+        let cfg = WiViConfig::paper_default();
+        let gt = ground_truth_thetas(&scene, &cfg, &[1.0, 2.0, 3.0]);
+        assert_eq!(gt.len(), 3);
+        for row in &gt {
+            assert_eq!(row.len(), 2);
+            assert!(row[0] > 0.0, "approacher got θ {}", row[0]);
+            assert!(row[1] < 0.0, "receder got θ {}", row[1]);
+            assert!(row.iter().all(|t| t.abs() <= 90.0));
+        }
+    }
+
+    #[test]
+    fn score_tracking_counts_and_purity() {
+        use wivi_track::{track_spectrogram, TrackerConfig};
+        // A synthetic spectrogram with one clean ridge at +45° lets us
+        // pin the scorer: perfect count accuracy and purity against a
+        // matching single-mover ground truth, zero accuracy against a
+        // ground truth that says nobody is there.
+        let thetas: Vec<f64> = (0..61).map(|i| -90.0 + 3.0 * i as f64).collect();
+        let n_win = 30usize;
+        let rows: Vec<Vec<f64>> = (0..n_win)
+            .map(|_| {
+                thetas
+                    .iter()
+                    .map(|&th| {
+                        let db: f64 = 30.0 - 0.5 * (th - 45.0) * (th - 45.0);
+                        1.0 + if db > 0.0 { 10f64.powf(db / 10.0) } else { 0.0 }
+                    })
+                    .collect()
+            })
+            .collect();
+        let cfg = wivi_core::MusicConfig::fast_test();
+        let spec = wivi_core::AngleSpectrogram::new(
+            thetas,
+            cfg.isar
+                .window_times(cfg.isar.window + (n_win - 1) * cfg.isar.hop),
+            rows,
+        );
+        let report = track_spectrogram(&spec, TrackerConfig::for_music(&cfg));
+        assert_eq!(report.tracks.len(), 1);
+
+        let gt_present: Vec<Vec<f64>> = (0..n_win).map(|_| vec![45.0]).collect();
+        let (acc, purity) = score_tracking(&report, &gt_present, 5);
+        assert_eq!(acc, 1.0);
+        assert_eq!(purity, 1.0);
+
+        let gt_empty: Vec<Vec<f64>> = (0..n_win).map(|_| Vec::new()).collect();
+        let (acc0, purity0) = score_tracking(&report, &gt_empty, 5);
+        assert_eq!(acc0, 0.0, "phantom track must score zero accuracy");
+        assert_eq!(purity0, 0.0);
+    }
+
+    #[test]
+    fn tracking_json_is_written_and_parsable_shape() {
+        let spec = ScenarioSpec {
+            room: Room::Small,
+            material: Material::HollowWall6In,
+            n_humans: 1,
+            motion: MotionModel::Crossing,
+            trial: 0,
+            duration_s: 1.0,
+        };
+        let r = spec.run_tracking(&WiViConfig::fast_test(), 16);
+        assert_eq!(r.n_samples, (1.0 * 312.5f64).round() as usize);
+        assert!(r.samples_per_sec() > 0.0);
+
+        let path = std::env::temp_dir().join("wivi_bench_tracking_test.json");
+        let path = path.to_str().unwrap();
+        write_tracking_json(path, &[r], 1.0, 4, "quick").unwrap();
+        let body = std::fs::read_to_string(path).unwrap();
+        assert!(body.contains("\"benchmark\": \"wivi_tracking_pipeline\""));
+        assert!(body.contains("\"mean_count_accuracy\""));
+        assert!(body.contains("\"mean_track_purity\""));
+        assert!(body.contains("\"count_accuracy\""));
+        assert!(body.contains("small_7x4/hollow_wall_6in/1h/crossing#0"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn tracking_runner_is_thread_count_invariant() {
+        let grid = ScenarioGrid {
+            rooms: vec![Room::Small],
+            materials: vec![Material::HollowWall6In],
+            human_counts: vec![0, 1],
+            motions: vec![MotionModel::Crossing],
+            trials_per_cell: 1,
+            duration_s: 1.0,
+        };
+        let runner = |threads| {
+            ScenarioRunner::new(WiViConfig::fast_test())
+                .with_threads(threads)
+                .run_tracking(&grid)
+        };
+        let sequential = runner(1);
+        let parallel = runner(4);
+        assert_eq!(sequential.len(), parallel.len());
+        for (a, b) in sequential.iter().zip(&parallel) {
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.n_tracks, b.n_tracks, "{}", a.spec.label());
+            assert_eq!(a.count_accuracy.to_bits(), b.count_accuracy.to_bits());
+            assert_eq!(a.track_purity.to_bits(), b.track_purity.to_bits());
         }
     }
 

@@ -12,7 +12,7 @@ use wivi_core::gesture::GestureDecode;
 use wivi_core::{WiViConfig, WiViDevice};
 use wivi_rf::{
     BodyConfig, ConfinedRandomWalk, GestureScript, GestureStyle, Material, Mover, Point, Rect,
-    Scene, Vec2,
+    Scene, Vec2, WaypointWalker,
 };
 
 /// Which of the two §7.2 conference rooms a trial runs in.
@@ -88,6 +88,42 @@ pub fn run_counting_trial(room: Room, n_humans: usize, trial_seed: u64, duration
     let mut dev = WiViDevice::new(scene, WiViConfig::paper_default(), trial_seed);
     dev.calibrate();
     dev.measure_spatial_variance(duration_s)
+}
+
+/// A deterministic multi-person tracking showcase: up to three subjects
+/// on fixed crossing lanes in the small conference room, radial speeds
+/// chosen so their ridges occupy well-separated angle bands
+/// (≈ +49°, −30°, +20° under the paper's assumed 1 m/s). This is the
+/// scene the tracking acceptance tests run: every subject moves from the
+/// first sample, so ground-truth entries are at window 0 and nobody
+/// exits.
+///
+/// # Panics
+/// Panics if `n_subjects` is 0 or greater than 3.
+pub fn crossing_showcase_scene(n_subjects: usize) -> Scene {
+    assert!((1..=3).contains(&n_subjects), "1..=3 subjects supported");
+    let mut scene =
+        Scene::new(Material::HollowWall6In).with_office_clutter(Scene::conference_room_small());
+    // Fast approacher: closing ≈ 0.72 m/s radially ⇒ ridge near +49°.
+    scene = scene.with_mover(Mover::human(WaypointWalker::new(
+        vec![Point::new(-1.4, 3.9), Point::new(-0.2, 0.7)],
+        0.75,
+    )));
+    if n_subjects >= 2 {
+        // Receder: opening ≈ 0.5 m/s ⇒ ridge near −30°.
+        scene = scene.with_mover(Mover::human(WaypointWalker::new(
+            vec![Point::new(0.9, 1.0), Point::new(1.7, 3.9)],
+            0.5,
+        )));
+    }
+    if n_subjects >= 3 {
+        // Slow approacher: ≈ 0.34 m/s ⇒ ridge near +20°.
+        scene = scene.with_mover(Mover::human(WaypointWalker::new(
+            vec![Point::new(1.8, 3.6), Point::new(0.6, 0.8)],
+            0.35,
+        )));
+    }
+    scene
 }
 
 /// A gesture-communication trial (§7.5 / §7.6).

@@ -1,0 +1,82 @@
+//! The tracking subsystem's acceptance criteria, end to end through the
+//! simulated device at the paper's full configuration: multi-person
+//! crossing scenes must yield confirmed tracks whose count matches
+//! ground truth in at least 80 % of windows after the tracker's warm-up,
+//! with entry events on the correct window.
+
+use wivi_bench::engine::{ground_truth_thetas, score_tracking};
+use wivi_bench::scenarios::crossing_showcase_scene;
+use wivi_core::{WiViConfig, WiViDevice};
+use wivi_track::tracker::DOMINANCE_GAP_WINDOW;
+use wivi_track::TrackTargets;
+
+/// Count-accuracy of one showcase trial: fraction of post-warm-up
+/// windows whose announced-track count equals the number of subjects
+/// with a ground-truth ridge clear of the DC guard.
+fn run_trial(n_subjects: usize, seed: u64) -> (f64, usize, Vec<usize>, usize) {
+    let cfg = WiViConfig::paper_default();
+    let mut dev = WiViDevice::new(crossing_showcase_scene(n_subjects), cfg, seed);
+    dev.calibrate();
+    let report = dev.track_targets_streaming(4.0, 16);
+    let gt = ground_truth_thetas(&crossing_showcase_scene(n_subjects), &cfg, &report.times_s);
+
+    let warmup = report.cfg.confirm_hits + DOMINANCE_GAP_WINDOW;
+    let (acc, _purity) = score_tracking(&report, &gt, warmup);
+    let entries: Vec<usize> = report.entries().iter().map(|e| e.window).collect();
+    (acc, report.tracks.len(), entries, report.exits().len())
+}
+
+#[test]
+fn three_crossing_subjects_count_matches_at_least_80_percent() {
+    for seed in [11u64, 13] {
+        let (acc, n_tracks, entries, n_exits) = run_trial(3, seed);
+        assert_eq!(n_tracks, 3, "seed {seed}: expected 3 tracks");
+        assert!(
+            acc >= 0.8,
+            "seed {seed}: count accuracy {acc:.2} below the 80 % bar"
+        );
+        // Everyone moves from the first sample: every entry must be
+        // back-dated to within one analysis window of the trial start.
+        for (i, &w) in entries.iter().enumerate() {
+            assert!(w <= 1, "seed {seed}: entry {i} at window {w}");
+        }
+        // Nobody leaves.
+        assert_eq!(n_exits, 0, "seed {seed}: spurious exit events");
+    }
+}
+
+#[test]
+fn two_crossing_subjects_yield_opposite_sign_tracks() {
+    let cfg = WiViConfig::paper_default();
+    let mut dev = WiViDevice::new(crossing_showcase_scene(2), cfg, 12);
+    dev.calibrate();
+    let report = dev.track_targets_streaming(4.0, 16);
+    // The two long-lived tracks sit in opposite half-planes (one
+    // approaching, one receding).
+    let mut long: Vec<_> = report.tracks.iter().filter(|t| t.len() >= 20).collect();
+    long.sort_by_key(|t| t.len());
+    assert!(long.len() >= 2, "tracks: {:?}", report.tracks.len());
+    let signs: Vec<bool> = long
+        .iter()
+        .rev()
+        .take(2)
+        .map(|t| t.mean_observed_theta().unwrap() > 0.0)
+        .collect();
+    assert_ne!(signs[0], signs[1], "both tracks on the same side");
+}
+
+#[test]
+fn empty_room_stays_trackless_at_paper_scale() {
+    let cfg = WiViConfig::paper_default();
+    let scene = wivi_rf::Scene::new(wivi_rf::Material::HollowWall6In)
+        .with_office_clutter(wivi_rf::Scene::conference_room_small());
+    let mut dev = WiViDevice::new(scene, cfg, 5);
+    dev.calibrate();
+    let report = dev.track_targets_streaming(3.0, 16);
+    assert!(
+        report.tracks.is_empty(),
+        "static scene announced {} tracks",
+        report.tracks.len()
+    );
+    assert!(report.confirmed_counts.iter().all(|&c| c == 0));
+}

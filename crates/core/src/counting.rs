@@ -18,7 +18,7 @@
 //! the CDF *shape* and the class ordering match Fig. 7-3, the absolute
 //! scale is arbitrary (documented in EXPERIMENTS.md).
 
-use crate::spectrogram::AngleSpectrogram;
+use crate::spectrogram::{is_ridge_bin, AngleSpectrogram};
 
 /// dB-above-floor below which a MUSIC bin counts as noise grass rather
 /// than a ridge (see [`AngleSpectrogram::db_ridges`]).
@@ -88,9 +88,7 @@ pub fn window_spatial_variance(thetas_deg: &[f64], power_row: &[f64]) -> f64 {
     thetas_deg
         .iter()
         .zip(power_row)
-        .filter(|(th, &p)| {
-            th.abs() >= DC_GUARD_DEG && 10.0 * p.max(1e-30).log10() >= RIDGE_THRESHOLD_DB
-        })
+        .filter(|(&th, &p)| is_ridge_bin(th, p, RIDGE_THRESHOLD_DB, DC_GUARD_DEG))
         .map(|(&th, _)| th * th)
         .sum()
 }
@@ -356,6 +354,38 @@ mod tests {
         assert!((cm.accuracy() - 0.8).abs() < 1e-12);
         let r = cm.render();
         assert!(r.contains("100%"));
+    }
+
+    #[test]
+    fn refactored_ridge_test_pins_original_counting_formula() {
+        // `window_spatial_variance` now goes through the shared
+        // `spectrogram::is_ridge_bin` kernel; this sweep pins it to the
+        // original inline formula bit-for-bit so the counting statistic
+        // (and every trained classifier threshold) is unchanged.
+        use wivi_num::rng::Rng64;
+        let thetas: Vec<f64> = (0..61).map(|i| -90.0 + 3.0 * i as f64).collect();
+        let mut rng = Rng64::seed_from_u64(42);
+        for _ in 0..32 {
+            let row: Vec<f64> = (0..61)
+                .map(|_| {
+                    if rng.gen_bool(0.2) {
+                        rng.gen_range(1.0, 1e4) // occasional ridge
+                    } else {
+                        rng.gen_range(0.0, 5.0) // grass
+                    }
+                })
+                .collect();
+            let original: f64 = thetas
+                .iter()
+                .zip(&row)
+                .filter(|(th, &p)| {
+                    th.abs() >= DC_GUARD_DEG && 10.0 * p.max(1e-30).log10() >= RIDGE_THRESHOLD_DB
+                })
+                .map(|(&th, _)| th * th)
+                .sum();
+            let refactored = window_spatial_variance(&thetas, &row);
+            assert_eq!(refactored.to_bits(), original.to_bits());
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //!
 //! Each mode has two shapes. The `*_streaming` entry points run the real
 //! device's pipeline: observations arrive from the front-end in fixed-size
-//! batches and flow through a [`Stage`](crate::stage::Stage) that emits
+//! batches and flow through a [`Stage`] that emits
 //! spectrogram columns as analysis windows complete, holding only one
 //! window of samples. The offline one-shot methods ([`WiViDevice::track`],
 //! [`WiViDevice::decode_gestures`]) materialize the trace first; both

@@ -116,7 +116,7 @@ impl IsarConfig {
 /// The reusable per-window Bartlett beamformer (Eq. 5.1): precomputed
 /// steering vectors applied to one emulated-array window at a time. Shared
 /// by the offline [`beamform_spectrum`] and the incremental
-/// [`StreamingBeamform`](crate::stage::StreamingBeamform) stage.
+/// [`StreamingBeamform`] stage.
 pub struct BeamformEngine {
     cfg: IsarConfig,
     thetas: Vec<f64>,

@@ -135,7 +135,7 @@ pub fn smoothed_correlation_into(window: &[Complex64], subarray: usize, r: &mut 
 /// The reusable per-window smoothed-MUSIC processor: precomputed steering
 /// vectors plus correlation/eigendecomposition scratch. One engine serves
 /// both the offline [`music_spectrum`] path and the incremental
-/// [`StreamingMusic`](crate::stage::StreamingMusic) stage, so the two are
+/// [`StreamingMusic`] stage, so the two are
 /// bitwise identical by construction; window-rate processing performs no
 /// heap allocation beyond the emitted row itself.
 pub struct MusicEngine {

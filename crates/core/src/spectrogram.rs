@@ -6,6 +6,100 @@
 //! are heatmaps of this object; [`AngleSpectrogram::render_ascii`]
 //! reproduces them in a terminal.
 
+/// Absolute dB of a linear power, clamped away from `log(0)`:
+/// `10·log₁₀(max(p, 1e−30))`. The one conversion shared by the ridge
+/// maps, the counting statistic and the tracker's detector, so their
+/// notions of "ridge" can never drift apart.
+pub fn power_db(p: f64) -> f64 {
+    10.0 * p.max(1e-30).log10()
+}
+
+/// The shared per-bin ridge test: a spectrogram bin is *ridge support*
+/// when it lies outside the DC guard and its absolute dB clears the
+/// threshold. Valid for spectra with a calibrated unit floor (the
+/// normalized MUSIC pseudospectrum scores exactly 1 where steering
+/// vectors see no signal). This is the predicate
+/// [`crate::counting::window_spatial_variance`] sums over and the
+/// detector extracts peaks from.
+pub fn is_ridge_bin(theta_deg: f64, p: f64, threshold_db: f64, dc_guard_deg: f64) -> bool {
+    theta_deg.abs() >= dc_guard_deg && power_db(p) >= threshold_db
+}
+
+/// One ridge peak extracted from a spectrogram column — a local maximum
+/// of the ridge support with its position refined below the angle-bin
+/// quantum.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RidgePeak {
+    /// Index of the peak's angle bin.
+    pub bin: usize,
+    /// Sub-bin interpolated peak angle, degrees.
+    pub theta_deg: f64,
+    /// Interpolated peak height, absolute dB.
+    pub power_db: f64,
+}
+
+/// Extracts the ridge peaks of one spectrogram column: every strict local
+/// maximum of the ridge support (see [`is_ridge_bin`]), position-refined
+/// by a three-point parabolic fit in the dB domain (the standard sub-bin
+/// interpolation; the offset is clamped to ±½ bin so a degenerate fit can
+/// never leave the peak's cell). Peaks are returned in ascending angle
+/// order. Plateaus yield their leftmost bin, so the output is
+/// deterministic bit-for-bit.
+///
+/// This is the per-column kernel shared by the spatial-variance counter
+/// (which only needs the support) and the multi-target tracker's
+/// detector (which needs the refined peaks).
+pub fn ridge_peaks(
+    thetas_deg: &[f64],
+    power_row: &[f64],
+    threshold_db: f64,
+    dc_guard_deg: f64,
+) -> Vec<RidgePeak> {
+    assert_eq!(
+        thetas_deg.len(),
+        power_row.len(),
+        "one power value per angle"
+    );
+    let n = power_row.len();
+    let mut peaks = Vec::new();
+    for i in 0..n {
+        if !is_ridge_bin(thetas_deg[i], power_row[i], threshold_db, dc_guard_deg) {
+            continue;
+        }
+        let p = power_row[i];
+        let left_lower = i == 0 || power_row[i - 1] < p;
+        let right_not_higher = i + 1 == n || power_row[i + 1] <= p;
+        if !(left_lower && right_not_higher) {
+            continue;
+        }
+        let c = power_db(p);
+        let (theta, height) = if i == 0 || i + 1 == n {
+            (thetas_deg[i], c)
+        } else {
+            let l = power_db(power_row[i - 1]);
+            let r = power_db(power_row[i + 1]);
+            let denom = l - 2.0 * c + r;
+            if denom >= 0.0 {
+                // Flat or non-concave neighbourhood: no refinement.
+                (thetas_deg[i], c)
+            } else {
+                let delta = (0.5 * (l - r) / denom).clamp(-0.5, 0.5);
+                let bin_width = thetas_deg[i + 1] - thetas_deg[i];
+                (
+                    thetas_deg[i] + delta * bin_width,
+                    c - 0.25 * (l - r) * delta,
+                )
+            }
+        };
+        peaks.push(RidgePeak {
+            bin: i,
+            theta_deg: theta,
+            power_db: height,
+        });
+    }
+    peaks
+}
+
 /// Power (linear) over a grid of spatial angles × time windows.
 #[derive(Clone, Debug)]
 pub struct AngleSpectrogram {
@@ -124,8 +218,8 @@ impl AngleSpectrogram {
             .iter()
             .map(|row| {
                 row.iter()
-                    .map(|p| {
-                        let db = 10.0 * p.max(1e-30).log10();
+                    .map(|&p| {
+                        let db = power_db(p);
                         if db < threshold_db {
                             0.0
                         } else {
@@ -135,6 +229,11 @@ impl AngleSpectrogram {
                     .collect()
             })
             .collect()
+    }
+
+    /// The [`ridge_peaks`] of window `t`'s column.
+    pub fn ridge_peaks(&self, t: usize, threshold_db: f64, dc_guard_deg: f64) -> Vec<RidgePeak> {
+        ridge_peaks(&self.thetas_deg, &self.power[t], threshold_db, dc_guard_deg)
     }
 
     /// Signed angle-energy track used by the gesture decoder: for each
@@ -279,5 +378,85 @@ mod tests {
     #[should_panic(expected = "one power value per angle")]
     fn shape_validation() {
         let _ = AngleSpectrogram::new(vec![0.0], vec![0.0], vec![vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn ridge_peaks_respect_threshold_and_guard() {
+        let thetas: Vec<f64> = (0..19).map(|i| -90.0 + 10.0 * i as f64).collect();
+        let mut row = vec![1.0; 19];
+        row[9] = 1e6; // DC spike (θ = 0) — must be guarded out.
+        row[13] = 100.0; // +40°, 20 dB — a ridge.
+        row[3] = 5.0; // −60°, 7 dB — below a 10 dB threshold.
+        let peaks = ridge_peaks(&thetas, &row, 10.0, 10.0);
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].bin, 13);
+        assert!((peaks[0].theta_deg - 40.0).abs() < 5.0);
+        assert!(peaks[0].power_db >= 20.0);
+    }
+
+    #[test]
+    fn ridge_peak_interpolation_is_sub_bin() {
+        // A peak whose true maximum lies between bins 12 (+30°) and
+        // 13 (+40°): the right neighbour is hotter than the left, so the
+        // refined angle must sit above the +30° grid point.
+        let thetas: Vec<f64> = (0..19).map(|i| -90.0 + 10.0 * i as f64).collect();
+        let mut row = vec![1.0; 19];
+        row[11] = 50.0;
+        row[12] = 400.0;
+        row[13] = 300.0;
+        let peaks = ridge_peaks(&thetas, &row, 10.0, 10.0);
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].bin, 12);
+        assert!(
+            peaks[0].theta_deg > 30.0 && peaks[0].theta_deg < 35.0,
+            "interpolated {}",
+            peaks[0].theta_deg
+        );
+        // The refined height can only exceed the sampled bin height.
+        assert!(peaks[0].power_db >= power_db(400.0));
+    }
+
+    #[test]
+    fn ridge_peaks_split_two_bodies() {
+        let thetas: Vec<f64> = (0..19).map(|i| -90.0 + 10.0 * i as f64).collect();
+        let mut row = vec![1.0; 19];
+        row[4] = 200.0; // −50°
+        row[14] = 150.0; // +50°
+        let peaks = ridge_peaks(&thetas, &row, 10.0, 10.0);
+        assert_eq!(peaks.len(), 2);
+        assert!(peaks[0].theta_deg < 0.0 && peaks[1].theta_deg > 0.0);
+    }
+
+    #[test]
+    fn ridge_peak_plateau_yields_single_leftmost_peak() {
+        let thetas: Vec<f64> = (0..19).map(|i| -90.0 + 10.0 * i as f64).collect();
+        let mut row = vec![1.0; 19];
+        row[13] = 100.0;
+        row[14] = 100.0;
+        let peaks = ridge_peaks(&thetas, &row, 10.0, 10.0);
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].bin, 13);
+    }
+
+    #[test]
+    fn ridge_peak_at_grid_edge_is_not_interpolated() {
+        let thetas: Vec<f64> = (0..19).map(|i| -90.0 + 10.0 * i as f64).collect();
+        let mut row = vec![1.0; 19];
+        row[18] = 100.0; // +90°, the last bin
+        let peaks = ridge_peaks(&thetas, &row, 10.0, 10.0);
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].theta_deg, 90.0);
+        assert_eq!(peaks[0].power_db, power_db(100.0));
+    }
+
+    #[test]
+    fn spectrogram_method_matches_free_function() {
+        let s = demo();
+        for t in 0..s.n_times() {
+            assert_eq!(
+                s.ridge_peaks(t, 10.0, 10.0),
+                ridge_peaks(&s.thetas_deg, &s.power[t], 10.0, 10.0)
+            );
+        }
     }
 }

@@ -1,0 +1,153 @@
+//! A constant-velocity Kalman filter over one spatial coordinate.
+//!
+//! The tracker models each target's spectrogram ridge as a state
+//! `x = (θ, θ̇)` — angle and angle rate — observed once per analysis
+//! window through `z = θ + v`, `v ~ N(0, r)`. Between windows the state
+//! propagates under the constant-velocity model driven by white
+//! acceleration of power-spectral density `q` (the standard
+//! discretized CV process noise):
+//!
+//! ```text
+//! F = [1 dt; 0 1]        Q = q · [dt³/3  dt²/2; dt²/2  dt]
+//! ```
+//!
+//! Everything is closed-form 2×2 algebra — no matrix library needed —
+//! and fully deterministic, which keeps the tracker's
+//! streaming-equals-offline contract bitwise.
+
+/// Constant-velocity scalar-observation Kalman filter state.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Kalman2 {
+    /// State estimate `(θ, θ̇)`.
+    pub x: [f64; 2],
+    /// Covariance, row-major symmetric.
+    pub p: [[f64; 2]; 2],
+}
+
+impl Kalman2 {
+    /// Initializes from a first observation: position `z` with variance
+    /// `var_pos`, unknown velocity with variance `var_vel` around 0.
+    pub fn from_observation(z: f64, var_pos: f64, var_vel: f64) -> Self {
+        assert!(var_pos > 0.0 && var_vel > 0.0);
+        Self {
+            x: [z, 0.0],
+            p: [[var_pos, 0.0], [0.0, var_vel]],
+        }
+    }
+
+    /// Time-update over `dt` seconds with acceleration PSD `q`.
+    pub fn predict(&mut self, dt: f64, q: f64) {
+        assert!(dt >= 0.0 && q >= 0.0);
+        let [x0, x1] = self.x;
+        self.x = [x0 + dt * x1, x1];
+        let [[p00, p01], [p10, p11]] = self.p;
+        // P ← F P Fᵀ + Q, written out.
+        let n00 = p00 + dt * (p10 + p01) + dt * dt * p11 + q * dt * dt * dt / 3.0;
+        let n01 = p01 + dt * p11 + q * dt * dt / 2.0;
+        let n11 = p11 + q * dt;
+        self.p = [[n00, n01], [n01, n11]];
+    }
+
+    /// Predicted observation (the current angle estimate).
+    pub fn predicted(&self) -> f64 {
+        self.x[0]
+    }
+
+    /// Innovation variance `S = P₀₀ + r` for measurement noise `r`.
+    pub fn innovation_var(&self, r: f64) -> f64 {
+        self.p[0][0] + r
+    }
+
+    /// Normalized innovation squared `ν²/S` — the Mahalanobis gate
+    /// distance of observation `z` (χ²-distributed with 1 dof for a
+    /// correctly associated detection).
+    pub fn gate_distance2(&self, z: f64, r: f64) -> f64 {
+        let nu = z - self.x[0];
+        nu * nu / self.innovation_var(r)
+    }
+
+    /// Measurement update with observation `z`, noise variance `r`.
+    /// Returns the innovation `ν = z − θ̂⁻`.
+    pub fn update(&mut self, z: f64, r: f64) -> f64 {
+        assert!(r > 0.0);
+        let nu = z - self.x[0];
+        let s = self.innovation_var(r);
+        let k = [self.p[0][0] / s, self.p[1][0] / s];
+        self.x = [self.x[0] + k[0] * nu, self.x[1] + k[1] * nu];
+        let [[p00, p01], [_, p11]] = self.p;
+        // P ← (I − K H) P with H = [1 0]; symmetric by construction.
+        let n00 = (1.0 - k[0]) * p00;
+        let n01 = (1.0 - k[0]) * p01;
+        let n11 = p11 - k[1] * p01;
+        self.p = [[n00, n01], [n01, n11]];
+        nu
+    }
+
+    /// Current velocity estimate `θ̇`, degrees/second in the tracker's
+    /// units.
+    pub fn velocity(&self) -> f64 {
+        self.x[1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_pulls_estimate_toward_observation() {
+        let mut kf = Kalman2::from_observation(0.0, 4.0, 1.0);
+        kf.predict(1.0, 0.1);
+        let nu = kf.update(10.0, 1.0);
+        assert!(nu > 0.0);
+        assert!(kf.predicted() > 0.0 && kf.predicted() < 10.0);
+    }
+
+    #[test]
+    fn predict_inflates_covariance_update_shrinks_it() {
+        let mut kf = Kalman2::from_observation(0.0, 4.0, 1.0);
+        let p_before = kf.p[0][0];
+        kf.predict(0.5, 1.0);
+        assert!(kf.p[0][0] > p_before, "predict must inflate variance");
+        let p_pred = kf.p[0][0];
+        kf.update(0.0, 1.0);
+        assert!(kf.p[0][0] < p_pred, "update must shrink variance");
+    }
+
+    #[test]
+    fn converges_on_linear_motion() {
+        // Target moves at a steady 5°/s; after enough updates the filter
+        // should learn the velocity and track with small error.
+        let mut kf = Kalman2::from_observation(0.0, 4.0, 25.0);
+        let dt = 0.05;
+        for i in 1..200 {
+            let t = i as f64 * dt;
+            kf.predict(dt, 0.5);
+            kf.update(5.0 * t, 0.25);
+        }
+        assert!((kf.velocity() - 5.0).abs() < 0.5, "v̂ = {}", kf.velocity());
+        assert!((kf.predicted() - 5.0 * 199.0 * dt).abs() < 0.5);
+    }
+
+    #[test]
+    fn gate_distance_grows_with_innovation() {
+        let kf = Kalman2::from_observation(0.0, 1.0, 1.0);
+        assert!(kf.gate_distance2(0.1, 1.0) < kf.gate_distance2(3.0, 1.0));
+        assert_eq!(kf.gate_distance2(0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn stationary_covariance_reaches_steady_state() {
+        let mut kf = Kalman2::from_observation(0.0, 100.0, 100.0);
+        let mut last = f64::INFINITY;
+        for _ in 0..500 {
+            kf.predict(0.05, 0.01);
+            kf.update(0.0, 1.0);
+            last = kf.p[0][0];
+        }
+        // Steady state: variance bounded and positive.
+        assert!(last > 0.0 && last < 1.0, "P00 = {last}");
+        // Symmetry preserved.
+        assert_eq!(kf.p[0][1], kf.p[1][0]);
+    }
+}

@@ -14,18 +14,26 @@
 //!   [`eig`]).
 //! * [`rng`] — the deterministic in-house [`rng::Rng64`] generator with
 //!   Box–Muller normal and circularly-symmetric complex Gaussian sampling.
+//! * [`assign`] — exact small-N minimum-cost assignment (the
+//!   data-association kernel of the multi-target tracker).
+//! * [`kalman`] — the 2-state constant-velocity Kalman filter each track
+//!   runs over its (θ, θ̇) ridge state.
 //! * [`stats`] — means, variances, percentiles, empirical CDFs and the
 //!   dB conversions used throughout the evaluation harness.
 
+pub mod assign;
 pub mod complex;
 pub mod eig;
 pub mod fft;
+pub mod kalman;
 pub mod matrix;
 pub mod rng;
 pub mod stats;
 
+pub use assign::{solve_assignment, Assignment};
 pub use complex::Complex64;
 pub use eig::{hermitian_eig, EigWorkspace, HermitianEig};
 pub use fft::FftPlan;
+pub use kalman::Kalman2;
 pub use matrix::CMatrix;
 pub use rng::Rng64;

@@ -152,3 +152,109 @@ fn cdf_bounds_and_monotonicity() {
         assert!(cdf.eval(cdf.max()) == 1.0);
     }
 }
+
+/// Brute-force optimal assignment: enumerate every per-row choice
+/// (a column or a miss), reject column collisions, take the minimum.
+fn brute_force_assignment(costs: &[Vec<f64>], miss: &[f64]) -> f64 {
+    let n_rows = costs.len();
+    let n_cols = costs.first().map_or(0, Vec::len);
+    let mut best = f64::INFINITY;
+    // Each row's choice encoded in base (n_cols + 1); digit n_cols = miss.
+    let total = (n_cols as u64 + 1).pow(n_rows as u32);
+    for code in 0..total {
+        let mut c = code;
+        let mut used = 0u32;
+        let mut cost = 0.0;
+        let mut ok = true;
+        for i in 0..n_rows {
+            let pick = (c % (n_cols as u64 + 1)) as usize;
+            c /= n_cols as u64 + 1;
+            if pick == n_cols {
+                cost += miss[i];
+            } else {
+                if used & (1 << pick) != 0 {
+                    ok = false;
+                    break;
+                }
+                used |= 1 << pick;
+                cost += costs[i][pick];
+            }
+        }
+        if ok && cost < best {
+            best = cost;
+        }
+    }
+    best
+}
+
+#[test]
+fn assignment_solver_matches_brute_force() {
+    let mut rng = Rng64::seed_from_u64(110);
+    for case in 0..CASES {
+        let n_rows = 1 + rng.gen_below(4) as usize;
+        let n_cols = 1 + rng.gen_below(4) as usize;
+        let costs: Vec<Vec<f64>> = (0..n_rows)
+            .map(|_| {
+                (0..n_cols)
+                    .map(|_| {
+                        // ~20 % of pairings gated out.
+                        if rng.gen_bool(0.2) {
+                            f64::INFINITY
+                        } else {
+                            rng.gen_range(0.0, 10.0)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let miss: Vec<f64> = (0..n_rows).map(|_| rng.gen_range(0.0, 10.0)).collect();
+
+        let solved = wivi_num::solve_assignment(&costs, &miss);
+        let brute = brute_force_assignment(&costs, &miss);
+        assert!(
+            (solved.total_cost - brute).abs() < 1e-9,
+            "case {case}: solver {} vs brute force {brute} ({costs:?}, miss {miss:?})",
+            solved.total_cost
+        );
+
+        // The reported pairing must be feasible and must reproduce the
+        // reported total cost.
+        let mut used = vec![false; n_cols];
+        let mut replay = 0.0;
+        for (i, p) in solved.pairing.iter().enumerate() {
+            match p {
+                None => replay += miss[i],
+                Some(j) => {
+                    assert!(!used[*j], "case {case}: column {j} assigned twice");
+                    assert!(costs[i][*j].is_finite(), "case {case}: gated pairing used");
+                    used[*j] = true;
+                    replay += costs[i][*j];
+                }
+            }
+        }
+        assert!((replay - solved.total_cost).abs() < 1e-9, "case {case}");
+    }
+}
+
+#[test]
+fn kalman_tracks_random_constant_velocity_targets() {
+    let mut rng = Rng64::seed_from_u64(111);
+    for case in 0..CASES {
+        let v_true = rng.gen_range(-20.0, 20.0);
+        let x0 = rng.gen_range(-60.0, 60.0);
+        let r: f64 = 0.5;
+        let dt = 0.05;
+        let mut kf = wivi_num::Kalman2::from_observation(x0, 4.0, 100.0);
+        for i in 1..300 {
+            let t = i as f64 * dt;
+            kf.predict(dt, 1.0);
+            let z = x0 + v_true * t + wivi_num::rng::normal(&mut rng, 0.0, r.sqrt());
+            kf.update(z, r);
+        }
+        assert!(
+            (kf.velocity() - v_true).abs() < 2.0,
+            "case {case}: v̂ {} vs {v_true}",
+            kf.velocity()
+        );
+    }
+}

@@ -1,0 +1,241 @@
+//! The per-window detector: spectrogram column → point detections.
+//!
+//! Each `A′[θ, n]` column is reduced to a handful of candidate targets:
+//! the ridge peaks of the column (shared kernel
+//! [`wivi_core::spectrogram::ridge_peaks`] — the same dB threshold and DC
+//! guard the spatial-variance counter uses, with sub-bin parabolic
+//! refinement), strongest-first, capped at
+//! [`DetectorConfig::max_detections`] so a pathological column cannot
+//! blow up the association problem.
+
+use wivi_core::counting::{DC_GUARD_DEG, RIDGE_THRESHOLD_DB};
+use wivi_core::spectrogram::ridge_peaks;
+
+/// Detector tuning.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DetectorConfig {
+    /// Absolute dB threshold a bin must clear to count as ridge support
+    /// (shared default with the counter:
+    /// [`wivi_core::counting::RIDGE_THRESHOLD_DB`]).
+    pub threshold_db: f64,
+    /// Angle guard around the DC line, degrees
+    /// ([`wivi_core::counting::DC_GUARD_DEG`]).
+    pub dc_guard_deg: f64,
+    /// Keep at most this many detections per column (strongest first).
+    /// Must stay within [`wivi_num::assign::MAX_COLS`].
+    pub max_detections: usize,
+    /// Non-maximum suppression radius, degrees: of two peaks closer than
+    /// this, only the stronger survives. A walking body is several
+    /// scatterers (torso, swinging limbs) whose MUSIC ridge occasionally
+    /// splits; without suppression the split confirms a duplicate track
+    /// and the person counts twice.
+    pub min_separation_deg: f64,
+    /// Conjugate-image suppression tolerance, degrees (0 disables). A
+    /// *real-valued* amplitude modulation of the channel — residual
+    /// nulling drift, gait flutter — spreads symmetrically into ±θ,
+    /// unlike a moving body's one-sided progressive phase. A detection
+    /// whose mirror partner (|θ_a + θ_b| ≤ tolerance) is at least as
+    /// strong (within [`Self::mirror_margin_db`]) is such an image and is
+    /// dropped: equal-power ± pairs (static drift) lose both sides, a
+    /// strong body keeps its ridge and sheds its weak mirror ghost.
+    pub mirror_tol_deg: f64,
+    /// Power slack for the mirror test, dB: partner counts as "at least
+    /// as strong" if within this many dB below the candidate.
+    pub mirror_margin_db: f64,
+    /// Angle-grid bins excluded at each end of the grid. The ±90° edge
+    /// bins integrate *every* radial speed at or beyond the assumed
+    /// speed (sin θ clamps there), so swing-limb micro-Doppler piles up
+    /// in them without representing any angle estimate.
+    pub edge_guard_bins: usize,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        Self {
+            threshold_db: RIDGE_THRESHOLD_DB,
+            dc_guard_deg: DC_GUARD_DEG,
+            max_detections: 6,
+            min_separation_deg: 10.0,
+            mirror_tol_deg: 4.0,
+            mirror_margin_db: 3.0,
+            edge_guard_bins: 1,
+        }
+    }
+}
+
+impl DetectorConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    /// Panics on degenerate parameters.
+    pub fn validate(&self) {
+        assert!(self.dc_guard_deg >= 0.0 && self.min_separation_deg >= 0.0);
+        assert!(self.mirror_tol_deg >= 0.0 && self.mirror_margin_db >= 0.0);
+        assert!(
+            self.max_detections >= 1 && self.max_detections <= wivi_num::assign::MAX_COLS,
+            "max_detections must be in 1..={}",
+            wivi_num::assign::MAX_COLS
+        );
+    }
+}
+
+/// One candidate target in one analysis window.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Detection {
+    /// Sub-bin interpolated ridge angle, degrees.
+    pub theta_deg: f64,
+    /// Interpolated peak height, absolute dB.
+    pub power_db: f64,
+}
+
+/// Extracts the detections of one spectrogram column, strongest peaks
+/// first, then re-ordered by ascending angle (a deterministic canonical
+/// order: ties in power break toward the lower angle bin).
+pub fn detect_column(
+    thetas_deg: &[f64],
+    power_row: &[f64],
+    cfg: &DetectorConfig,
+) -> Vec<Detection> {
+    let mut peaks = ridge_peaks(thetas_deg, power_row, cfg.threshold_db, cfg.dc_guard_deg);
+    // Grid-edge guard (see [`DetectorConfig::edge_guard_bins`]).
+    let n_bins = thetas_deg.len();
+    peaks.retain(|p| p.bin >= cfg.edge_guard_bins && p.bin < n_bins - cfg.edge_guard_bins);
+    // Conjugate-image suppression (see [`DetectorConfig::mirror_tol_deg`]).
+    if cfg.mirror_tol_deg > 0.0 {
+        let all = peaks.clone();
+        peaks.retain(|d| {
+            !all.iter().any(|s| {
+                s.bin != d.bin
+                    && (s.theta_deg + d.theta_deg).abs() <= cfg.mirror_tol_deg
+                    && s.power_db >= d.power_db - cfg.mirror_margin_db
+            })
+        });
+    }
+    // Strongest first; `bin` breaks power ties deterministically.
+    peaks.sort_by(|a, b| {
+        b.power_db
+            .partial_cmp(&a.power_db)
+            .unwrap()
+            .then(a.bin.cmp(&b.bin))
+    });
+    // Non-maximum suppression, then the cap.
+    let mut kept: Vec<wivi_core::spectrogram::RidgePeak> = Vec::new();
+    for p in peaks {
+        if kept.len() == cfg.max_detections {
+            break;
+        }
+        if kept
+            .iter()
+            .all(|k| (k.theta_deg - p.theta_deg).abs() >= cfg.min_separation_deg)
+        {
+            kept.push(p);
+        }
+    }
+    kept.sort_by_key(|p| p.bin);
+    kept.iter()
+        .map(|p| Detection {
+            theta_deg: p.theta_deg,
+            power_db: p.power_db,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Vec<f64> {
+        (0..61).map(|i| -90.0 + 3.0 * i as f64).collect()
+    }
+
+    #[test]
+    fn clean_column_yields_no_detections() {
+        let thetas = grid();
+        let row = vec![1.0; 61];
+        assert!(detect_column(&thetas, &row, &DetectorConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn two_bodies_detected_in_angle_order() {
+        let thetas = grid();
+        let mut row = vec![1.0; 61];
+        row[10] = 300.0; // −60°
+        row[45] = 800.0; // +45° (off the −60° mirror)
+        let d = detect_column(&thetas, &row, &DetectorConfig::default());
+        assert_eq!(d.len(), 2);
+        assert!(d[0].theta_deg < 0.0 && d[1].theta_deg > 0.0);
+        assert!(d[1].power_db > d[0].power_db);
+    }
+
+    #[test]
+    fn equal_power_mirror_pair_is_fully_suppressed() {
+        // The static-drift signature: ±θ at matching power — both sides
+        // are images of a real-valued modulation, neither is a body.
+        let thetas = grid();
+        let mut row = vec![1.0; 61];
+        row[15] = 250.0; // −45°
+        row[45] = 250.0; // +45°
+        assert!(detect_column(&thetas, &row, &DetectorConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn strong_body_sheds_its_weak_mirror_ghost() {
+        let thetas = grid();
+        let mut row = vec![1.0; 61];
+        row[43] = 5000.0; // +39° — the body
+        row[17] = 150.0; // −39° — its conjugate image, ~15 dB weaker
+        let d = detect_column(&thetas, &row, &DetectorConfig::default());
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].theta_deg > 0.0);
+    }
+
+    #[test]
+    fn cap_keeps_the_strongest() {
+        let thetas = grid();
+        let mut row = vec![1.0; 61];
+        // Five ridges of increasing power, separated by grass.
+        for (k, &bin) in [5usize, 15, 25, 45, 55].iter().enumerate() {
+            row[bin] = 100.0 * (k + 1) as f64;
+        }
+        let cfg = DetectorConfig {
+            max_detections: 2,
+            ..DetectorConfig::default()
+        };
+        let d = detect_column(&thetas, &row, &cfg);
+        assert_eq!(d.len(), 2);
+        // The strongest two are bins 45 and 55; output in angle order.
+        assert!(d[0].theta_deg < d[1].theta_deg);
+        assert!(d[0].power_db >= wivi_core::spectrogram::power_db(400.0) - 1e-9);
+    }
+
+    #[test]
+    fn dc_spike_is_guarded_out() {
+        let thetas = grid();
+        let mut row = vec![1.0; 61];
+        row[30] = 1e9; // θ = 0
+        assert!(detect_column(&thetas, &row, &DetectorConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn close_peaks_are_suppressed_to_the_stronger() {
+        let thetas = grid();
+        let mut row = vec![1.0; 61];
+        row[40] = 900.0; // +30°
+        row[42] = 400.0; // +36° — a limb split of the same body
+        row[10] = 200.0; // −60° — a genuinely separate body
+        let d = detect_column(&thetas, &row, &DetectorConfig::default());
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d[0].theta_deg < 0.0);
+        assert!((d[1].theta_deg - 30.0).abs() < 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_detections")]
+    fn validate_rejects_zero_cap() {
+        DetectorConfig {
+            max_detections: 0,
+            ..DetectorConfig::default()
+        }
+        .validate();
+    }
+}

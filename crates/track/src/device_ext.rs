@@ -1,0 +1,104 @@
+//! `WiViDevice` entry points for target tracking (mode 1, extended).
+//!
+//! `wivi-track` layers *above* `wivi-core`, so the device grows its
+//! tracking mode through an extension trait rather than an inherent
+//! method: `use wivi_track::TrackTargets;` (re-exported by the umbrella
+//! crate's prelude) and every device can `track_targets(..)`.
+//!
+//! Both shapes mirror the PR-1 contract: the streaming entry point
+//! drives a sink-only [`StreamingMusic`] stage over batched
+//! observations and folds each column into the tracker the moment its
+//! analysis window completes — no trace, no spectrogram is ever
+//! materialized — and its output is **bitwise identical** to the
+//! offline one-shot path (pinned by `tests/tracking_equivalence.rs`).
+
+use wivi_core::stage::Stage;
+use wivi_core::{StreamingMusic, WiViDevice};
+use wivi_num::Complex64;
+use wivi_sdr::Observation;
+
+use crate::tracker::{track_spectrogram, MultiTargetTracker, TrackerConfig, TrackingReport};
+
+/// Device-level tracking entry points (mode 1 of the paper, extended
+/// from "render the spectrogram" to "maintain per-person tracks").
+pub trait TrackTargets {
+    /// Records `duration_s` seconds, runs smoothed MUSIC offline, and
+    /// tracks the ridge peaks with the default tracker for the device's
+    /// MUSIC configuration.
+    ///
+    /// # Panics
+    /// Panics if the device has not been calibrated.
+    fn track_targets(&mut self, duration_s: f64) -> TrackingReport;
+
+    /// [`Self::track_targets`] with an explicit tracker configuration.
+    fn track_targets_with(&mut self, duration_s: f64, cfg: TrackerConfig) -> TrackingReport;
+
+    /// Streaming shape: observations flow in `batch_len`-sample batches
+    /// through a sink-only MUSIC stage; each completed column is folded
+    /// straight into the tracker. Memory stays bounded by one analysis
+    /// window plus the live tracks. Bitwise identical to
+    /// [`Self::track_targets`].
+    ///
+    /// # Panics
+    /// Panics if the device has not been calibrated or `batch_len == 0`.
+    fn track_targets_streaming(&mut self, duration_s: f64, batch_len: usize) -> TrackingReport;
+
+    /// [`Self::track_targets_streaming`] with an explicit tracker
+    /// configuration.
+    fn track_targets_streaming_with(
+        &mut self,
+        duration_s: f64,
+        batch_len: usize,
+        cfg: TrackerConfig,
+    ) -> TrackingReport;
+}
+
+impl TrackTargets for WiViDevice {
+    fn track_targets(&mut self, duration_s: f64) -> TrackingReport {
+        let cfg = TrackerConfig::for_music(&self.config().music);
+        self.track_targets_with(duration_s, cfg)
+    }
+
+    fn track_targets_with(&mut self, duration_s: f64, cfg: TrackerConfig) -> TrackingReport {
+        let spec = self.track(duration_s);
+        track_spectrogram(&spec, cfg)
+    }
+
+    fn track_targets_streaming(&mut self, duration_s: f64, batch_len: usize) -> TrackingReport {
+        let cfg = TrackerConfig::for_music(&self.config().music);
+        self.track_targets_streaming_with(duration_s, batch_len, cfg)
+    }
+
+    fn track_targets_streaming_with(
+        &mut self,
+        duration_s: f64,
+        batch_len: usize,
+        cfg: TrackerConfig,
+    ) -> TrackingReport {
+        assert!(
+            self.nulling_report().is_some(),
+            "call calibrate() before tracking targets"
+        );
+        let music = self.config().music;
+        // The same duration→samples conversion the device uses, so the
+        // two shapes can never round differently.
+        let total = (duration_s * self.config().radio.channel_rate_hz).round() as usize;
+        let mut stage = StreamingMusic::sink_only(music);
+        let mut tracker = MultiTargetTracker::new(cfg);
+        let mut stream = self.frontend_mut().observe_stream(total, batch_len);
+        let mut batch: Vec<Observation> = Vec::with_capacity(batch_len);
+        let mut samples: Vec<Complex64> = Vec::with_capacity(batch_len);
+        loop {
+            let got = stream.next_batch_into(&mut batch);
+            if got == 0 {
+                break;
+            }
+            samples.clear();
+            samples.extend(batch.iter().map(Observation::combined));
+            stage.push_with(&samples, &mut |thetas, row| {
+                tracker.push_column(thetas, row);
+            });
+        }
+        tracker.finish()
+    }
+}

@@ -1,0 +1,89 @@
+//! The tracker's event stream — the serving-grade surface of the
+//! subsystem.
+//!
+//! Downstream consumers (alerting, occupancy dashboards, the gesture
+//! interface) don't want raw spectrograms or even raw tracks; they want
+//! discrete, timestamped facts: *someone entered the scene*, *track 3
+//! reversed direction across the DC line*, *the confirmed-person count
+//! changed*. Events are emitted in window order and are a pure function
+//! of the column sequence, so the streaming and offline tracker produce
+//! identical streams.
+
+/// What happened.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EventKind {
+    /// A track reached confirmation. The event's window/time are
+    /// *back-dated to the track's birth* (first detection), so entry
+    /// timing is confirmation-latency-free.
+    Entry {
+        /// Filtered angle at confirmation, degrees.
+        theta_deg: f64,
+    },
+    /// A confirmed track exhausted its coasting budget and died. The
+    /// event's window/time are the track's *last observation*, not the
+    /// coast expiry, so exit timing does not lag by the miss budget.
+    Exit {
+        /// Last filtered angle, degrees.
+        theta_deg: f64,
+    },
+    /// A confirmed track's filtered angle crossed the DC line — the
+    /// subject passed through purely-perpendicular motion (paper §5.1
+    /// fn. 5), e.g. reversing between approaching and receding.
+    Crossing {
+        /// `+1`: crossed from negative (receding) to positive
+        /// (approaching); `−1` the reverse.
+        direction: i8,
+    },
+    /// The number of confirmed tracks changed.
+    CountChange {
+        /// The new confirmed-track count.
+        count: usize,
+    },
+}
+
+/// One tracker event.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrackEvent {
+    /// Analysis-window index the event refers to (see [`EventKind`] for
+    /// the back-dating rules).
+    pub window: usize,
+    /// Window centre time, seconds.
+    pub time_s: f64,
+    /// The track this event concerns; `None` for scene-level events
+    /// ([`EventKind::CountChange`]).
+    pub track_id: Option<u32>,
+    pub kind: EventKind,
+}
+
+impl TrackEvent {
+    /// `true` for entry events.
+    pub fn is_entry(&self) -> bool {
+        matches!(self.kind, EventKind::Entry { .. })
+    }
+
+    /// `true` for exit events.
+    pub fn is_exit(&self) -> bool {
+        matches!(self.kind, EventKind::Exit { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_predicates() {
+        let e = TrackEvent {
+            window: 3,
+            time_s: 0.5,
+            track_id: Some(1),
+            kind: EventKind::Entry { theta_deg: 40.0 },
+        };
+        assert!(e.is_entry() && !e.is_exit());
+        let x = TrackEvent {
+            kind: EventKind::Exit { theta_deg: -10.0 },
+            ..e
+        };
+        assert!(x.is_exit() && !x.is_entry());
+    }
+}

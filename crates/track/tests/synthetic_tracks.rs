@@ -1,0 +1,247 @@
+//! Tracker behaviour on synthetic spectrograms with exactly known ridge
+//! trajectories: lifecycle timing, coasting through the DC guard,
+//! identity preservation through crossings, event timing to the window,
+//! and gesture attribution.
+
+use wivi_core::music::MusicConfig;
+use wivi_track::{EventKind, MultiTargetTracker, TrackStatus, TrackerConfig, TrackingReport};
+
+fn thetas() -> Vec<f64> {
+    (0..61).map(|i| -90.0 + 3.0 * i as f64).collect()
+}
+
+/// One spectrogram column with 30 dB ridges at the given angles over a
+/// unit (0 dB) floor; ridge skirts fall off parabolically in dB so the
+/// detector's sub-bin interpolation has real structure to fit.
+fn column(ridges: &[f64]) -> Vec<f64> {
+    thetas()
+        .iter()
+        .map(|&tb| {
+            let mut p = 1.0;
+            for &r in ridges {
+                let db = 30.0 - 0.5 * (tb - r) * (tb - r);
+                if db > 0.0 {
+                    p += 10f64.powf(db / 10.0);
+                }
+            }
+            p
+        })
+        .collect()
+}
+
+fn cfg() -> TrackerConfig {
+    TrackerConfig::for_music(&MusicConfig::fast_test())
+}
+
+/// Runs the tracker over per-window ridge lists.
+fn run(trajectories: &[Vec<f64>]) -> TrackingReport {
+    let th = thetas();
+    let mut tracker = MultiTargetTracker::new(cfg());
+    for ridges in trajectories {
+        tracker.push_column(&th, &column(ridges));
+    }
+    tracker.finish()
+}
+
+#[test]
+fn single_ridge_yields_one_confirmed_track() {
+    // A target sweeping −60° → −15° at 1.5°/window.
+    let windows: Vec<Vec<f64>> = (0..30).map(|k| vec![-60.0 + 1.5 * k as f64]).collect();
+    let report = run(&windows);
+
+    assert_eq!(report.tracks.len(), 1);
+    let tr = &report.tracks[0];
+    assert_eq!(tr.status, TrackStatus::Confirmed);
+    assert_eq!(tr.born_window, 0);
+    assert_eq!(tr.confirmed_window, Some(cfg().confirm_hits - 1));
+    // Entry event back-dated to birth.
+    let entries = report.entries();
+    assert_eq!(entries.len(), 1);
+    assert_eq!(entries[0].window, 0);
+    // Final filtered angle near ground truth, velocity near the sweep
+    // rate.
+    let last = tr.history.last().unwrap();
+    let gt = -60.0 + 1.5 * 29.0;
+    assert!(
+        (last.theta_deg - gt).abs() < 3.0,
+        "θ̂ {} vs {gt}",
+        last.theta_deg
+    );
+    let v_gt = 1.5 / cfg().window_dt_s();
+    assert!(
+        (last.theta_vel - v_gt).abs() < 0.25 * v_gt.abs(),
+        "v̂ {} vs {v_gt}",
+        last.theta_vel
+    );
+    // No exits: the trace ended with the target still there.
+    assert!(report.exits().is_empty());
+    // Counts: 0 before confirmation, 1 after.
+    assert_eq!(report.confirmed_counts[0], 0);
+    assert!(report.confirmed_counts[5..].iter().all(|&c| c == 1));
+}
+
+#[test]
+fn disappearing_ridge_exits_at_last_observation() {
+    // Present for windows 0..=15 at a steady sweep, then gone; the run
+    // continues long enough for the coast budget to expire.
+    let windows: Vec<Vec<f64>> = (0..40)
+        .map(|k| {
+            if k <= 15 {
+                vec![40.0 + 0.5 * k as f64]
+            } else {
+                vec![]
+            }
+        })
+        .collect();
+    let report = run(&windows);
+
+    assert_eq!(report.tracks.len(), 1);
+    let tr = &report.tracks[0];
+    assert_eq!(tr.status, TrackStatus::Dead);
+    let exits = report.exits();
+    assert_eq!(exits.len(), 1);
+    // Exit back-dated to the last observation, not the coast expiry.
+    assert_eq!(exits[0].window, 15);
+    // Count returns to zero once the track dies.
+    assert_eq!(*report.confirmed_counts.last().unwrap(), 0);
+}
+
+#[test]
+fn ridge_appearing_mid_trace_enters_on_its_birth_window() {
+    let windows: Vec<Vec<f64>> = (0..30)
+        .map(|k| if k >= 10 { vec![-50.0] } else { vec![] })
+        .collect();
+    let report = run(&windows);
+    let entries = report.entries();
+    assert_eq!(entries.len(), 1);
+    assert_eq!(entries[0].window, 10, "entry must be back-dated to birth");
+    assert_eq!(entries[0].time_s, report.times_s[10]);
+}
+
+#[test]
+fn crossing_ridges_keep_identities_through_the_dc_guard() {
+    // Two targets sweeping through each other at ±3°/window (offset so
+    // they are never exact conjugate mirrors, which the detector is
+    // built to suppress). Near θ = 0 the DC guard blanks both (the
+    // paper's merge-with-DC behaviour), so both tracks must coast the
+    // gap and re-acquire on the far side without spawning new
+    // identities.
+    let windows: Vec<Vec<f64>> = (0..41)
+        .map(|k| vec![-65.0 + 3.0 * k as f64, 52.0 - 3.0 * k as f64])
+        .collect();
+    let report = run(&windows);
+
+    assert_eq!(
+        report.tracks.len(),
+        2,
+        "crossing must not mint new identities: {:?}",
+        report.tracks.iter().map(|t| t.id).collect::<Vec<_>>()
+    );
+    let a = &report.tracks[0]; // born at −60°, moving +
+    let b = &report.tracks[1]; // born at +60°, moving −
+    let a0 = a.history.first().unwrap().theta_deg;
+    let b0 = b.history.first().unwrap().theta_deg;
+    assert!(a0 < 0.0 && b0 > 0.0);
+    let a1 = a.history.last().unwrap().theta_deg;
+    let b1 = b.history.last().unwrap().theta_deg;
+    assert!(
+        a1 > 30.0 && b1 < -30.0,
+        "identities swapped: a {a0}→{a1}, b {b0}→{b1}"
+    );
+    // (a ends near −65+120 = +55°, b near 52−120 = −68°.)
+    // Each track crossed the DC line exactly once.
+    let crossings: Vec<_> = report
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Crossing { .. }))
+        .collect();
+    assert_eq!(crossings.len(), 2, "events: {:?}", report.events);
+    // Both tracks stay confirmed throughout — the count never drops.
+    assert!(report.confirmed_counts[5..].iter().all(|&c| c == 2));
+    assert!(report.exits().is_empty());
+}
+
+#[test]
+fn count_change_events_follow_the_population() {
+    // One target from the start, a second joining at window 12.
+    let windows: Vec<Vec<f64>> = (0..30)
+        .map(|k| {
+            let mut r = vec![-40.0];
+            if k >= 12 {
+                r.push(55.0);
+            }
+            r
+        })
+        .collect();
+    let report = run(&windows);
+    let counts: Vec<usize> = report
+        .events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::CountChange { count } => Some(count),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(counts, vec![1, 2]);
+    assert_eq!(*report.confirmed_counts.last().unwrap(), 2);
+}
+
+#[test]
+fn grass_only_columns_produce_nothing() {
+    let windows: Vec<Vec<f64>> = (0..20).map(|_| vec![]).collect();
+    let report = run(&windows);
+    assert!(report.tracks.is_empty());
+    assert!(report.events.is_empty());
+    assert!(report.confirmed_counts.iter().all(|&c| c == 0));
+    assert_eq!(report.n_windows(), 20);
+}
+
+#[test]
+fn single_window_flicker_is_never_reported() {
+    // MUSIC grass clearing the threshold for one window must not become
+    // a person.
+    let windows: Vec<Vec<f64>> = (0..20)
+        .map(|k| if k == 7 { vec![30.0] } else { vec![] })
+        .collect();
+    let report = run(&windows);
+    assert!(
+        report.tracks.is_empty(),
+        "flicker became {:?}",
+        report.tracks
+    );
+    assert!(report.events.is_empty());
+}
+
+#[test]
+fn gesture_attribution_picks_the_polarity_matching_track() {
+    // A bystander at −40° and a signaller at +50°.
+    let windows: Vec<Vec<f64>> = (0..30).map(|_| vec![-40.0, 50.0]).collect();
+    let report = run(&windows);
+    assert_eq!(report.tracks.len(), 2);
+    let neg_id = report
+        .tracks
+        .iter()
+        .find(|t| t.history.last().unwrap().theta_deg < 0.0)
+        .unwrap()
+        .id;
+    let pos_id = report
+        .tracks
+        .iter()
+        .find(|t| t.history.last().unwrap().theta_deg > 0.0)
+        .unwrap()
+        .id;
+    let t_mid = report.times_s[15];
+    assert_eq!(report.attribute_gesture(t_mid, 1), Some(pos_id));
+    assert_eq!(report.attribute_gesture(t_mid, -1), Some(neg_id));
+}
+
+#[test]
+fn report_times_match_window_grid() {
+    let windows: Vec<Vec<f64>> = (0..5).map(|_| vec![20.0]).collect();
+    let report = run(&windows);
+    let c = cfg();
+    for (k, &t) in report.times_s.iter().enumerate() {
+        assert_eq!(t.to_bits(), c.window_time_s(k).to_bits());
+    }
+    assert_eq!(report.window_near_time(report.times_s[3]), 3);
+}

@@ -17,6 +17,10 @@
 //!   batched observation stream.
 //! * [`core`] — nulling, ISAR, MUSIC, the streaming stages, counting,
 //!   gestures, the device.
+//! * [`track`] — multi-target tracking over the spectrogram: ridge
+//!   detection, optimal data association, per-track Kalman filters, and
+//!   the entry/exit/crossing/count event stream
+//!   ([`TrackTargets`](track::TrackTargets) extends the device).
 //!
 //! ```no_run
 //! use wivi::prelude::*;
@@ -47,6 +51,7 @@ pub use wivi_core as core;
 pub use wivi_num as num;
 pub use wivi_rf as rf;
 pub use wivi_sdr as sdr;
+pub use wivi_track as track;
 
 /// The most common imports for working with Wi-Vi.
 pub mod prelude {
@@ -57,5 +62,8 @@ pub mod prelude {
     pub use wivi_rf::{
         ConfinedRandomWalk, GestureScript, GestureStyle, Material, Mover, Point, Rect, Scene, Vec2,
         WaypointWalker,
+    };
+    pub use wivi_track::{
+        MultiTargetTracker, TrackEvent, TrackTargets, TrackerConfig, TrackingReport,
     };
 }
