@@ -4,8 +4,11 @@
 //! determinism, and writes `BENCH_pipeline.json` with per-stage
 //! wall-clock and throughput; then runs the tracking grid (crossing
 //! subjects through detection → association → Kalman filtering) and
-//! writes `BENCH_tracking.json` with count-accuracy / track-purity /
-//! throughput. Future PRs regress against both.
+//! writes `BENCH_tracking.json`; then soak-tests the sharded serving
+//! engine (concurrent mixed-mode sessions) and writes
+//! `BENCH_serving.json` with sessions/sec, samples/sec, per-shard
+//! utilization, and p50/p99 batch latency. Future PRs regress against
+//! all three.
 //!
 //! `--quick` shortens trials; `--full` uses the paper's 25 s counting
 //! duration.
@@ -13,7 +16,9 @@
 use std::time::Instant;
 
 use wivi_bench::engine::{write_pipeline_json, write_tracking_json, ScenarioGrid, ScenarioRunner};
+use wivi_bench::serving::{run_serving_soak, write_serving_json, REALTIME_RATE};
 use wivi_bench::{quick_mode, report};
+use wivi_core::device::DEFAULT_BATCH_LEN;
 use wivi_core::WiViConfig;
 
 fn main() {
@@ -165,4 +170,65 @@ fn main() {
     write_tracking_json(tpath, &tracking, twall, threads, tmode)
         .expect("failed to write BENCH_tracking.json");
     println!("wrote {tpath} ({tmode} mode, {}s trials)", tgrid.duration_s);
+
+    // ---- The serving stage: concurrent mixed-mode sessions through the
+    // sharded engine, against a standalone single-session baseline.
+    let (n_sessions, n_shards, sduration, smode) = if quick_mode() {
+        (16usize, 2usize, 1.0, "quick")
+    } else {
+        (64, 4, 4.0, "standard")
+    };
+    println!(
+        "\nserving soak: {n_sessions} concurrent sessions (4 modes) on {n_shards} shards, {sduration}s each"
+    );
+    let soak = run_serving_soak(
+        n_sessions,
+        n_shards,
+        sduration,
+        DEFAULT_BATCH_LEN,
+        &WiViConfig::paper_default(),
+    );
+    let r = &soak.report;
+    assert_eq!(r.outputs.len(), n_sessions, "serving engine lost sessions");
+    let rows: Vec<Vec<String>> = r
+        .shards
+        .iter()
+        .map(|s| {
+            vec![
+                format!("shard {}", s.shard),
+                format!("{}", s.sessions),
+                format!("{}", s.batches),
+                format!("{:.0}%", 100.0 * s.utilization()),
+                format!("{}", s.engines),
+            ]
+        })
+        .collect();
+    report::print_table(&["shard", "sessions", "batches", "util", "engines"], &rows);
+    println!(
+        "\nserving: {} sessions in {:.2}s wall ⇒ {:.2} sessions/sec, {:.0} samples/sec aggregate",
+        r.outputs.len(),
+        r.wall_s,
+        r.sessions_per_sec(),
+        r.samples_per_sec()
+    );
+    println!(
+        "  vs single session: {:.0} samples/sec standalone ⇒ {:.2}x compute speedup",
+        soak.baseline.samples_per_sec(),
+        soak.speedup_vs_single_session()
+    );
+    println!(
+        "  real-time multiplex: {:.1} concurrent {REALTIME_RATE} samples/sec sessions sustained",
+        soak.realtime_multiplex()
+    );
+    println!(
+        "  batch latency: p50 {:.2}ms / p99 {:.2}ms (budget {:.1}ms), {} merged events",
+        1e3 * r.batch_latency_percentile_s(50.0),
+        1e3 * r.batch_latency_percentile_s(99.0),
+        1e3 * DEFAULT_BATCH_LEN as f64 / REALTIME_RATE,
+        r.events.len()
+    );
+
+    let spath = "BENCH_serving.json";
+    write_serving_json(spath, &soak, smode).expect("failed to write BENCH_serving.json");
+    println!("wrote {spath} ({smode} mode, {n_sessions} sessions × {sduration}s)");
 }

@@ -13,6 +13,8 @@
 //!   pipeline, and `BENCH_pipeline.json` emission.
 //! * [`runner`] — the scoped-thread parallel trial executor (experiments
 //!   are embarrassingly parallel across trials).
+//! * [`serving`] — the multi-session serving soak over
+//!   [`wivi_serve::ServeEngine`] and `BENCH_serving.json` emission.
 //! * [`report`] — uniform stdout formatting: CDF tables, bar charts,
 //!   confusion matrices, figure headers.
 
@@ -20,6 +22,7 @@ pub mod engine;
 pub mod report;
 pub mod runner;
 pub mod scenarios;
+pub mod serving;
 
 /// Returns `true` if `--quick` was passed — binaries then run a reduced
 /// trial count (useful while iterating; the full runs match the paper's

@@ -1,0 +1,339 @@
+//! The serving soak: many concurrent sensing sessions through the
+//! sharded [`ServeEngine`], timed and scored for `BENCH_serving.json`.
+//!
+//! The workload mixes the engine's four session modes over varied
+//! scenario cells (rooms × materials × subject counts × motion models,
+//! reusing the [`crate::engine`] grid generators), staggers session
+//! start offsets so the merged event stream exercises the serving clock,
+//! and reports two throughput comparisons:
+//!
+//! * **compute speedup** — aggregate channel-samples/sec versus one
+//!   standalone streaming session on the same machine. This measures
+//!   parallelism and is bounded by the core count (≈ 1 on a single-core
+//!   container, ≥ shards on big hosts).
+//! * **real-time multiplex** — aggregate channel-samples/sec versus the
+//!   paper's §7.1 per-session channel rate (312.5 samples/sec). A real
+//!   deployment's sessions each arrive at the radio's rate; this is how
+//!   many such live sessions one box sustains, and the serving
+//!   acceptance bar (≥ 4 concurrent real-time sessions) reads from it.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use wivi_core::WiViConfig;
+use wivi_rf::{GestureScript, GestureStyle, Material, Mover, Point, Scene, Vec2};
+use wivi_serve::{ServeConfig, ServeEngine, ServeReport, SessionMode, SessionSpec};
+use wivi_track::TrackTargets;
+
+use crate::engine::{json_escape, MotionModel, ScenarioSpec};
+use crate::scenarios::Room;
+
+/// The paper's per-session channel rate (§7.1), samples/sec — what one
+/// live radio delivers.
+pub const REALTIME_RATE: f64 = 312.5;
+
+/// A through-wall gesture scene for soak gesture sessions: office
+/// clutter plus one signaller stepping a two-bit message, laterally
+/// offset per session index. The script starts at t = 0 (no lead-in) so
+/// even short soak sessions record actual gesture motion — the soak
+/// measures serving throughput, not decode quality, but it must not
+/// "exercise" the gesture path on a statue.
+fn gesture_scene(i: usize) -> Scene {
+    let x = -1.0 + 0.25 * (i % 9) as f64;
+    let script = GestureScript::for_bits(
+        Point::new(x, 3.0),
+        Vec2::new(0.0, -1.0),
+        GestureStyle::default(),
+        0.0,
+        &[false, true],
+    );
+    Scene::new(Material::HollowWall6In)
+        .with_office_clutter(Scene::conference_room_small())
+        .with_mover(Mover::human(script))
+}
+
+/// Builds the soak's session list: `n` sessions cycling through the four
+/// modes and a varied scenario grid, with staggered serving-clock start
+/// offsets. Deterministic in `(n, duration_s)`.
+pub fn soak_sessions(n: usize, duration_s: f64, config: &WiViConfig) -> Vec<SessionSpec> {
+    let rooms = [Room::Small, Room::Large];
+    let materials = [
+        Material::TintedGlass,
+        Material::HollowWall6In,
+        Material::ConcreteWall8In,
+    ];
+    let motions = [
+        MotionModel::RandomWalk,
+        MotionModel::Pacing,
+        MotionModel::Crossing,
+    ];
+    (0..n)
+        .map(|i| {
+            let mode = match i % 4 {
+                0 => SessionMode::TrackTargets,
+                1 => SessionMode::Count,
+                2 => SessionMode::Track,
+                _ => SessionMode::Gestures,
+            };
+            let scenario = ScenarioSpec {
+                room: rooms[i % rooms.len()],
+                material: materials[i % materials.len()],
+                n_humans: 1 + i % 3,
+                motion: motions[i % motions.len()],
+                trial: i as u64,
+                duration_s,
+            };
+            let scene = if mode == SessionMode::Gestures {
+                gesture_scene(i)
+            } else {
+                scenario.build_scene()
+            };
+            SessionSpec {
+                id: i as u64,
+                scene,
+                config: *config,
+                seed: scenario.seed(),
+                duration_s,
+                start_s: (i % 8) as f64 * 0.5,
+                mode,
+            }
+        })
+        .collect()
+}
+
+/// One standalone streaming session, timed — the compute-speedup
+/// baseline. Uses the soak's first (track-targets) scenario.
+pub struct SingleSessionBaseline {
+    pub n_samples: usize,
+    pub stream_s: f64,
+}
+
+impl SingleSessionBaseline {
+    pub fn samples_per_sec(&self) -> f64 {
+        self.n_samples as f64 / self.stream_s.max(1e-12)
+    }
+}
+
+/// Runs the baseline: one device, calibrated, streamed through
+/// `track_targets_streaming` for `duration_s`.
+pub fn single_session_baseline(
+    config: &WiViConfig,
+    duration_s: f64,
+    batch_len: usize,
+) -> SingleSessionBaseline {
+    let scenario = ScenarioSpec {
+        room: Room::Small,
+        material: Material::TintedGlass,
+        n_humans: 1,
+        motion: MotionModel::RandomWalk,
+        trial: 0,
+        duration_s,
+    };
+    let mut dev = wivi_core::WiViDevice::new(scenario.build_scene(), *config, scenario.seed());
+    dev.calibrate();
+    let n_samples = dev.trace_len(duration_s);
+    let t0 = Instant::now();
+    let _ = dev.track_targets_streaming(duration_s, batch_len);
+    SingleSessionBaseline {
+        n_samples,
+        stream_s: t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// Everything the serving soak measured.
+pub struct ServingSoak {
+    pub report: ServeReport,
+    pub baseline: SingleSessionBaseline,
+    pub n_sessions: usize,
+    pub n_shards: usize,
+    pub batch_len: usize,
+    pub duration_s: f64,
+}
+
+impl ServingSoak {
+    /// Aggregate serving throughput over the compute baseline — the
+    /// parallelism speedup, bounded by the host's core count.
+    pub fn speedup_vs_single_session(&self) -> f64 {
+        self.report.samples_per_sec() / self.baseline.samples_per_sec().max(1e-12)
+    }
+
+    /// Concurrent *real-time* sessions this run sustains: aggregate
+    /// throughput over the §7.1 per-session channel rate.
+    pub fn realtime_multiplex(&self) -> f64 {
+        self.report.samples_per_sec() / REALTIME_RATE
+    }
+}
+
+/// Runs the soak: baseline first, then `n_sessions` concurrent sessions
+/// across `n_shards` shards.
+pub fn run_serving_soak(
+    n_sessions: usize,
+    n_shards: usize,
+    duration_s: f64,
+    batch_len: usize,
+    config: &WiViConfig,
+) -> ServingSoak {
+    let baseline = single_session_baseline(config, duration_s, batch_len);
+    let sessions = soak_sessions(n_sessions, duration_s, config);
+    let mut engine = ServeEngine::start(ServeConfig {
+        n_shards,
+        batch_len,
+        queue_capacity: 32,
+    });
+    for s in sessions {
+        engine.open(s);
+    }
+    let report = engine.finish();
+    ServingSoak {
+        report,
+        baseline,
+        n_sessions,
+        n_shards,
+        batch_len,
+        duration_s,
+    }
+}
+
+/// Writes `BENCH_serving.json`. Field documentation lives in the README
+/// ("Serving" section) and DESIGN.md §9.
+pub fn write_serving_json(path: &str, soak: &ServingSoak, mode: &str) -> std::io::Result<()> {
+    let r = &soak.report;
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let batch_budget_ms = 1e3 * soak.batch_len as f64 / REALTIME_RATE;
+
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"benchmark\": \"wivi_serving_engine\",")?;
+    writeln!(f, "  \"mode\": \"{}\",", json_escape(mode))?;
+    writeln!(f, "  \"session_duration_s\": {:.3},", soak.duration_s)?;
+    writeln!(f, "  \"sessions\": {},", soak.n_sessions)?;
+    writeln!(f, "  \"shards\": {},", soak.n_shards)?;
+    writeln!(f, "  \"batch_len\": {},", soak.batch_len)?;
+    writeln!(f, "  \"threads_available\": {threads},")?;
+    writeln!(f, "  \"wall_clock_s\": {:.6},", r.wall_s)?;
+    writeln!(f, "  \"total_channel_samples\": {},", r.total_samples())?;
+    writeln!(f, "  \"sessions_per_sec\": {:.3},", r.sessions_per_sec())?;
+    writeln!(f, "  \"samples_per_sec\": {:.2},", r.samples_per_sec())?;
+    writeln!(
+        f,
+        "  \"single_session_samples_per_sec\": {:.2},",
+        soak.baseline.samples_per_sec()
+    )?;
+    writeln!(
+        f,
+        "  \"speedup_vs_single_session\": {:.3},",
+        soak.speedup_vs_single_session()
+    )?;
+    writeln!(f, "  \"realtime_rate_per_session\": {REALTIME_RATE},")?;
+    writeln!(
+        f,
+        "  \"realtime_sessions_sustained\": {:.1},",
+        soak.realtime_multiplex()
+    )?;
+    writeln!(
+        f,
+        "  \"batch_latency_p50_ms\": {:.4},",
+        1e3 * r.batch_latency_percentile_s(50.0)
+    )?;
+    writeln!(
+        f,
+        "  \"batch_latency_p99_ms\": {:.4},",
+        1e3 * r.batch_latency_percentile_s(99.0)
+    )?;
+    writeln!(f, "  \"batch_budget_ms\": {batch_budget_ms:.4},")?;
+    writeln!(f, "  \"merged_events\": {},", r.events.len())?;
+    writeln!(f, "  \"shard_stats\": [")?;
+    for (i, s) in r.shards.iter().enumerate() {
+        let comma = if i + 1 == r.shards.len() { "" } else { "," };
+        writeln!(
+            f,
+            "    {{\"shard\": {}, \"sessions\": {}, \"batches\": {}, \
+             \"busy_s\": {:.6}, \"alive_s\": {:.6}, \"utilization\": {:.4}, \
+             \"engines\": {}}}{comma}",
+            s.shard,
+            s.sessions,
+            s.batches,
+            s.busy_s,
+            s.alive_s,
+            s.utilization(),
+            s.engines,
+        )?;
+    }
+    writeln!(f, "  ],")?;
+    writeln!(f, "  \"sessions_detail\": [")?;
+    for (i, o) in r.outputs.iter().enumerate() {
+        let comma = if i + 1 == r.outputs.len() { "" } else { "," };
+        writeln!(
+            f,
+            "    {{\"id\": {}, \"mode\": \"{}\", \"shard\": {}, \
+             \"n_samples\": {}, \"n_columns\": {}, \"events\": {}, \
+             \"nulling_db\": {:.3}, \"stream_s\": {:.6}}}{comma}",
+            o.id,
+            o.mode.tag(),
+            o.shard,
+            o.n_samples,
+            o.n_columns,
+            o.events.len(),
+            o.nulling_db,
+            o.stream_s,
+        )?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soak_sessions_cycle_modes_and_are_deterministic() {
+        let cfg = WiViConfig::fast_test();
+        let a = soak_sessions(8, 1.0, &cfg);
+        let b = soak_sessions(8, 1.0, &cfg);
+        assert_eq!(a.len(), 8);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(x.mode, y.mode);
+            assert_eq!(x.start_s, y.start_s);
+        }
+        let modes: Vec<SessionMode> = a.iter().map(|s| s.mode).collect();
+        assert_eq!(
+            &modes[..4],
+            &[
+                SessionMode::TrackTargets,
+                SessionMode::Count,
+                SessionMode::Track,
+                SessionMode::Gestures,
+            ]
+        );
+    }
+
+    #[test]
+    fn small_soak_serves_everything_and_writes_json() {
+        let cfg = WiViConfig::fast_test();
+        let soak = run_serving_soak(4, 2, 1.0, 16, &cfg);
+        assert_eq!(soak.report.outputs.len(), 4);
+        for o in &soak.report.outputs {
+            assert_eq!(o.n_samples, o.n_requested);
+            assert!(!o.closed_early);
+        }
+        assert!(soak.report.samples_per_sec() > 0.0);
+        assert!(soak.baseline.samples_per_sec() > 0.0);
+
+        let path = std::env::temp_dir().join("wivi_bench_serving_test.json");
+        let path = path.to_str().unwrap();
+        write_serving_json(path, &soak, "quick").unwrap();
+        let body = std::fs::read_to_string(path).unwrap();
+        assert!(body.contains("\"benchmark\": \"wivi_serving_engine\""));
+        assert!(body.contains("\"speedup_vs_single_session\""));
+        assert!(body.contains("\"realtime_sessions_sustained\""));
+        assert!(body.contains("\"batch_latency_p99_ms\""));
+        assert!(body.contains("\"shard_stats\""));
+        std::fs::remove_file(path).ok();
+    }
+}

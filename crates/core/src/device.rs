@@ -123,9 +123,31 @@ impl WiViDevice {
     /// Number of channel samples a recording of `duration_s` seconds
     /// produces — the one conversion both the offline and streaming paths
     /// use, so their bitwise-equivalence contract cannot be broken by the
-    /// two rounding independently.
-    fn trace_len(&self, duration_s: f64) -> usize {
+    /// two rounding independently. Public so external drivers (the
+    /// tracking extension, the serving engine) share it too.
+    pub fn trace_len(&self, duration_s: f64) -> usize {
         (duration_s * self.cfg.radio.channel_rate_hz).round() as usize
+    }
+
+    /// Observes `n` residual-channel samples (subcarrier-combined) into
+    /// `out` (cleared first) — the *resumable* streaming drive: unlike
+    /// the one-shot `*_streaming` entry points, which consume a whole
+    /// recording in one call, a serving engine calls this once per batch
+    /// and interleaves many sessions' batches on one worker. Repeated
+    /// calls produce exactly the sample sequence one
+    /// [`observe_stream`](wivi_sdr::MimoFrontend::observe_stream) drain
+    /// would — the front-end advances identically — so incremental
+    /// serving output stays bitwise identical to the standalone device.
+    ///
+    /// # Panics
+    /// Panics if the device has not been calibrated.
+    pub fn observe_batch_into(&mut self, n: usize, out: &mut Vec<Complex64>) {
+        assert!(
+            self.report.is_some(),
+            "call calibrate() before recording traces"
+        );
+        out.clear();
+        self.fe.record_trace_into(n, out);
     }
 
     /// Records `duration_s` seconds of the nulled residual channel
@@ -365,6 +387,32 @@ mod tests {
         cfg.music.isar.sample_period_s *= 2.0;
         let r = std::panic::catch_unwind(|| cfg.validate());
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn batched_observation_matches_one_shot_recording() {
+        // The serving drive's contract: repeated observe_batch_into calls
+        // reproduce record_trace bit for bit, whatever the batch split.
+        let mut dev = WiViDevice::new(static_scene(), WiViConfig::fast_test(), 55);
+        dev.calibrate();
+        let expect = dev.record_trace(0.5);
+        let n = dev.trace_len(0.5);
+        assert_eq!(expect.len(), n);
+
+        let mut dev2 = WiViDevice::new(static_scene(), WiViConfig::fast_test(), 55);
+        dev2.calibrate();
+        let mut got: Vec<Complex64> = Vec::new();
+        let mut batch = Vec::new();
+        let mut remaining = n;
+        for len in [7usize, 1, 16, usize::MAX] {
+            let take = len.min(remaining);
+            dev2.observe_batch_into(take, &mut batch);
+            assert_eq!(batch.len(), take);
+            got.extend_from_slice(&batch);
+            remaining -= take;
+        }
+        assert_eq!(got, expect);
+        assert_eq!(dev.now(), dev2.now());
     }
 
     #[test]

@@ -25,7 +25,7 @@ use crate::spectrogram::AngleSpectrogram;
 use crate::stage::{Stage, StreamingBeamform};
 
 /// Parameters of the emulated array.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct IsarConfig {
     /// Emulated array size `w` (§7.1 uses 100).
     pub window: usize,
@@ -89,12 +89,20 @@ impl IsarConfig {
         (0..len).map(|i| Complex64::cis(k * i as f64)).collect()
     }
 
+    /// Centre time of the analysis window starting at absolute sample
+    /// `start` — the one expression every surface (streaming stages, the
+    /// tracker's report, the serving engine) uses for window timestamps,
+    /// so they can never round differently.
+    pub fn window_center_s(&self, start: usize) -> f64 {
+        (start as f64 + self.window as f64 / 2.0) * self.sample_period_s
+    }
+
     /// Centre times of the analysis windows for a trace of `n` samples.
     pub fn window_times(&self, n: usize) -> Vec<f64> {
         let mut out = Vec::new();
         let mut start = 0usize;
         while start + self.window <= n {
-            out.push((start as f64 + self.window as f64 / 2.0) * self.sample_period_s);
+            out.push(self.window_center_s(start));
             start += self.hop;
         }
         out

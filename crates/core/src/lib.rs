@@ -47,4 +47,7 @@ pub use isar::{BeamformEngine, IsarConfig};
 pub use music::{MusicConfig, MusicEngine};
 pub use nulling::{NullingConfig, NullingReport};
 pub use spectrogram::AngleSpectrogram;
-pub use stage::{Stage, StreamingBeamform, StreamingMusic};
+pub use stage::{
+    SharedStreamingBeamform, SharedStreamingMusic, Stage, StreamingBeamform, StreamingMusic,
+    WindowBuffer,
+};

@@ -28,7 +28,7 @@ use crate::spectrogram::AngleSpectrogram;
 use crate::stage::{Stage, StreamingMusic};
 
 /// Smoothed-MUSIC parameters.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MusicConfig {
     /// The emulated-array parameters (window `w`, hop, spacing, angles).
     pub isar: IsarConfig,

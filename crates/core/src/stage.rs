@@ -94,7 +94,7 @@ pub trait Stage {
 /// and trims the buffer so it never holds more than one window plus one
 /// batch.
 #[derive(Clone, Debug)]
-struct WindowBuffer {
+pub struct WindowBuffer {
     window: usize,
     hop: usize,
     /// Samples not yet discarded; `buf[0]` is absolute index `base`.
@@ -105,7 +105,12 @@ struct WindowBuffer {
 }
 
 impl WindowBuffer {
-    fn new(window: usize, hop: usize) -> Self {
+    /// Creates a buffer emitting `window`-sample windows every `hop`
+    /// samples.
+    ///
+    /// # Panics
+    /// Panics if `window` or `hop` is zero.
+    pub fn new(window: usize, hop: usize) -> Self {
         assert!(window >= 1 && hop >= 1);
         Self {
             window,
@@ -118,7 +123,11 @@ impl WindowBuffer {
 
     /// Appends `samples`, invoking `emit(start, window)` for each newly
     /// completed analysis window. Returns the number of windows emitted.
-    fn push(&mut self, samples: &[Complex64], mut emit: impl FnMut(usize, &[Complex64])) -> usize {
+    pub fn push(
+        &mut self,
+        samples: &[Complex64],
+        mut emit: impl FnMut(usize, &[Complex64]),
+    ) -> usize {
         self.buf.extend_from_slice(samples);
         let mut emitted = 0;
         while self.next_start + self.window <= self.base + self.buf.len() {
@@ -140,7 +149,7 @@ impl WindowBuffer {
     }
 
     /// Total samples seen.
-    fn n_seen(&self) -> usize {
+    pub fn n_seen(&self) -> usize {
         self.base + self.buf.len()
     }
 }
@@ -224,15 +233,14 @@ impl Stage for StreamingMusic {
         let rows = &mut self.rows;
         let eigens = &mut self.eigens;
         let times = &mut self.times;
-        let period = engine.cfg().isar.sample_period_s;
-        let window = engine.cfg().isar.window;
+        let isar = engine.cfg().isar;
         let n = self.wb.push(samples, |start, win| {
             let (row, eigen) = engine.process_window(win);
             on_column(thetas, &row);
             if retain {
                 rows.push(row);
                 eigens.push(eigen);
-                times.push((start as f64 + window as f64 / 2.0) * period);
+                times.push(isar.window_center_s(start));
             }
         });
         self.emitted += n;
@@ -320,13 +328,12 @@ impl Stage for StreamingBeamform {
         let thetas = &self.thetas;
         let rows = &mut self.rows;
         let times = &mut self.times;
-        let period = engine.cfg().sample_period_s;
-        let window = engine.cfg().window;
+        let isar = *engine.cfg();
         self.wb.push(samples, |start, win| {
             let row = engine.process_window(win);
             on_column(thetas, &row);
             rows.push(row);
-            times.push((start as f64 + window as f64 / 2.0) * period);
+            times.push(isar.window_center_s(start));
         })
     }
 
@@ -358,6 +365,168 @@ impl Stage for StreamingBeamform {
             std::mem::take(&mut self.times),
             std::mem::take(&mut self.rows),
         )
+    }
+}
+
+/// Per-session MUSIC windowing state for *engine-shared* streaming: the
+/// serving layer runs many concurrent sessions per worker shard, and the
+/// heavy per-window scratch (steering tables, correlation matrix, eig
+/// workspace) lives once per shard in a [`MusicEngine`] instead of once
+/// per session. This type holds only what is genuinely per-session — the
+/// sliding [`WindowBuffer`] and a column counter — and borrows the engine
+/// at every push. Column emission is **bitwise identical** to an owned
+/// [`StreamingMusic`] stage because both feed the same windows through
+/// [`MusicEngine::process_window`], whose output depends only on the
+/// configuration and the window contents (the scratch is fully
+/// overwritten every call).
+///
+/// # Panics
+/// [`Self::push_with`] panics if the borrowed engine's configuration
+/// does not match the one this state was built for.
+#[derive(Clone, Debug)]
+pub struct SharedStreamingMusic {
+    /// The full configuration this session expects of its engine — not
+    /// just the windowing: the pseudospectrum also depends on subarray,
+    /// thresholds, and the noise floor, so a mismatched engine must
+    /// panic rather than silently emit different columns.
+    cfg: MusicConfig,
+    /// Own copy of the angle grid (columns are handed to observers while
+    /// the engine is mutably borrowed). Identical to the engine's grid:
+    /// both come from [`IsarConfig::thetas_deg`].
+    thetas: Vec<f64>,
+    wb: WindowBuffer,
+    emitted: usize,
+}
+
+impl SharedStreamingMusic {
+    /// Creates the per-session state for sessions processed by engines
+    /// built from `cfg`.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration.
+    pub fn new(cfg: &MusicConfig) -> Self {
+        cfg.validate();
+        Self {
+            cfg: *cfg,
+            thetas: cfg.isar.thetas_deg(),
+            wb: WindowBuffer::new(cfg.isar.window, cfg.isar.hop),
+            emitted: 0,
+        }
+    }
+
+    /// Feeds a batch of nulled channel samples through the shared
+    /// `engine`, invoking `on_column(start_sample, thetas_deg, row)` for
+    /// each newly completed window (`start_sample` is the window's
+    /// absolute start; its centre time is
+    /// [`IsarConfig::window_center_s`]). Returns the number of new
+    /// columns.
+    ///
+    /// # Panics
+    /// Panics if `engine` was built for a different configuration.
+    pub fn push_with(
+        &mut self,
+        engine: &mut MusicEngine,
+        samples: &[Complex64],
+        mut on_column: impl FnMut(usize, &[f64], &[f64]),
+    ) -> usize {
+        assert_eq!(
+            *engine.cfg(),
+            self.cfg,
+            "shared engine built for a different configuration"
+        );
+        let thetas = &self.thetas;
+        let n = self.wb.push(samples, |start, win| {
+            let (row, _eigen) = engine.process_window(win);
+            on_column(start, thetas, &row);
+        });
+        self.emitted += n;
+        n
+    }
+
+    /// Columns emitted so far.
+    pub fn n_columns(&self) -> usize {
+        self.emitted
+    }
+
+    /// Total samples pushed so far.
+    pub fn n_seen(&self) -> usize {
+        self.wb.n_seen()
+    }
+
+    /// The angle grid shared by all columns.
+    pub fn thetas_deg(&self) -> &[f64] {
+        &self.thetas
+    }
+}
+
+/// Per-session beamformer windowing state for engine-shared streaming —
+/// the [`StreamingBeamform`] sibling of [`SharedStreamingMusic`], used by
+/// serving-engine gesture sessions. Columns are handed to the observer
+/// only; retention (the gesture decoder needs the whole track) is the
+/// caller's job.
+#[derive(Clone, Debug)]
+pub struct SharedStreamingBeamform {
+    isar: IsarConfig,
+    thetas: Vec<f64>,
+    wb: WindowBuffer,
+    emitted: usize,
+}
+
+impl SharedStreamingBeamform {
+    /// Creates the per-session state for sessions processed by engines
+    /// built from `cfg`.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration.
+    pub fn new(cfg: &IsarConfig) -> Self {
+        cfg.validate();
+        Self {
+            isar: *cfg,
+            thetas: cfg.thetas_deg(),
+            wb: WindowBuffer::new(cfg.window, cfg.hop),
+            emitted: 0,
+        }
+    }
+
+    /// Feeds a batch through the shared `engine`, invoking
+    /// `on_column(start_sample, thetas_deg, row)` per completed window.
+    /// Returns the number of new columns.
+    ///
+    /// # Panics
+    /// Panics if `engine` was built for a different windowing geometry.
+    pub fn push_with(
+        &mut self,
+        engine: &mut BeamformEngine,
+        samples: &[Complex64],
+        mut on_column: impl FnMut(usize, &[f64], &[f64]),
+    ) -> usize {
+        assert_eq!(
+            *engine.cfg(),
+            self.isar,
+            "shared engine built for a different configuration"
+        );
+        let thetas = &self.thetas;
+        let n = self.wb.push(samples, |start, win| {
+            let row = engine.process_window(win);
+            on_column(start, thetas, &row);
+        });
+        self.emitted += n;
+        n
+    }
+
+    /// Columns emitted so far.
+    pub fn n_columns(&self) -> usize {
+        self.emitted
+    }
+
+    /// Total samples pushed so far.
+    pub fn n_seen(&self) -> usize {
+        self.wb.n_seen()
+    }
+
+    /// The angle grid shared by all columns.
+    pub fn thetas_deg(&self) -> &[f64] {
+        &self.thetas
     }
 }
 
@@ -478,6 +647,103 @@ mod tests {
         assert_eq!(sink.n_columns(), stored.len());
         assert!(sink.rows().is_empty(), "sink_only stage retained rows");
         assert!(sink.eigens().is_empty());
+    }
+
+    #[test]
+    fn shared_music_equals_owned_stage_even_interleaved() {
+        // Two "sessions" with different traces share ONE engine, their
+        // pushes interleaved in awkward chunks — exactly the serving
+        // shard's shape. Each must still produce the columns an owned
+        // per-session stage produces, bit for bit.
+        let cfg = MusicConfig::fast_test();
+        let traces = [noisy_trace(130, 21), noisy_trace(130, 22)];
+
+        let owned: Vec<Vec<Vec<f64>>> = traces
+            .iter()
+            .map(|t| {
+                let mut stage = StreamingMusic::new(cfg);
+                stage.push(t);
+                stage.rows().to_vec()
+            })
+            .collect();
+
+        let mut engine = MusicEngine::new(cfg);
+        let mut shared = [
+            SharedStreamingMusic::new(&cfg),
+            SharedStreamingMusic::new(&cfg),
+        ];
+        let mut got: [Vec<Vec<f64>>; 2] = [Vec::new(), Vec::new()];
+        let mut starts: [Vec<usize>; 2] = [Vec::new(), Vec::new()];
+        for chunk in 0..(130usize).div_ceil(7) {
+            for s in 0..2 {
+                let lo = chunk * 7;
+                let hi = (lo + 7).min(130);
+                if lo >= hi {
+                    continue;
+                }
+                shared[s].push_with(&mut engine, &traces[s][lo..hi], |start, thetas, row| {
+                    assert_eq!(thetas, engine_thetas(&cfg));
+                    starts[s].push(start);
+                    got[s].push(row.to_vec());
+                });
+            }
+        }
+        for s in 0..2 {
+            assert_eq!(got[s], owned[s], "session {s} columns diverged");
+            // Window start indices advance by the hop from zero, and the
+            // centre-time expression matches the owned stage's.
+            let isar = cfg.isar;
+            let expect: Vec<usize> = (0..got[s].len()).map(|k| k * isar.hop).collect();
+            assert_eq!(starts[s], expect);
+            let mut stage = StreamingMusic::new(cfg);
+            stage.push(&traces[s]);
+            let times: Vec<f64> = starts[s]
+                .iter()
+                .map(|&st| isar.window_center_s(st))
+                .collect();
+            assert_eq!(times, stage.times_s());
+            assert_eq!(shared[s].n_columns(), got[s].len());
+            assert_eq!(shared[s].n_seen(), 130);
+        }
+    }
+
+    fn engine_thetas(cfg: &MusicConfig) -> Vec<f64> {
+        cfg.isar.thetas_deg()
+    }
+
+    #[test]
+    fn shared_beamform_equals_owned_stage() {
+        let cfg = IsarConfig::fast_test();
+        let trace = noisy_trace(110, 23);
+        let mut owned = StreamingBeamform::new(cfg);
+        owned.push(&trace);
+
+        let mut engine = BeamformEngine::new(cfg);
+        let mut shared = SharedStreamingBeamform::new(&cfg);
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        let mut times: Vec<f64> = Vec::new();
+        for chunk in trace.chunks(9) {
+            shared.push_with(&mut engine, chunk, |start, _thetas, row| {
+                rows.push(row.to_vec());
+                times.push(cfg.window_center_s(start));
+            });
+        }
+        assert_eq!(rows, owned.rows());
+        assert_eq!(times, owned.times_s());
+        assert_eq!(shared.thetas_deg(), Stage::thetas_deg(&owned));
+    }
+
+    #[test]
+    #[should_panic(expected = "different configuration")]
+    fn shared_music_rejects_mismatched_engine() {
+        // A *non-windowing* mismatch: the noise floor changes the
+        // signal-subspace split, so columns would silently differ if
+        // only the window geometry were guarded.
+        let mut engine = MusicEngine::new(MusicConfig::fast_test());
+        let mut cfg = MusicConfig::fast_test();
+        cfg.noise_floor_power = Some(1e-6);
+        let mut shared = SharedStreamingMusic::new(&cfg);
+        shared.push_with(&mut engine, &[Complex64::ZERO], |_, _, _| {});
     }
 
     #[test]

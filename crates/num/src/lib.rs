@@ -18,6 +18,8 @@
 //!   data-association kernel of the multi-target tracker).
 //! * [`kalman`] — the 2-state constant-velocity Kalman filter each track
 //!   runs over its (θ, θ̇) ridge state.
+//! * [`merge`] — the deterministic timestamp-ordered k-way merge the
+//!   serving engine uses to unify per-session event streams.
 //! * [`stats`] — means, variances, percentiles, empirical CDFs and the
 //!   dB conversions used throughout the evaluation harness.
 
@@ -27,6 +29,7 @@ pub mod eig;
 pub mod fft;
 pub mod kalman;
 pub mod matrix;
+pub mod merge;
 pub mod rng;
 pub mod stats;
 
@@ -36,4 +39,5 @@ pub use eig::{hermitian_eig, EigWorkspace, HermitianEig};
 pub use fft::FftPlan;
 pub use kalman::Kalman2;
 pub use matrix::CMatrix;
+pub use merge::{merge_streams, TimedStream};
 pub use rng::Rng64;

@@ -1,0 +1,146 @@
+//! Timestamp-ordered merging of per-stream event sequences.
+//!
+//! The serving engine multiplexes many sensing sessions and must emit one
+//! unified event stream: every session produces events stamped with its
+//! own window-centre times, and downstream consumers (dashboards,
+//! alerting) want them globally ordered. This module is the merge kernel:
+//! a deterministic k-way merge over streams that are each already
+//! ascending in time, with a **stable, total tie-break** — equal
+//! timestamps order by stream tag (session id), and equal (time, tag)
+//! pairs keep their within-stream order. The output is therefore a pure
+//! function of the *set* of streams: shuffling the input stream order
+//! changes nothing, which is what lets the serving layer stay bitwise
+//! reproducible across shard counts and submission orders.
+//!
+//! Times compare via [`f64::total_cmp`], so the order is total even in
+//! the presence of exotic values (no `partial_cmp` panics, `-0.0 < 0.0`
+//! deterministically).
+
+/// One input stream for [`merge_streams`]: a tag that identifies the
+/// stream globally (the serving layer uses the session id) plus its
+/// items, ascending in the caller's time key.
+#[derive(Clone, Debug)]
+pub struct TimedStream<T> {
+    /// Globally unique stream identity; ties in time break by this.
+    pub tag: u64,
+    /// Items, ascending under the merge's time key.
+    pub items: Vec<T>,
+}
+
+/// Merges streams that are each sorted by `time_of` into one sequence
+/// ordered by `(time, tag, within-stream index)`.
+///
+/// The result is independent of the order of `streams`: equal times
+/// order by `tag`, and a stream's own items keep their relative order.
+/// Duplicate tags are allowed (their mutual tie order then follows input
+/// position, so callers wanting full determinism should keep tags
+/// unique, as session ids are).
+///
+/// # Panics
+/// Panics if any stream is not ascending under `time_of` (the serving
+/// layer pre-sorts per-session events, which carry back-dated entry
+/// timestamps, before merging).
+pub fn merge_streams<T, F>(streams: &[TimedStream<T>], time_of: F) -> Vec<(u64, T)>
+where
+    T: Clone,
+    F: Fn(&T) -> f64,
+{
+    for s in streams {
+        for w in s.items.windows(2) {
+            assert!(
+                time_of(&w[0]).total_cmp(&time_of(&w[1])) != std::cmp::Ordering::Greater,
+                "stream {} is not ascending in time",
+                s.tag
+            );
+        }
+    }
+    let total: usize = streams.iter().map(|s| s.items.len()).sum();
+    let mut heads = vec![0usize; streams.len()];
+    let mut out = Vec::with_capacity(total);
+    while out.len() < total {
+        // Scan the live heads for the minimum (time, tag). Stream counts
+        // are small (one per session), so a linear scan beats heap
+        // bookkeeping and is trivially deterministic.
+        let mut best: Option<(f64, u64, usize)> = None;
+        for (k, s) in streams.iter().enumerate() {
+            if heads[k] >= s.items.len() {
+                continue;
+            }
+            let t = time_of(&s.items[heads[k]]);
+            let better = match best {
+                None => true,
+                Some((bt, btag, _)) => match t.total_cmp(&bt) {
+                    std::cmp::Ordering::Less => true,
+                    std::cmp::Ordering::Equal => s.tag < btag,
+                    std::cmp::Ordering::Greater => false,
+                },
+            };
+            if better {
+                best = Some((t, s.tag, k));
+            }
+        }
+        let (_, tag, k) = best.expect("total count guarantees a live head");
+        out.push((tag, streams[k].items[heads[k]].clone()));
+        heads[k] += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_two_streams_in_time_order() {
+        let a = TimedStream {
+            tag: 1,
+            items: vec![0.0, 2.0, 4.0],
+        };
+        let b = TimedStream {
+            tag: 2,
+            items: vec![1.0, 3.0],
+        };
+        let out = merge_streams(&[a, b], |&t| t);
+        let times: Vec<f64> = out.iter().map(|(_, t)| *t).collect();
+        assert_eq!(times, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn equal_times_break_by_tag() {
+        let a = TimedStream {
+            tag: 7,
+            items: vec![1.0, 1.0],
+        };
+        let b = TimedStream {
+            tag: 3,
+            items: vec![1.0],
+        };
+        let out = merge_streams(&[a, b], |&t| t);
+        let tags: Vec<u64> = out.iter().map(|(tag, _)| *tag).collect();
+        assert_eq!(tags, vec![3, 7, 7]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let out: Vec<(u64, f64)> = merge_streams(&[], |&t| t);
+        assert!(out.is_empty());
+        let out = merge_streams(
+            &[TimedStream {
+                tag: 1,
+                items: Vec::<f64>::new(),
+            }],
+            |&t| t,
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not ascending")]
+    fn rejects_unsorted_stream() {
+        let s = TimedStream {
+            tag: 1,
+            items: vec![2.0, 1.0],
+        };
+        let _ = merge_streams(&[s], |&t| t);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-style tests for the event-stream merge kernel.
+//!
+//! Like `properties.rs`, these replace `proptest` with deterministic
+//! [`Rng64`] sample sweeps: each case generates a random set of sorted
+//! per-session streams (the shape the serving engine produces) and checks
+//! the merge invariants — globally time-ordered output, stable
+//! tie-breaking by session id, per-stream subsequence preservation, and
+//! invariance under stream-order shuffling.
+
+use wivi_num::rng::Rng64;
+use wivi_num::{merge_streams, TimedStream};
+
+const CASES: u64 = 64;
+
+/// An event stand-in: (time, payload). The payload makes items
+/// distinguishable so subsequence checks are exact.
+type Ev = (f64, u64);
+
+/// Generates a random session's stream: sorted times (with deliberate
+/// duplicates, both within and across streams — ridge events genuinely
+/// share window-centre timestamps) and unique payloads.
+fn random_stream(rng: &mut Rng64, tag: u64, max_len: usize) -> TimedStream<Ev> {
+    let len = rng.gen_below(max_len as u64 + 1) as usize;
+    let mut times: Vec<f64> = (0..len)
+        .map(|_| {
+            // Quantized times force cross- and within-stream ties.
+            (rng.gen_below(20) as f64) * 0.25
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    let items = times
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| (t, tag * 1_000 + i as u64))
+        .collect();
+    TimedStream { tag, items }
+}
+
+fn random_streams(rng: &mut Rng64, max_streams: usize, max_len: usize) -> Vec<TimedStream<Ev>> {
+    let n = 1 + rng.gen_below(max_streams as u64) as usize;
+    (0..n)
+        .map(|k| random_stream(rng, k as u64 + 1, max_len))
+        .collect()
+}
+
+/// Fisher–Yates over the stream order, seeded.
+fn shuffled<T: Clone>(rng: &mut Rng64, xs: &[T]) -> Vec<T> {
+    let mut out = xs.to_vec();
+    for i in (1..out.len()).rev() {
+        let j = rng.gen_below(i as u64 + 1) as usize;
+        out.swap(i, j);
+    }
+    out
+}
+
+#[test]
+fn output_is_sorted_by_time_then_tag() {
+    let mut rng = Rng64::seed_from_u64(301);
+    for _ in 0..CASES {
+        let streams = random_streams(&mut rng, 8, 12);
+        let out = merge_streams(&streams, |e| e.0);
+        for w in out.windows(2) {
+            let (ta, a) = (&w[0].1 .0, w[0].0);
+            let (tb, b) = (&w[1].1 .0, w[1].0);
+            match ta.total_cmp(tb) {
+                std::cmp::Ordering::Less => {}
+                std::cmp::Ordering::Equal => {
+                    assert!(a <= b, "tie at t={ta} ordered {a} after {b}")
+                }
+                std::cmp::Ordering::Greater => panic!("time went backwards: {ta} > {tb}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn every_stream_survives_as_a_subsequence() {
+    let mut rng = Rng64::seed_from_u64(302);
+    for _ in 0..CASES {
+        let streams = random_streams(&mut rng, 6, 10);
+        let out = merge_streams(&streams, |e| e.0);
+        let total: usize = streams.iter().map(|s| s.items.len()).sum();
+        assert_eq!(out.len(), total, "items lost or duplicated");
+        for s in &streams {
+            let got: Vec<Ev> = out
+                .iter()
+                .filter(|(tag, _)| *tag == s.tag)
+                .map(|(_, e)| *e)
+                .collect();
+            assert_eq!(got, s.items, "stream {} reordered or corrupted", s.tag);
+        }
+    }
+}
+
+#[test]
+fn merge_is_invariant_under_stream_shuffling() {
+    let mut rng = Rng64::seed_from_u64(303);
+    for _ in 0..CASES {
+        let streams = random_streams(&mut rng, 8, 10);
+        let baseline = merge_streams(&streams, |e| e.0);
+        for _ in 0..3 {
+            let perm = shuffled(&mut rng, &streams);
+            let out = merge_streams(&perm, |e| e.0);
+            assert_eq!(out, baseline, "submission order leaked into the merge");
+        }
+    }
+}
+
+#[test]
+fn single_stream_merges_to_itself() {
+    let mut rng = Rng64::seed_from_u64(304);
+    for _ in 0..CASES {
+        let s = random_stream(&mut rng, 5, 16);
+        let out = merge_streams(std::slice::from_ref(&s), |e| e.0);
+        let items: Vec<Ev> = out.into_iter().map(|(_, e)| e).collect();
+        assert_eq!(items, s.items);
+    }
+}
+
+#[test]
+fn merge_equals_stable_sort_of_concatenation() {
+    // The spec in one line: merging sorted streams must equal
+    // concatenating (in tag order) and stable-sorting by time.
+    let mut rng = Rng64::seed_from_u64(305);
+    for _ in 0..CASES {
+        let streams = random_streams(&mut rng, 6, 10);
+        let out = merge_streams(&streams, |e| e.0);
+
+        let mut tagged: Vec<(u64, Ev)> = Vec::new();
+        let mut by_tag: Vec<&TimedStream<Ev>> = streams.iter().collect();
+        by_tag.sort_by_key(|s| s.tag);
+        for s in by_tag {
+            tagged.extend(s.items.iter().map(|e| (s.tag, *e)));
+        }
+        tagged.sort_by(|a, b| a.1 .0.total_cmp(&b.1 .0));
+        assert_eq!(out, tagged);
+    }
+}

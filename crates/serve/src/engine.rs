@@ -1,0 +1,343 @@
+//! The serving engine: session routing, backpressure, and the unified
+//! event stream.
+//!
+//! [`ServeEngine::start`] spawns N worker shards ([`crate::shard`]).
+//! [`ServeEngine::open`] routes a [`SessionSpec`] to the shard selected
+//! by a stable FNV-1a hash of its session id — never by load, arrival
+//! order, or thread scheduling — and blocks while that shard's bounded
+//! queue is full (the backpressure surface; [`ServeEngine::try_open`] is
+//! the non-blocking variant). Sessions stream to completion on their
+//! shard, can be cut short with [`ServeEngine::close`], and
+//! [`ServeEngine::finish`] drains everything into a [`ServeReport`].
+//!
+//! **Determinism.** Each session's output depends only on its spec:
+//! sessions own their scene, device, and RNG; the per-shard engines they
+//! share hold no cross-window state; and the merged event stream orders
+//! by `(timestamp, session id, emission order)` through
+//! [`wivi_num::merge_streams`]. Shard count, submission order, and
+//! scheduling therefore cannot change a single bit of the report's
+//! outputs or events — the `serving_equivalence` and determinism-matrix
+//! integration tests pin this.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use wivi_num::{merge_streams, stats, TimedStream};
+use wivi_track::TrackEvent;
+
+use crate::session::{SessionId, SessionOutput, SessionSpec};
+use crate::shard::{run_shard, Command, ShardChannel, ShardDone, ShardStats};
+
+/// Engine sizing.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Worker shards. Sessions hash-route here; more shards than cores
+    /// is legal (they time-share).
+    pub n_shards: usize,
+    /// Channel samples each session advances per turn — the serving
+    /// analogue of the UHD frame chunk.
+    pub batch_len: usize,
+    /// Bound of each shard's command queue; `open` blocks when the
+    /// target shard's queue is at capacity.
+    pub queue_capacity: usize,
+}
+
+impl ServeConfig {
+    /// `n_shards` shards with the device's default batching and a
+    /// 32-command queue bound.
+    pub fn with_shards(n_shards: usize) -> Self {
+        Self {
+            n_shards,
+            batch_len: wivi_core::device::DEFAULT_BATCH_LEN,
+            queue_capacity: 32,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    /// Panics on zero shards, batch length, or queue capacity.
+    pub fn validate(&self) {
+        assert!(self.n_shards >= 1, "need at least one shard");
+        assert!(self.batch_len >= 1, "batch length must be positive");
+        assert!(self.queue_capacity >= 1, "queue capacity must be positive");
+    }
+}
+
+/// One event of the engine's unified stream: a tracker event stamped
+/// with its session and the serving-clock time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServeEvent {
+    /// Serving-clock timestamp: session `start_s` + the event's
+    /// session-relative window time.
+    pub time_s: f64,
+    pub session: SessionId,
+    /// The event's emission index within its session (the merge's final
+    /// tie-break, and the key to re-derive per-session order).
+    pub seq: usize,
+    pub event: TrackEvent,
+}
+
+/// Everything a serving run produced.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// One output per opened session, in session-id order.
+    pub outputs: Vec<SessionOutput>,
+    /// The unified cross-session event stream, ordered by
+    /// `(time, session id, emission order)`.
+    pub events: Vec<ServeEvent>,
+    /// Per-shard serving telemetry, in shard order.
+    pub shards: Vec<ShardStats>,
+    /// Engine wall-clock from start to finish, seconds.
+    pub wall_s: f64,
+}
+
+impl ServeReport {
+    /// The output of session `id`, if it was served.
+    pub fn output(&self, id: SessionId) -> Option<&SessionOutput> {
+        self.outputs.iter().find(|o| o.id == id)
+    }
+
+    /// Total channel samples streamed across all sessions.
+    pub fn total_samples(&self) -> usize {
+        self.outputs.iter().map(|o| o.n_samples).sum()
+    }
+
+    /// Aggregate streaming throughput, channel samples per wall-clock
+    /// second.
+    pub fn samples_per_sec(&self) -> f64 {
+        self.total_samples() as f64 / self.wall_s.max(1e-12)
+    }
+
+    /// Sessions served per wall-clock second.
+    pub fn sessions_per_sec(&self) -> f64 {
+        self.outputs.len() as f64 / self.wall_s.max(1e-12)
+    }
+
+    /// The `p`-th percentile (0–100) of per-batch processing latency
+    /// across all shards, seconds; 0 if no batches ran.
+    /// ([`stats::percentile`] sorts its own copy.)
+    pub fn batch_latency_percentile_s(&self, p: f64) -> f64 {
+        let all: Vec<f64> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.batch_latencies_s.iter().copied())
+            .collect();
+        if all.is_empty() {
+            return 0.0;
+        }
+        stats::percentile(&all, p)
+    }
+}
+
+/// Stable shard routing: FNV-1a over the session id's little-endian
+/// bytes. Depends only on (id, n_shards) — never on submission order or
+/// load — so a given deployment shape always places a session
+/// identically.
+pub fn shard_of(id: SessionId, n_shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in id.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    (h % n_shards as u64) as usize
+}
+
+/// The sharded multi-session serving engine.
+pub struct ServeEngine {
+    cfg: ServeConfig,
+    channels: Vec<Arc<ShardChannel>>,
+    workers: Vec<std::thread::JoinHandle<ShardDone>>,
+    opened_ids: Vec<SessionId>,
+    started: Instant,
+}
+
+impl ServeEngine {
+    /// Starts the engine: spawns `cfg.n_shards` worker threads, each
+    /// with its own bounded command queue and engine cache.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration.
+    pub fn start(cfg: ServeConfig) -> Self {
+        cfg.validate();
+        let channels: Vec<Arc<ShardChannel>> = (0..cfg.n_shards)
+            .map(|_| Arc::new(ShardChannel::new(cfg.queue_capacity)))
+            .collect();
+        let workers = channels
+            .iter()
+            .enumerate()
+            .map(|(i, chan)| {
+                let chan = Arc::clone(chan);
+                let batch_len = cfg.batch_len;
+                std::thread::Builder::new()
+                    .name(format!("wivi-shard-{i}"))
+                    .spawn(move || run_shard(i, chan, batch_len))
+                    .expect("failed to spawn shard worker")
+            })
+            .collect();
+        Self {
+            cfg,
+            channels,
+            workers,
+            opened_ids: Vec::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// The shard session `id` routes to.
+    pub fn shard_of(&self, id: SessionId) -> usize {
+        shard_of(id, self.cfg.n_shards)
+    }
+
+    /// Commands currently queued at `shard` (backpressure
+    /// introspection).
+    pub fn queue_len(&self, shard: usize) -> usize {
+        self.channels[shard].queue_len()
+    }
+
+    /// Opens a session, blocking while its shard's queue is full — the
+    /// engine's backpressure. The session streams to completion (or
+    /// [`Self::close`]) on its shard.
+    ///
+    /// # Panics
+    /// Panics on a duplicate session id.
+    pub fn open(&mut self, spec: SessionSpec) {
+        self.register(spec.id);
+        let shard = self.shard_of(spec.id);
+        self.channels[shard].push_blocking(Command::Open(Box::new(spec)));
+    }
+
+    /// Non-blocking [`Self::open`]: hands the spec back (boxed — it owns
+    /// a whole scene) if the target shard's queue is at capacity. The id
+    /// is then *not* considered used, so the caller may retry.
+    ///
+    /// # Panics
+    /// Panics on a duplicate session id.
+    pub fn try_open(&mut self, spec: SessionSpec) -> Result<(), Box<SessionSpec>> {
+        self.check_unique(spec.id);
+        let shard = self.shard_of(spec.id);
+        let id = spec.id;
+        match self.channels[shard].try_push(Command::Open(Box::new(spec))) {
+            Ok(()) => {
+                self.opened_ids.push(id);
+                Ok(())
+            }
+            Err(Command::Open(spec)) => Err(spec),
+            Err(Command::Close(_)) => unreachable!("pushed an Open"),
+        }
+    }
+
+    fn check_unique(&self, id: SessionId) {
+        assert!(
+            !self.opened_ids.contains(&id),
+            "duplicate session id {id}: ids must be unique for the engine's lifetime"
+        );
+    }
+
+    fn register(&mut self, id: SessionId) {
+        self.check_unique(id);
+        self.opened_ids.push(id);
+    }
+
+    /// Requests an early close: the session drains at its next batch
+    /// boundary, producing a prefix of its full output (no events lost
+    /// or duplicated — the drain runs the normal finalize path).
+    /// Unknown or already-finished ids are ignored by the shard.
+    pub fn close(&mut self, id: SessionId) {
+        let shard = self.shard_of(id);
+        self.channels[shard].push_blocking(Command::Close(id));
+    }
+
+    /// Declares the command stream complete, drains every shard, joins
+    /// the workers, and assembles the report: outputs in session-id
+    /// order and the timestamp-ordered merged event stream.
+    ///
+    /// # Panics
+    /// Panics if a shard worker panicked.
+    pub fn finish(self) -> ServeReport {
+        for chan in &self.channels {
+            chan.shutdown();
+        }
+        let mut outputs: Vec<SessionOutput> = Vec::new();
+        let mut shards: Vec<ShardStats> = Vec::new();
+        for w in self.workers {
+            let done = w.join().expect("shard worker panicked");
+            outputs.extend(done.outputs);
+            shards.push(done.stats);
+        }
+        outputs.sort_by_key(|o| o.id);
+        shards.sort_by_key(|s| s.shard);
+        let events = merge_session_events(&outputs);
+        ServeReport {
+            outputs,
+            events,
+            shards,
+            wall_s: self.started.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+/// Builds the unified stream: per session, stamp events with the serving
+/// clock and their emission index, pre-sort by time (entry events are
+/// back-dated, so emission order is not time order), then k-way merge
+/// with ties broken by session id and emission order.
+fn merge_session_events(outputs: &[SessionOutput]) -> Vec<ServeEvent> {
+    let streams: Vec<TimedStream<ServeEvent>> = outputs
+        .iter()
+        .filter(|o| !o.events.is_empty())
+        .map(|o| {
+            let mut items: Vec<ServeEvent> = o
+                .events
+                .iter()
+                .enumerate()
+                .map(|(seq, &event)| ServeEvent {
+                    time_s: o.start_s + event.time_s,
+                    session: o.id,
+                    seq,
+                    event,
+                })
+                .collect();
+            // Stable: equal times keep emission order.
+            items.sort_by(|a, b| a.time_s.total_cmp(&b.time_s));
+            TimedStream { tag: o.id, items }
+        })
+        .collect();
+    merge_streams(&streams, |e| e.time_s)
+        .into_iter()
+        .map(|(_, e)| e)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_stable_and_spreads() {
+        for id in 0..64u64 {
+            assert_eq!(shard_of(id, 4), shard_of(id, 4));
+        }
+        // All shards get some of the first 64 ids.
+        for shard in 0..4 {
+            assert!(
+                (0..64u64).any(|id| shard_of(id, 4) == shard),
+                "shard {shard} never selected"
+            );
+        }
+        // Single shard degenerates correctly.
+        assert!((0..64u64).all(|id| shard_of(id, 1) == 0));
+    }
+
+    #[test]
+    fn config_validation() {
+        let cfg = ServeConfig::with_shards(2);
+        cfg.validate();
+        let bad = ServeConfig { n_shards: 0, ..cfg };
+        assert!(std::panic::catch_unwind(|| bad.validate()).is_err());
+    }
+}

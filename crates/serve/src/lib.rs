@@ -1,0 +1,69 @@
+//! `wivi-serve` — the sharded multi-session serving engine.
+//!
+//! The paper's end state is a device that continuously sees through a
+//! wall; the roadmap's end state is that capability *as a service* —
+//! many concurrent sensing sessions multiplexed on one machine. This
+//! crate is that serving layer:
+//!
+//! * [`SessionSpec`] — one session: a scene, a device configuration, a
+//!   seed, a duration, and one of the device's modes
+//!   (track / track-targets / count / gestures).
+//! * [`ServeEngine`] — owns N worker shards; sessions route to shards by
+//!   a stable hash of their id, stream incrementally in fixed-size
+//!   batches, and obey the lifecycle open → stream → drain → close.
+//!   Each shard's bounded command queue gives [`ServeEngine::open`]
+//!   backpressure semantics; [`ServeEngine::close`] cuts a session short
+//!   at its next batch boundary.
+//! * [`ServeReport`] — per-session outputs plus the unified
+//!   timestamp-ordered event stream merged across sessions
+//!   ([`wivi_num::merge_streams`]) and per-shard utilization / batch
+//!   latency telemetry.
+//!
+//! Shards extend the PR-1 zero-allocation design from per-device to
+//! per-shard: all sessions on a shard share one set of per-window
+//! engines (steering tables, correlation matrix, eig workspace) through
+//! the [`wivi_core::SharedStreamingMusic`] stages, so a shard's resident
+//! scratch is one engine per distinct configuration — not per session.
+//!
+//! **The serving contract is bitwise.** A session served by the engine
+//! produces exactly the output of running it standalone through the
+//! device's `*_streaming` entry points, for every shard count and
+//! submission order (`tests/serving_equivalence.rs` and the determinism
+//! matrix pin this). Determinism is inherited, not re-proven: sessions
+//! own all their state, shared engines hold no cross-window state, and
+//! the event merge is a deterministic function of the output set.
+//!
+//! ```no_run
+//! use wivi_core::WiViConfig;
+//! use wivi_rf::{Material, Scene};
+//! use wivi_serve::{ServeConfig, ServeEngine, SessionMode, SessionSpec};
+//!
+//! let mut engine = ServeEngine::start(ServeConfig::with_shards(4));
+//! for id in 0..64 {
+//!     let scene = Scene::new(Material::HollowWall6In)
+//!         .with_office_clutter(Scene::conference_room_small());
+//!     engine.open(SessionSpec::new(
+//!         id,
+//!         scene,
+//!         WiViConfig::paper_default(),
+//!         1000 + id,
+//!         4.0,
+//!         SessionMode::TrackTargets,
+//!     ));
+//! }
+//! let report = engine.finish();
+//! println!(
+//!     "{} sessions, {} events, {:.0} samples/sec",
+//!     report.outputs.len(),
+//!     report.events.len(),
+//!     report.samples_per_sec()
+//! );
+//! ```
+
+pub mod engine;
+pub mod session;
+pub mod shard;
+
+pub use engine::{shard_of, ServeConfig, ServeEngine, ServeEvent, ServeReport};
+pub use session::{SessionId, SessionMode, SessionOutput, SessionResult, SessionSpec};
+pub use shard::ShardStats;

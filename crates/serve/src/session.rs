@@ -1,0 +1,353 @@
+//! Sessions: what one subscriber asks the serving engine to sense.
+//!
+//! A [`SessionSpec`] is a self-contained description of one sensing
+//! session — the scene behind the wall, the device configuration, the
+//! deterministic seed, how long to record, and which of the device's
+//! modes to run. The engine routes it to a worker shard, which owns the
+//! session through its lifecycle (open → stream → drain → close) and
+//! produces a [`SessionOutput`].
+//!
+//! The per-session streaming state (`ActiveSession`, crate-private) is
+//! deliberately thin: the heavy per-window scratch (steering tables, FFT
+//! plans, the eigendecomposition workspace) lives once per *shard* and
+//! is borrowed per batch — see [`crate::shard`].
+
+use wivi_core::counting::StreamingVariance;
+use wivi_core::gesture::{decode, GestureDecode};
+use wivi_core::{
+    AngleSpectrogram, SharedStreamingBeamform, SharedStreamingMusic, WiViConfig, WiViDevice,
+};
+use wivi_num::Complex64;
+use wivi_rf::Scene;
+use wivi_track::{MultiTargetTracker, TrackEvent, TrackerConfig};
+
+use crate::shard::EngineCache;
+
+/// Session identity. Must be unique across the engine's lifetime; ties
+/// in the merged event stream break by it, and shard routing hashes it.
+pub type SessionId = u64;
+
+/// Which of the device's modes a session runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionMode {
+    /// Mode 1, imaging: retain every spectrogram column, output the full
+    /// `A′[θ, n]` (the serving twin of `WiViDevice::track_streaming`).
+    Track,
+    /// Mode 1, extended: multi-target tracking; outputs the
+    /// [`TrackingReport`](wivi_track::TrackingReport) and contributes
+    /// entry/exit/crossing/count events to the engine's unified stream
+    /// (twin of `track_targets_streaming`).
+    TrackTargets,
+    /// Mode 1, counting: fold columns into the spatial-variance sink;
+    /// nothing is retained (twin of
+    /// `measure_spatial_variance_streaming`).
+    Count,
+    /// Mode 2: beamform incrementally, decode the gesture message when
+    /// the session closes (twin of `decode_gestures_streaming`).
+    Gestures,
+}
+
+impl SessionMode {
+    /// Stable tag used in reports and JSON.
+    pub fn tag(self) -> &'static str {
+        match self {
+            SessionMode::Track => "track",
+            SessionMode::TrackTargets => "track_targets",
+            SessionMode::Count => "count",
+            SessionMode::Gestures => "gestures",
+        }
+    }
+}
+
+/// One session request, self-contained and owned (it moves to a shard
+/// thread).
+pub struct SessionSpec {
+    pub id: SessionId,
+    /// The scene this session senses. Each session owns its scene — no
+    /// state is shared between sessions.
+    pub scene: Scene,
+    pub config: WiViConfig,
+    /// Deterministic seed for the session's radio noise and trajectories.
+    pub seed: u64,
+    /// Recording duration, simulated seconds.
+    pub duration_s: f64,
+    /// Serving-clock offset of the session's start: event timestamps in
+    /// the engine's merged stream are `start_s` + the session-relative
+    /// window time.
+    pub start_s: f64,
+    pub mode: SessionMode,
+}
+
+impl SessionSpec {
+    /// A spec starting at serving-clock zero.
+    pub fn new(
+        id: SessionId,
+        scene: Scene,
+        config: WiViConfig,
+        seed: u64,
+        duration_s: f64,
+        mode: SessionMode,
+    ) -> Self {
+        Self {
+            id,
+            scene,
+            config,
+            seed,
+            duration_s,
+            start_s: 0.0,
+            mode,
+        }
+    }
+}
+
+/// The mode-specific payload of a finished session. Modes whose output
+/// needs at least one analysis window carry `Option`s: a zero-duration
+/// (or immediately closed) session drains cleanly with `None` instead of
+/// panicking.
+#[derive(Clone, Debug)]
+pub enum SessionResult {
+    /// The retained spectrogram (`None` if no window ever completed).
+    Track(Option<AngleSpectrogram>),
+    /// The tracking report (empty — zero windows — if the session closed
+    /// before one window).
+    TrackTargets(wivi_track::TrackingReport),
+    /// Mean spatial variance over the session (`None` if no window).
+    Count(Option<f64>),
+    /// The gesture decode (`None` if no window).
+    Gestures(Option<GestureDecode>),
+}
+
+/// Everything one session produced, plus serving telemetry.
+#[derive(Clone, Debug)]
+pub struct SessionOutput {
+    pub id: SessionId,
+    /// The shard that served the session.
+    pub shard: usize,
+    pub mode: SessionMode,
+    pub start_s: f64,
+    /// Channel samples requested (`duration_s` at the radio's rate).
+    pub n_requested: usize,
+    /// Channel samples actually streamed (< requested iff the session
+    /// was closed early).
+    pub n_samples: usize,
+    /// Spectrogram columns (analysis windows) processed.
+    pub n_columns: usize,
+    /// `true` if an external `close()` cut the session short.
+    pub closed_early: bool,
+    /// Nulling achieved at session open, dB.
+    pub nulling_db: f64,
+    pub result: SessionResult,
+    /// The session's tracker events (session-relative times, emission
+    /// order) — duplicated out of the report so the engine can merge
+    /// streams without digging into mode-specific payloads. Empty for
+    /// non-tracking modes.
+    pub events: Vec<TrackEvent>,
+    /// Calibration wall-clock at open, seconds.
+    pub calibrate_s: f64,
+    /// Summed per-batch processing wall-clock, seconds.
+    pub stream_s: f64,
+}
+
+/// Per-mode streaming state. Variants hold only per-session data; the
+/// per-window engines are borrowed from the shard's [`EngineCache`] at
+/// every batch.
+enum Drive {
+    Track {
+        stage: SharedStreamingMusic,
+        rows: Vec<Vec<f64>>,
+        times: Vec<f64>,
+    },
+    TrackTargets {
+        stage: SharedStreamingMusic,
+        /// Boxed: the tracker (live tracks, histories) dwarfs the other
+        /// variants.
+        tracker: Box<MultiTargetTracker>,
+    },
+    Count {
+        stage: SharedStreamingMusic,
+        sink: StreamingVariance,
+    },
+    Gestures {
+        stage: SharedStreamingBeamform,
+        rows: Vec<Vec<f64>>,
+        times: Vec<f64>,
+    },
+}
+
+/// A session being served by a shard.
+pub(crate) struct ActiveSession {
+    pub(crate) id: SessionId,
+    mode: SessionMode,
+    start_s: f64,
+    dev: WiViDevice,
+    drive: Drive,
+    n_requested: usize,
+    remaining: usize,
+    nulling_db: f64,
+    calibrate_s: f64,
+    pub(crate) stream_s: f64,
+    /// Set by an external close: drain at the next batch boundary.
+    pub(crate) closing: bool,
+}
+
+impl ActiveSession {
+    /// Opens the session: builds the device, calibrates (timing it), and
+    /// sets up the mode's streaming state. The *effective* configuration
+    /// (the device derives the MUSIC noise floor from the radio) drives
+    /// stage and tracker setup, exactly as the standalone entry points
+    /// do.
+    pub(crate) fn open(spec: SessionSpec) -> Self {
+        let SessionSpec {
+            id,
+            scene,
+            config,
+            seed,
+            duration_s,
+            start_s,
+            mode,
+        } = spec;
+        let mut dev = WiViDevice::new(scene, config, seed);
+        let t0 = std::time::Instant::now();
+        let nulling_db = dev.calibrate().nulling_db();
+        let calibrate_s = t0.elapsed().as_secs_f64();
+        let eff = *dev.config();
+        let drive = match mode {
+            SessionMode::Track => Drive::Track {
+                stage: SharedStreamingMusic::new(&eff.music),
+                rows: Vec::new(),
+                times: Vec::new(),
+            },
+            SessionMode::TrackTargets => Drive::TrackTargets {
+                stage: SharedStreamingMusic::new(&eff.music),
+                tracker: Box::new(MultiTargetTracker::new(TrackerConfig::for_music(
+                    &eff.music,
+                ))),
+            },
+            SessionMode::Count => Drive::Count {
+                stage: SharedStreamingMusic::new(&eff.music),
+                sink: StreamingVariance::new(),
+            },
+            SessionMode::Gestures => Drive::Gestures {
+                stage: SharedStreamingBeamform::new(&eff.music.isar),
+                rows: Vec::new(),
+                times: Vec::new(),
+            },
+        };
+        let n_requested = dev.trace_len(duration_s);
+        Self {
+            id,
+            mode,
+            start_s,
+            dev,
+            drive,
+            n_requested,
+            remaining: n_requested,
+            nulling_db,
+            calibrate_s,
+            stream_s: 0.0,
+            closing: false,
+        }
+    }
+
+    /// `true` once the session has nothing left to stream (exhausted or
+    /// closing) and should be drained.
+    pub(crate) fn done_streaming(&self) -> bool {
+        self.remaining == 0 || self.closing
+    }
+
+    /// Advances the session by one batch of at most `batch_len` samples,
+    /// borrowing the shard's engine cache for the per-window compute.
+    /// `scratch` is the shard's reused sample buffer.
+    pub(crate) fn step(
+        &mut self,
+        engines: &mut EngineCache,
+        batch_len: usize,
+        scratch: &mut Vec<Complex64>,
+    ) {
+        let n = batch_len.min(self.remaining);
+        if n == 0 {
+            return;
+        }
+        self.dev.observe_batch_into(n, scratch);
+        self.remaining -= n;
+        let music = self.dev.config().music;
+        match &mut self.drive {
+            Drive::Track { stage, rows, times } => {
+                let engine = engines.music(&music);
+                stage.push_with(engine, scratch, |start, _thetas, row| {
+                    rows.push(row.to_vec());
+                    times.push(music.isar.window_center_s(start));
+                });
+            }
+            Drive::TrackTargets { stage, tracker } => {
+                let engine = engines.music(&music);
+                stage.push_with(engine, scratch, |_start, thetas, row| {
+                    tracker.push_column(thetas, row);
+                });
+            }
+            Drive::Count { stage, sink } => {
+                let engine = engines.music(&music);
+                stage.push_with(engine, scratch, |_start, thetas, row| {
+                    sink.push_column(thetas, row);
+                });
+            }
+            Drive::Gestures { stage, rows, times } => {
+                let engine = engines.beam(&music.isar);
+                stage.push_with(engine, scratch, |start, _thetas, row| {
+                    rows.push(row.to_vec());
+                    times.push(music.isar.window_center_s(start));
+                });
+            }
+        }
+    }
+
+    /// Drains the session into its output (the close step of the
+    /// lifecycle). Consumes the session; the device is dropped here.
+    pub(crate) fn finalize(self, shard: usize) -> SessionOutput {
+        let n_samples = self.n_requested - self.remaining;
+        let closed_early = self.remaining > 0;
+        let gesture_cfg = self.dev.config().gesture;
+        let (n_columns, result, events) = match self.drive {
+            Drive::Track { stage, rows, times } => {
+                let n = stage.n_columns();
+                let spec = (!rows.is_empty())
+                    .then(|| AngleSpectrogram::new(stage.thetas_deg().to_vec(), times, rows));
+                (n, SessionResult::Track(spec), Vec::new())
+            }
+            Drive::TrackTargets { stage, tracker } => {
+                let n = stage.n_columns();
+                let report = tracker.finish();
+                let events = report.events.clone();
+                (n, SessionResult::TrackTargets(report), events)
+            }
+            Drive::Count { stage, sink } => {
+                let n = stage.n_columns();
+                let mean = (sink.n_columns() > 0).then(|| sink.mean());
+                (n, SessionResult::Count(mean), Vec::new())
+            }
+            Drive::Gestures { stage, rows, times } => {
+                let n = stage.n_columns();
+                let decode = (!rows.is_empty()).then(|| {
+                    let spec = AngleSpectrogram::new(stage.thetas_deg().to_vec(), times, rows);
+                    decode(&spec, &gesture_cfg)
+                });
+                (n, SessionResult::Gestures(decode), Vec::new())
+            }
+        };
+        SessionOutput {
+            id: self.id,
+            shard,
+            mode: self.mode,
+            start_s: self.start_s,
+            n_requested: self.n_requested,
+            n_samples,
+            n_columns,
+            closed_early,
+            nulling_db: self.nulling_db,
+            result,
+            events,
+            calibrate_s: self.calibrate_s,
+            stream_s: self.stream_s,
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Worker shards: each owns a set of live sessions and one set of
+//! per-window engines.
+//!
+//! A shard is a plain `std::thread` (the same scoped-worker machinery the
+//! bench runner uses, grown a command queue) looping over rounds: drain
+//! the bounded command queue, then advance every live session by one
+//! fixed-size batch, in ascending session-id order. Ordering by id — not
+//! by arrival — plus the fact that sessions share no mutable state makes
+//! every session's output independent of submission order and shard
+//! count; the id order exists so the *wall-clock interleave* is
+//! reproducible too, not just the outputs.
+//!
+//! The PR-1 zero-allocation design extends here from per-device to
+//! per-shard: all sessions on a shard that share a configuration share
+//! one [`MusicEngine`] / [`BeamformEngine`] — one steering table, one
+//! correlation matrix, one eigendecomposition workspace — borrowed per
+//! batch through the [`wivi_core::SharedStreamingMusic`] stages. The
+//! engines are keyed by configuration in a crate-private `EngineCache`,
+//! so a shard serving N same-config sessions holds one engine, not N.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use wivi_core::{BeamformEngine, IsarConfig, MusicConfig, MusicEngine};
+use wivi_num::Complex64;
+
+use crate::session::{ActiveSession, SessionId, SessionOutput, SessionSpec};
+
+/// Configuration-keyed engine pool, one per shard. Linear scan: shards
+/// see a handful of distinct configurations at most.
+pub(crate) struct EngineCache {
+    music: Vec<(MusicConfig, MusicEngine)>,
+    beam: Vec<(IsarConfig, BeamformEngine)>,
+}
+
+impl EngineCache {
+    pub(crate) fn new() -> Self {
+        Self {
+            music: Vec::new(),
+            beam: Vec::new(),
+        }
+    }
+
+    /// The shard's MUSIC engine for `cfg`, building it on first use.
+    pub(crate) fn music(&mut self, cfg: &MusicConfig) -> &mut MusicEngine {
+        if let Some(i) = self.music.iter().position(|(c, _)| c == cfg) {
+            return &mut self.music[i].1;
+        }
+        self.music.push((*cfg, MusicEngine::new(*cfg)));
+        &mut self.music.last_mut().unwrap().1
+    }
+
+    /// The shard's beamform engine for `cfg`, building it on first use.
+    pub(crate) fn beam(&mut self, cfg: &IsarConfig) -> &mut BeamformEngine {
+        if let Some(i) = self.beam.iter().position(|(c, _)| c == cfg) {
+            return &mut self.beam[i].1;
+        }
+        self.beam.push((*cfg, BeamformEngine::new(*cfg)));
+        &mut self.beam.last_mut().unwrap().1
+    }
+
+    /// Number of distinct engines currently resident.
+    pub(crate) fn len(&self) -> usize {
+        self.music.len() + self.beam.len()
+    }
+}
+
+/// A command routed to a shard.
+pub(crate) enum Command {
+    /// Admit a session (boxed: specs own whole scenes).
+    Open(Box<SessionSpec>),
+    /// Close a session early: it drains at its next batch boundary.
+    Close(SessionId),
+}
+
+/// The bounded per-shard work queue. Producers (the engine's `open`)
+/// block on [`Self::push_blocking`] while the queue is at capacity —
+/// that is the engine's backpressure; the shard thread blocks on
+/// [`Self::take`] only when it has no live sessions to advance.
+pub(crate) struct ShardChannel {
+    state: Mutex<QueueState>,
+    /// Signals producers: space freed.
+    can_push: Condvar,
+    /// Signals the shard thread: work arrived or shutdown.
+    has_work: Condvar,
+}
+
+struct QueueState {
+    pending: VecDeque<Command>,
+    capacity: usize,
+    shut: bool,
+}
+
+impl ShardChannel {
+    pub(crate) fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "queue capacity must be at least 1");
+        Self {
+            state: Mutex::new(QueueState {
+                pending: VecDeque::with_capacity(capacity),
+                capacity,
+                shut: false,
+            }),
+            can_push: Condvar::new(),
+            has_work: Condvar::new(),
+        }
+    }
+
+    /// Enqueues, blocking while the queue is full (backpressure).
+    ///
+    /// # Panics
+    /// Panics if the channel is already shut down.
+    pub(crate) fn push_blocking(&self, cmd: Command) {
+        let mut st = self.state.lock().expect("shard queue poisoned");
+        while st.pending.len() >= st.capacity {
+            assert!(!st.shut, "shard queue shut down with producers waiting");
+            st = self.can_push.wait(st).expect("shard queue poisoned");
+        }
+        assert!(!st.shut, "cannot submit to a finished engine");
+        st.pending.push_back(cmd);
+        self.has_work.notify_one();
+    }
+
+    /// Enqueues without blocking; hands the command back if the queue is
+    /// full.
+    pub(crate) fn try_push(&self, cmd: Command) -> Result<(), Command> {
+        let mut st = self.state.lock().expect("shard queue poisoned");
+        assert!(!st.shut, "cannot submit to a finished engine");
+        if st.pending.len() >= st.capacity {
+            return Err(cmd);
+        }
+        st.pending.push_back(cmd);
+        self.has_work.notify_one();
+        Ok(())
+    }
+
+    /// Queued commands right now (for backpressure introspection).
+    pub(crate) fn queue_len(&self) -> usize {
+        self.state
+            .lock()
+            .expect("shard queue poisoned")
+            .pending
+            .len()
+    }
+
+    /// Marks the stream of commands complete: the shard finishes its
+    /// live sessions and exits.
+    pub(crate) fn shutdown(&self) {
+        let mut st = self.state.lock().expect("shard queue poisoned");
+        st.shut = true;
+        self.has_work.notify_all();
+        self.can_push.notify_all();
+    }
+
+    /// Drains all queued commands. Blocks until work or shutdown when
+    /// `block` (the shard is otherwise idle); returns immediately when
+    /// not. The second value is the shutdown flag.
+    fn take(&self, block: bool) -> (Vec<Command>, bool) {
+        let mut st = self.state.lock().expect("shard queue poisoned");
+        if block {
+            while st.pending.is_empty() && !st.shut {
+                st = self.has_work.wait(st).expect("shard queue poisoned");
+            }
+        }
+        let cmds: Vec<Command> = st.pending.drain(..).collect();
+        let shut = st.shut;
+        drop(st);
+        if !cmds.is_empty() {
+            self.can_push.notify_all();
+        }
+        (cmds, shut)
+    }
+}
+
+/// Serving telemetry of one shard.
+#[derive(Clone, Debug)]
+pub struct ShardStats {
+    pub shard: usize,
+    /// Sessions this shard served to completion.
+    pub sessions: usize,
+    /// Batch steps executed.
+    pub batches: usize,
+    /// Wall-clock spent computing (calibration + batch steps), seconds.
+    pub busy_s: f64,
+    /// Wall-clock from shard start to shard exit, seconds.
+    pub alive_s: f64,
+    /// Every batch step's wall-clock, seconds (unsorted; percentile
+    /// helpers sort a copy).
+    pub batch_latencies_s: Vec<f64>,
+    /// Distinct engines resident at exit (the per-shard sharing degree:
+    /// N same-config sessions still mean one engine).
+    pub engines: usize,
+}
+
+impl ShardStats {
+    /// Busy fraction of the shard's lifetime.
+    pub fn utilization(&self) -> f64 {
+        if self.alive_s > 0.0 {
+            (self.busy_s / self.alive_s).min(1.0)
+        } else {
+            0.0
+        }
+    }
+}
+
+/// What a shard thread returns when it exits.
+pub(crate) struct ShardDone {
+    pub(crate) outputs: Vec<SessionOutput>,
+    pub(crate) stats: ShardStats,
+}
+
+/// The shard thread body: rounds of (drain commands → advance each live
+/// session one batch → drain finished sessions), until shutdown and
+/// empty.
+pub(crate) fn run_shard(
+    shard_idx: usize,
+    chan: std::sync::Arc<ShardChannel>,
+    batch_len: usize,
+) -> ShardDone {
+    let started = Instant::now();
+    let mut engines = EngineCache::new();
+    let mut active: Vec<ActiveSession> = Vec::new();
+    let mut outputs: Vec<SessionOutput> = Vec::new();
+    let mut scratch: Vec<Complex64> = Vec::with_capacity(batch_len);
+    let mut batch_latencies_s: Vec<f64> = Vec::new();
+    let mut busy_s = 0.0f64;
+
+    loop {
+        let (cmds, shut) = chan.take(active.is_empty());
+        for cmd in cmds {
+            match cmd {
+                Command::Open(spec) => {
+                    let t0 = Instant::now();
+                    let session = ActiveSession::open(*spec);
+                    busy_s += t0.elapsed().as_secs_f64();
+                    active.push(session);
+                    // Rounds advance sessions in ascending id order so
+                    // the interleave is submission-order-independent.
+                    active.sort_by_key(|s| s.id);
+                }
+                Command::Close(id) => {
+                    if let Some(s) = active.iter_mut().find(|s| s.id == id) {
+                        s.closing = true;
+                    }
+                }
+            }
+        }
+        if active.is_empty() {
+            if shut {
+                break;
+            }
+            continue;
+        }
+        for s in active.iter_mut() {
+            if s.done_streaming() {
+                continue;
+            }
+            let t0 = Instant::now();
+            s.step(&mut engines, batch_len, &mut scratch);
+            let dt = t0.elapsed().as_secs_f64();
+            s.stream_s += dt;
+            busy_s += dt;
+            batch_latencies_s.push(dt);
+        }
+        // Drain: move finished sessions out, preserving id order.
+        let mut i = 0;
+        while i < active.len() {
+            if active[i].done_streaming() {
+                let s = active.remove(i);
+                outputs.push(s.finalize(shard_idx));
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    let stats = ShardStats {
+        shard: shard_idx,
+        sessions: outputs.len(),
+        batches: batch_latencies_s.len(),
+        busy_s,
+        alive_s: started.elapsed().as_secs_f64(),
+        batch_latencies_s,
+        engines: engines.len(),
+    };
+    ShardDone { outputs, stats }
+}

@@ -82,7 +82,7 @@ impl TrackTargets for WiViDevice {
         let music = self.config().music;
         // The same duration→samples conversion the device uses, so the
         // two shapes can never round differently.
-        let total = (duration_s * self.config().radio.channel_rate_hz).round() as usize;
+        let total = self.trace_len(duration_s);
         let mut stage = StreamingMusic::sink_only(music);
         let mut tracker = MultiTargetTracker::new(cfg);
         let mut stream = self.frontend_mut().observe_stream(total, batch_len);

@@ -41,6 +41,19 @@ pub enum EventKind {
     },
 }
 
+impl EventKind {
+    /// Stable machine-readable tag — the discriminant name used by the
+    /// golden-trace fixtures and the serving engine's JSON reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            EventKind::Entry { .. } => "entry",
+            EventKind::Exit { .. } => "exit",
+            EventKind::Crossing { .. } => "crossing",
+            EventKind::CountChange { .. } => "count_change",
+        }
+    }
+}
+
 /// One tracker event.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TrackEvent {
@@ -70,6 +83,18 @@ impl TrackEvent {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn kind_tags_are_stable_and_distinct() {
+        let kinds = [
+            EventKind::Entry { theta_deg: 0.0 },
+            EventKind::Exit { theta_deg: 0.0 },
+            EventKind::Crossing { direction: 1 },
+            EventKind::CountChange { count: 2 },
+        ];
+        let tags: Vec<&str> = kinds.iter().map(EventKind::tag).collect();
+        assert_eq!(tags, vec!["entry", "exit", "crossing", "count_change"]);
+    }
 
     #[test]
     fn event_predicates() {

@@ -21,6 +21,11 @@
 //!   detection, optimal data association, per-track Kalman filters, and
 //!   the entry/exit/crossing/count event stream
 //!   ([`TrackTargets`](track::TrackTargets) extends the device).
+//! * [`serve`] — the sharded multi-session serving engine: many
+//!   concurrent sessions hash-routed to worker shards, streamed in
+//!   batches with backpressure, their tracker events merged into one
+//!   timestamp-ordered stream — bitwise identical to running each
+//!   session standalone.
 //!
 //! ```no_run
 //! use wivi::prelude::*;
@@ -51,6 +56,7 @@ pub use wivi_core as core;
 pub use wivi_num as num;
 pub use wivi_rf as rf;
 pub use wivi_sdr as sdr;
+pub use wivi_serve as serve;
 pub use wivi_track as track;
 
 /// The most common imports for working with Wi-Vi.
@@ -62,6 +68,9 @@ pub mod prelude {
     pub use wivi_rf::{
         ConfinedRandomWalk, GestureScript, GestureStyle, Material, Mover, Point, Rect, Scene, Vec2,
         WaypointWalker,
+    };
+    pub use wivi_serve::{
+        ServeConfig, ServeEngine, ServeReport, SessionMode, SessionResult, SessionSpec,
     };
     pub use wivi_track::{
         MultiTargetTracker, TrackEvent, TrackTargets, TrackerConfig, TrackingReport,
