@@ -1,0 +1,50 @@
+//! Diagnostic: imaging-showcase scores across seeds.
+use wivi_bench::imaging::{run_imaging_trial, ImagingTrialSpec, IMAGING_SHOWCASE_DURATION_S};
+use wivi_core::WiViConfig;
+use wivi_image::ImageConfig;
+
+fn main() {
+    let wivi = WiViConfig::fast_test();
+    let img = ImageConfig::for_wivi(&wivi);
+    for n in [1usize, 2] {
+        for seed in [31u64, 32, 33, 34, 35, 77] {
+            let spec = ImagingTrialSpec {
+                name: "probe",
+                n_subjects: n,
+                speed: 1.0,
+                duration_s: IMAGING_SHOWCASE_DURATION_S,
+                seed,
+            };
+            let (r, report) = run_imaging_trial(&spec, &wivi, &img);
+            println!(
+                "n={n} seed={seed}: det {:.2} mean {:.3} median {:.3} ghosts {} tracks {} windows {}",
+                r.detection_rate,
+                r.mean_error_m,
+                r.median_error_m,
+                r.false_fixes,
+                report.tracks.len(),
+                r.n_windows
+            );
+            if std::env::var("V").is_ok() {
+                let gt = wivi_bench::imaging::ground_truth_positions(
+                    &spec.build_scene(),
+                    &report.times_s,
+                );
+                for (w, (row, fixes)) in gt.iter().zip(&report.fixes).enumerate() {
+                    print!("  w{w} t={:.1}:", report.times_s[w]);
+                    for p in row {
+                        let e = fixes
+                            .iter()
+                            .map(|f| (f.x_m - p.x).hypot(f.y_m - p.y))
+                            .fold(f64::INFINITY, f64::min);
+                        print!(" gt({:+.2},{:.2})e={e:.2}", p.x, p.y);
+                    }
+                    for f in fixes {
+                        print!(" |({:+.2},{:.2}){:.0}dB", f.x_m, f.y_m, f.power_db);
+                    }
+                    println!();
+                }
+            }
+        }
+    }
+}

@@ -7,8 +7,11 @@
 //! writes `BENCH_tracking.json`; then soak-tests the sharded serving
 //! engine (concurrent mixed-mode sessions) and writes
 //! `BENCH_serving.json` with sessions/sec, samples/sec, per-shard
-//! utilization, and p50/p99 batch latency. Future PRs regress against
-//! all three.
+//! utilization, and p50/p99 batch latency; then runs the 2-D imaging
+//! showcase (backprojection + CFAR localization against known
+//! positions) and writes `BENCH_imaging.json` with cells/sec,
+//! windows/sec, p50/p99 window latency, and the detection /
+//! localization-error metrics. Future PRs regress against all four.
 //!
 //! `--quick` shortens trials; `--full` uses the paper's 25 s counting
 //! duration.
@@ -16,10 +19,14 @@
 use std::time::Instant;
 
 use wivi_bench::engine::{write_pipeline_json, write_tracking_json, ScenarioGrid, ScenarioRunner};
+use wivi_bench::imaging::{
+    imaging_trials, run_imaging_trial, write_imaging_json, IMAGING_SHOWCASE_DURATION_S,
+};
 use wivi_bench::serving::{run_serving_soak, write_serving_json, REALTIME_RATE};
 use wivi_bench::{quick_mode, report};
 use wivi_core::device::DEFAULT_BATCH_LEN;
 use wivi_core::WiViConfig;
+use wivi_image::ImageConfig;
 
 fn main() {
     report::header(
@@ -179,7 +186,7 @@ fn main() {
         (64, 4, 4.0, "standard")
     };
     println!(
-        "\nserving soak: {n_sessions} concurrent sessions (4 modes) on {n_shards} shards, {sduration}s each"
+        "\nserving soak: {n_sessions} concurrent sessions (5 modes) on {n_shards} shards, {sduration}s each"
     );
     let soak = run_serving_soak(
         n_sessions,
@@ -231,4 +238,66 @@ fn main() {
     let spath = "BENCH_serving.json";
     write_serving_json(spath, &soak, smode).expect("failed to write BENCH_serving.json");
     println!("wrote {spath} ({smode} mode, {n_sessions} sessions × {sduration}s)");
+
+    // ---- The imaging stage: 2-D backprojection + CFAR localization on
+    // the deterministic showcase lanes, scored against known positions.
+    let (iduration, imode) = if quick_mode() {
+        (2.6, "quick")
+    } else {
+        (IMAGING_SHOWCASE_DURATION_S, "standard")
+    };
+    let wivi = WiViConfig::paper_default();
+    let img = ImageConfig::for_wivi(&wivi);
+    let itrials = imaging_trials(iduration);
+    println!(
+        "\nimaging: {} showcase trials, {iduration}s each, {} cells ({}×{}), {}-sample aperture",
+        itrials.len(),
+        img.grid.len(),
+        img.grid.nx,
+        img.grid.ny,
+        img.window
+    );
+    let t2 = Instant::now();
+    let iresults: Vec<_> = itrials
+        .iter()
+        .map(|spec| run_imaging_trial(spec, &wivi, &img).0)
+        .collect();
+    let iwall = t2.elapsed().as_secs_f64();
+
+    let rows: Vec<Vec<String>> = iresults
+        .iter()
+        .map(|r| {
+            vec![
+                r.spec.name.to_string(),
+                format!("{}", r.n_windows),
+                format!("{:.2}", r.detection_rate),
+                format!("{:.2}", r.mean_error_m),
+                format!("{}", r.false_fixes),
+                format!("{:.0}", r.samples_per_sec()),
+                format!("{:.2}", 1e3 * r.window_latency_percentile_s(99.0)),
+            ]
+        })
+        .collect();
+    report::print_table(
+        &[
+            "trial", "windows", "det rate", "err m", "ghosts", "samp/s", "p99 ms",
+        ],
+        &rows,
+    );
+    for r in &iresults {
+        assert!(
+            r.samples_per_sec() >= REALTIME_RATE,
+            "imaging below the real-time budget: {:.0} < {REALTIME_RATE} samples/sec",
+            r.samples_per_sec()
+        );
+    }
+    println!(
+        "\nimaging: {:.2}s wall; every trial ≥ {REALTIME_RATE} samples/sec real-time budget",
+        iwall
+    );
+
+    let ipath = "BENCH_imaging.json";
+    write_imaging_json(ipath, &iresults, &img, iwall, imode)
+        .expect("failed to write BENCH_imaging.json");
+    println!("wrote {ipath} ({imode} mode, {iduration}s trials)");
 }

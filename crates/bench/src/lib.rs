@@ -15,10 +15,14 @@
 //!   are embarrassingly parallel across trials).
 //! * [`serving`] — the multi-session serving soak over
 //!   [`wivi_serve::ServeEngine`] and `BENCH_serving.json` emission.
+//! * [`imaging`] — the 2-D localization workload over `wivi-image`:
+//!   showcase scenes with known positions, detection/localization
+//!   scoring, and `BENCH_imaging.json` emission.
 //! * [`report`] — uniform stdout formatting: CDF tables, bar charts,
 //!   confusion matrices, figure headers.
 
 pub mod engine;
+pub mod imaging;
 pub mod report;
 pub mod runner;
 pub mod scenarios;

@@ -1,7 +1,7 @@
 //! The serving soak: many concurrent sensing sessions through the
 //! sharded [`ServeEngine`], timed and scored for `BENCH_serving.json`.
 //!
-//! The workload mixes the engine's four session modes over varied
+//! The workload mixes the engine's five session modes over varied
 //! scenario cells (rooms × materials × subject counts × motion models,
 //! reusing the [`crate::engine`] grid generators), staggers session
 //! start offsets so the merged event stream exercises the serving clock,
@@ -52,9 +52,11 @@ fn gesture_scene(i: usize) -> Scene {
         .with_mover(Mover::human(script))
 }
 
-/// Builds the soak's session list: `n` sessions cycling through the four
-/// modes and a varied scenario grid, with staggered serving-clock start
-/// offsets. Deterministic in `(n, duration_s)`.
+/// Builds the soak's session list: `n` sessions cycling through the
+/// five modes and a varied scenario grid, with staggered serving-clock
+/// start offsets. Deterministic in `(n, duration_s)`. Imaging sessions
+/// get a small-room pacing scene — the imaging grid covers the small
+/// conference room — with the subject count still cycling.
 pub fn soak_sessions(n: usize, duration_s: f64, config: &WiViConfig) -> Vec<SessionSpec> {
     let rooms = [Room::Small, Room::Large];
     let materials = [
@@ -69,17 +71,26 @@ pub fn soak_sessions(n: usize, duration_s: f64, config: &WiViConfig) -> Vec<Sess
     ];
     (0..n)
         .map(|i| {
-            let mode = match i % 4 {
+            let mode = match i % 5 {
                 0 => SessionMode::TrackTargets,
                 1 => SessionMode::Count,
                 2 => SessionMode::Track,
-                _ => SessionMode::Gestures,
+                3 => SessionMode::Gestures,
+                _ => SessionMode::Image,
             };
             let scenario = ScenarioSpec {
-                room: rooms[i % rooms.len()],
+                room: if mode == SessionMode::Image {
+                    Room::Small
+                } else {
+                    rooms[i % rooms.len()]
+                },
                 material: materials[i % materials.len()],
                 n_humans: 1 + i % 3,
-                motion: motions[i % motions.len()],
+                motion: if mode == SessionMode::Image {
+                    MotionModel::Pacing
+                } else {
+                    motions[i % motions.len()]
+                },
                 trial: i as u64,
                 duration_s,
             };
@@ -292,9 +303,9 @@ mod tests {
     #[test]
     fn soak_sessions_cycle_modes_and_are_deterministic() {
         let cfg = WiViConfig::fast_test();
-        let a = soak_sessions(8, 1.0, &cfg);
-        let b = soak_sessions(8, 1.0, &cfg);
-        assert_eq!(a.len(), 8);
+        let a = soak_sessions(10, 1.0, &cfg);
+        let b = soak_sessions(10, 1.0, &cfg);
+        assert_eq!(a.len(), 10);
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.id, y.id);
             assert_eq!(x.seed, y.seed);
@@ -303,21 +314,26 @@ mod tests {
         }
         let modes: Vec<SessionMode> = a.iter().map(|s| s.mode).collect();
         assert_eq!(
-            &modes[..4],
+            &modes[..5],
             &[
                 SessionMode::TrackTargets,
                 SessionMode::Count,
                 SessionMode::Track,
                 SessionMode::Gestures,
+                SessionMode::Image,
             ]
         );
+        // Every mode appears in a cycle-length prefix.
+        for mode in SessionMode::ALL {
+            assert!(modes.contains(&mode), "{mode:?} missing from the mix");
+        }
     }
 
     #[test]
     fn small_soak_serves_everything_and_writes_json() {
         let cfg = WiViConfig::fast_test();
-        let soak = run_serving_soak(4, 2, 1.0, 16, &cfg);
-        assert_eq!(soak.report.outputs.len(), 4);
+        let soak = run_serving_soak(5, 2, 1.0, 16, &cfg);
+        assert_eq!(soak.report.outputs.len(), 5);
         for o in &soak.report.outputs {
             assert_eq!(o.n_samples, o.n_requested);
             assert!(!o.closed_early);

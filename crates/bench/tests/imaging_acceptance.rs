@@ -1,0 +1,102 @@
+//! Imaging acceptance: on the deterministic two-subject showcase the
+//! imaging pipeline must localize both bodies to within one grid-cell
+//! diagonal on average and detect them in at least 80 % of the windows
+//! where they are detectable (clear of the boresight strip), after a
+//! one-window warm-up — and the imaging compute must beat the §7.1
+//! real-time budget of 312.5 channel samples per second.
+
+use wivi_bench::imaging::{
+    run_imaging_trial, ImagingTrialSpec, BORESIGHT_GUARD_M, IMAGING_SHOWCASE_DURATION_S,
+    MATCH_RADIUS_M,
+};
+use wivi_bench::serving::REALTIME_RATE;
+use wivi_core::WiViConfig;
+use wivi_image::ImageConfig;
+
+fn showcase(n_subjects: usize) -> ImagingTrialSpec {
+    ImagingTrialSpec {
+        name: "acceptance",
+        n_subjects,
+        speed: 1.0,
+        duration_s: IMAGING_SHOWCASE_DURATION_S,
+        seed: 32,
+    }
+}
+
+#[test]
+fn two_movers_localized_within_a_cell_diagonal() {
+    let wivi = WiViConfig::fast_test();
+    let img = ImageConfig::for_wivi(&wivi);
+    let (r, report) = run_imaging_trial(&showcase(2), &wivi, &img);
+
+    assert!(
+        r.n_windows >= 8,
+        "showcase too short: {} windows",
+        r.n_windows
+    );
+    assert!(
+        r.detection_rate >= 0.8,
+        "detection rate {:.2} below 0.8 ({} windows, guard {BORESIGHT_GUARD_M} m)",
+        r.detection_rate,
+        r.n_windows
+    );
+    assert!(
+        r.mean_error_m <= img.grid.diagonal_m(),
+        "mean localization error {:.3} m exceeds the cell diagonal {:.3} m",
+        r.mean_error_m,
+        img.grid.diagonal_m()
+    );
+    assert!(
+        r.median_error_m <= img.grid.diagonal_m(),
+        "median localization error {:.3} m exceeds the cell diagonal",
+        r.median_error_m
+    );
+    assert!(
+        r.mean_error_m < MATCH_RADIUS_M,
+        "matches must be meaningfully tighter than the match radius"
+    );
+    // Both subjects produce confirmed position tracks.
+    assert!(
+        report.tracks.len() >= 2,
+        "expected ≥ 2 confirmed tracks, got {}",
+        report.tracks.len()
+    );
+}
+
+#[test]
+fn single_mover_showcase_is_clean() {
+    let wivi = WiViConfig::fast_test();
+    let img = ImageConfig::for_wivi(&wivi);
+    let (r, report) = run_imaging_trial(&showcase(1), &wivi, &img);
+    assert!(
+        r.detection_rate >= 0.8,
+        "detection rate {:.2}",
+        r.detection_rate
+    );
+    assert!(
+        r.mean_error_m <= img.grid.diagonal_m(),
+        "{:.3} m",
+        r.mean_error_m
+    );
+    assert!(!report.tracks.is_empty());
+}
+
+#[test]
+fn imaging_compute_beats_the_realtime_budget() {
+    let wivi = WiViConfig::fast_test();
+    let img = ImageConfig::for_wivi(&wivi);
+    let (r, _) = run_imaging_trial(&showcase(2), &wivi, &img);
+    assert!(
+        r.samples_per_sec() >= REALTIME_RATE,
+        "imaging compute {:.0} samples/sec below the {REALTIME_RATE} budget",
+        r.samples_per_sec()
+    );
+    // Per-window latency stays under the hop budget too.
+    let budget = r.window_budget_s(&img);
+    assert!(
+        r.window_latency_percentile_s(99.0) < budget,
+        "p99 window latency {:.1} ms exceeds the {:.1} ms hop budget",
+        1e3 * r.window_latency_percentile_s(99.0),
+        1e3 * budget
+    );
+}

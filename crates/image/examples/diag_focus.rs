@@ -1,0 +1,73 @@
+//! Diagnostic: focusing response of a clean synthetic pacer.
+use wivi_image::{ImageConfig, ImagingEngine};
+use wivi_num::Complex64;
+use wivi_rf::{Point, Vec2};
+
+fn main() {
+    let args: Vec<f64> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().unwrap())
+        .collect();
+    let (sx, sy, dir) = if args.len() >= 3 {
+        (args[0], args[1], args[2])
+    } else {
+        (0.55, 2.45, 1.0)
+    };
+    let mut cfg = ImageConfig::fast_test();
+    if let Ok(g) = std::env::var("G") {
+        cfg.cfar.guard = g.parse().unwrap();
+    }
+    if let Ok(t) = std::env::var("T") {
+        cfg.cfar.train = t.parse().unwrap();
+    }
+    if let Ok(d) = std::env::var("D") {
+        cfg.cfar.threshold_db = d.parse().unwrap();
+    }
+    let mut engine = ImagingEngine::new(cfg);
+    let wt = Complex64::new(-0.9, 0.3);
+    let half_t = (cfg.window as f64 - 1.0) / 2.0 * cfg.sample_period_s;
+    let subject = Point::new(sx, sy);
+    let start = Point::new(subject.x - dir * half_t, subject.y);
+    let trace = ImagingEngine::synthetic_subject_trace(
+        &cfg,
+        cfg.window,
+        start,
+        Vec2::new(dir, 0.0),
+        1.0,
+        wt,
+    );
+    let img = engine.process_window(&trace, wt).to_vec();
+    let g = engine.grid();
+    let mut idx: Vec<usize> = (0..img.len()).collect();
+    idx.sort_by(|&a, &b| img[b].partial_cmp(&img[a]).unwrap());
+    for &i in idx.iter().take(8) {
+        let (ix, iy) = g.coords(i);
+        let c = cfg.grid.cell_center(ix, iy);
+        println!("({:+.3}, {:.2}) -> {:.3}", c.x, c.y, img[i]);
+    }
+    let mean = trace.iter().copied().sum::<Complex64>() / trace.len() as f64;
+    let e: f64 = trace.iter().map(|h| (*h - mean).norm_sqr()).sum();
+    println!("||h_c||^2 = {:.3}", e);
+    let dets = wivi_num::ca_cfar_2d(&img, g, &cfg.cfar);
+    println!("cfar: {} detections", dets.len());
+    for d in dets.iter().take(8) {
+        let c = cfg.grid.cell_center(d.ix, d.iy);
+        println!("  det ({:+.3}, {:.2}) snr {:.1} dB", c.x, c.y, d.snr_db());
+    }
+    let fixes = engine.process_window_fixes(&trace, wt);
+    for f in &fixes {
+        println!(
+            "  fix ({:+.3}, {:.2}) power {:.1} snr {:.1}",
+            f.x_m, f.y_m, f.power_db, f.snr_db
+        );
+    }
+    let mut sorted = img.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    println!(
+        "image p50 {:.2} p75 {:.2} p90 {:.2} max {:.2}",
+        sorted[sorted.len() / 2],
+        sorted[sorted.len() * 3 / 4],
+        sorted[sorted.len() * 9 / 10],
+        sorted[sorted.len() - 1]
+    );
+}

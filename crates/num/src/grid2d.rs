@@ -1,0 +1,105 @@
+//! Row-major 2-D grid indexing for image buffers.
+//!
+//! The imaging pipeline stores a room image as a flat `Vec<f64>` so the
+//! backprojection hot loop is a single contiguous sweep; this helper owns
+//! the `(ix, iy) ↔ flat index` arithmetic so every consumer (the
+//! backprojector, the CFAR detector, the sub-cell refiner) agrees on the
+//! layout. Layout is row-major with `x` fastest: `idx = iy·nx + ix`.
+
+/// Dimensions of a flat row-major 2-D buffer (`x` fastest).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Grid2d {
+    /// Cells along x.
+    pub nx: usize,
+    /// Cells along y.
+    pub ny: usize,
+}
+
+impl Grid2d {
+    /// Creates a grid.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(nx: usize, ny: usize) -> Self {
+        assert!(nx >= 1 && ny >= 1, "grid dimensions must be positive");
+        Self { nx, ny }
+    }
+
+    /// Total number of cells.
+    pub fn len(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// `true` if the grid has no cells (impossible for a constructed
+    /// grid; included for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flat index of cell `(ix, iy)`.
+    ///
+    /// # Panics
+    /// Panics if the cell is out of bounds.
+    pub fn idx(&self, ix: usize, iy: usize) -> usize {
+        assert!(
+            ix < self.nx && iy < self.ny,
+            "cell ({ix}, {iy}) out of bounds"
+        );
+        iy * self.nx + ix
+    }
+
+    /// Cell coordinates `(ix, iy)` of flat index `i`.
+    ///
+    /// # Panics
+    /// Panics if the index is out of bounds.
+    pub fn coords(&self, i: usize) -> (usize, usize) {
+        assert!(i < self.len(), "index {i} out of bounds");
+        (i % self.nx, i / self.nx)
+    }
+
+    /// `true` if the *signed* cell coordinates lie inside the grid.
+    pub fn contains(&self, ix: isize, iy: isize) -> bool {
+        ix >= 0 && iy >= 0 && (ix as usize) < self.nx && (iy as usize) < self.ny
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_layout() {
+        let g = Grid2d::new(5, 3);
+        assert_eq!(g.len(), 15);
+        assert!(!g.is_empty());
+        // Row-major, x fastest.
+        assert_eq!(g.idx(0, 0), 0);
+        assert_eq!(g.idx(1, 0), 1);
+        assert_eq!(g.idx(0, 1), 5);
+        for i in 0..g.len() {
+            let (ix, iy) = g.coords(i);
+            assert_eq!(g.idx(ix, iy), i);
+        }
+    }
+
+    #[test]
+    fn contains_signed_bounds() {
+        let g = Grid2d::new(4, 2);
+        assert!(g.contains(0, 0) && g.contains(3, 1));
+        assert!(!g.contains(-1, 0));
+        assert!(!g.contains(4, 0));
+        assert!(!g.contains(0, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn idx_rejects_out_of_bounds() {
+        let _ = Grid2d::new(2, 2).idx(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_dimension() {
+        let _ = Grid2d::new(0, 3);
+    }
+}

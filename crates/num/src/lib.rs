@@ -20,13 +20,17 @@
 //!   runs over its (θ, θ̇) ridge state.
 //! * [`merge`] — the deterministic timestamp-ordered k-way merge the
 //!   serving engine uses to unify per-session event streams.
+//! * [`grid2d`] and [`cfar`] — row-major image-buffer indexing and the
+//!   cell-averaging CFAR detector of the 2-D imaging pipeline.
 //! * [`stats`] — means, variances, percentiles, empirical CDFs and the
 //!   dB conversions used throughout the evaluation harness.
 
 pub mod assign;
+pub mod cfar;
 pub mod complex;
 pub mod eig;
 pub mod fft;
+pub mod grid2d;
 pub mod kalman;
 pub mod matrix;
 pub mod merge;
@@ -34,9 +38,11 @@ pub mod rng;
 pub mod stats;
 
 pub use assign::{solve_assignment, Assignment};
+pub use cfar::{ca_cfar_2d, CfarConfig, CfarDetection};
 pub use complex::Complex64;
 pub use eig::{hermitian_eig, EigWorkspace, HermitianEig};
 pub use fft::FftPlan;
+pub use grid2d::Grid2d;
 pub use kalman::Kalman2;
 pub use matrix::CMatrix;
 pub use merge::{merge_streams, TimedStream};

@@ -1,0 +1,152 @@
+//! Property-style tests for the CFAR detector and the grid indexing
+//! helper, in the deterministic seeded-[`Rng64`] sweep style of
+//! `merge_properties.rs`: each case generates a random image (noise
+//! field plus optional injected targets) and checks the detector's
+//! defining invariants — scale invariance of the detection set, a
+//! bounded false-alarm rate on target-free noise, and exact recovery of
+//! well-separated injected targets.
+
+use wivi_num::cfar::{ca_cfar_2d, CfarConfig, CfarDetection};
+use wivi_num::grid2d::Grid2d;
+use wivi_num::rng::{complex_gaussian, Rng64};
+
+const CASES: u64 = 48;
+
+/// A random exponential-ish noise field: `|CN(0, σ²)|²` per cell — the
+/// magnitude-squared statistics a matched-filter image has on a
+/// target-free window.
+fn noise_image(rng: &mut Rng64, grid: Grid2d, sigma: f64) -> Vec<f64> {
+    (0..grid.len())
+        .map(|_| complex_gaussian(rng, sigma).norm_sqr())
+        .collect()
+}
+
+fn random_grid(rng: &mut Rng64) -> Grid2d {
+    Grid2d::new(
+        8 + rng.gen_below(12) as usize,
+        8 + rng.gen_below(12) as usize,
+    )
+}
+
+fn keys(dets: &[CfarDetection]) -> Vec<(usize, usize)> {
+    dets.iter().map(|d| (d.ix, d.iy)).collect()
+}
+
+#[test]
+fn detections_are_invariant_under_global_power_scaling() {
+    // The C in CFAR: the test is a pure power ratio, so scaling the
+    // whole image — RX gain, TX boost, path loss — must not change the
+    // detection set.
+    let mut rng = Rng64::seed_from_u64(401);
+    let cfg = CfarConfig::default();
+    for case in 0..CASES {
+        let grid = random_grid(&mut rng);
+        let mut img = noise_image(&mut rng, grid, 1.0);
+        // Inject up to three strong cells.
+        for _ in 0..rng.gen_below(4) {
+            let i = rng.gen_below(grid.len() as u64) as usize;
+            img[i] += 50.0 + rng.gen_range(0.0, 100.0);
+        }
+        let base = ca_cfar_2d(&img, grid, &cfg);
+        for scale in [1e-6, 0.125, 3.0, 4096.0] {
+            let scaled: Vec<f64> = img.iter().map(|p| p * scale).collect();
+            let got = ca_cfar_2d(&scaled, grid, &cfg);
+            assert_eq!(
+                keys(&got),
+                keys(&base),
+                "case {case}: detection set changed under ×{scale}"
+            );
+            // Powers and noise estimates scale along; SNR does not.
+            for (a, b) in got.iter().zip(&base) {
+                assert!((a.snr_db() - b.snr_db()).abs() < 1e-9);
+            }
+        }
+    }
+}
+
+#[test]
+fn flat_noise_false_alarm_rate_is_bounded_and_falls_with_threshold() {
+    // On a target-free noise field the ratio threshold over an 8+-cell
+    // average plus the peak requirement keeps false alarms rare. The
+    // exact rate is distribution-dependent; the invariants worth
+    // pinning are an aggregate bound well below one alarm per image,
+    // and monotone decay as the threshold rises.
+    let mut rng = Rng64::seed_from_u64(402);
+    let rate_at = |threshold_db: f64, rng: &mut Rng64| {
+        let cfg = CfarConfig {
+            threshold_db,
+            ..CfarConfig::default()
+        };
+        let mut cells = 0usize;
+        let mut alarms = 0usize;
+        for _ in 0..CASES {
+            let grid = random_grid(rng);
+            let img = noise_image(rng, grid, 2.0);
+            cells += grid.len();
+            alarms += ca_cfar_2d(&img, grid, &cfg).len();
+        }
+        (alarms as f64 / cells as f64, alarms, cells)
+    };
+    let (r7, a7, c7) = rate_at(7.0, &mut rng);
+    let (r9, _, _) = rate_at(9.0, &mut rng);
+    let (r12, _, _) = rate_at(12.0, &mut rng);
+    assert!(
+        r7 < 2e-2,
+        "7 dB false-alarm rate {r7:.2e} ({a7}/{c7} cells)"
+    );
+    assert!(r9 < 3e-3, "9 dB false-alarm rate {r9:.2e}");
+    assert!(r12 < 1e-3, "12 dB false-alarm rate {r12:.2e}");
+    assert!(
+        r12 <= r9 && r9 <= r7,
+        "rate must fall with threshold: {r7:.2e} → {r9:.2e} → {r12:.2e}"
+    );
+}
+
+#[test]
+fn injected_separated_targets_are_all_recovered() {
+    let mut rng = Rng64::seed_from_u64(403);
+    let cfg = CfarConfig::default();
+    for case in 0..CASES {
+        let grid = Grid2d::new(16 + rng.gen_below(8) as usize, 16);
+        let mut img = noise_image(&mut rng, grid, 0.3);
+        // Targets on a coarse lattice, interior only, far enough apart
+        // that no target sits in another's training ring.
+        let mut targets: Vec<(usize, usize)> = Vec::new();
+        for _ in 0..(1 + rng.gen_below(3)) {
+            let ix = 4 + 7 * rng.gen_below(((grid.nx - 5) / 7) as u64 + 1) as usize;
+            let iy = 4 + 7 * rng.gen_below(((grid.ny - 5) / 7) as u64 + 1) as usize;
+            if !targets.contains(&(ix, iy)) {
+                img[grid.idx(ix, iy)] += 200.0;
+                targets.push((ix, iy));
+            }
+        }
+        targets.sort_by_key(|&(ix, iy)| grid.idx(ix, iy));
+        let got = keys(&ca_cfar_2d(&img, grid, &cfg));
+        for t in &targets {
+            assert!(
+                got.contains(t),
+                "case {case}: target {t:?} missed ({got:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn grid2d_roundtrip_holds_for_random_shapes() {
+    let mut rng = Rng64::seed_from_u64(404);
+    for _ in 0..CASES {
+        let grid = random_grid(&mut rng);
+        // Flat scan order is (0,0), (1,0), … — x fastest.
+        assert_eq!(grid.coords(0), (0, 0));
+        assert_eq!(grid.coords(1), (1, 0));
+        for _ in 0..32 {
+            let i = rng.gen_below(grid.len() as u64) as usize;
+            let (ix, iy) = grid.coords(i);
+            assert_eq!(grid.idx(ix, iy), i);
+            assert!(grid.contains(ix as isize, iy as isize));
+        }
+        assert!(!grid.contains(grid.nx as isize, 0));
+        assert!(!grid.contains(0, grid.ny as isize));
+        assert!(!grid.contains(-1, -1));
+    }
+}

@@ -7,7 +7,7 @@
 //!
 //! * [`SessionSpec`] — one session: a scene, a device configuration, a
 //!   seed, a duration, and one of the device's modes
-//!   (track / track-targets / count / gestures).
+//!   (track / track-targets / count / gestures / image).
 //! * [`ServeEngine`] — owns N worker shards; sessions route to shards by
 //!   a stable hash of their id, stream incrementally in fixed-size
 //!   batches, and obey the lifecycle open → stream → drain → close.

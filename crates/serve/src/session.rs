@@ -17,6 +17,10 @@ use wivi_core::gesture::{decode, GestureDecode};
 use wivi_core::{
     AngleSpectrogram, SharedStreamingBeamform, SharedStreamingMusic, WiViConfig, WiViDevice,
 };
+use wivi_image::{
+    assert_device_geometry, nulling_tx_weight, ImageConfig, ImageFix, ImagingReport,
+    PositionTracker, PositionTrackerConfig, SharedStreamingImage,
+};
 use wivi_num::Complex64;
 use wivi_rf::Scene;
 use wivi_track::{MultiTargetTracker, TrackEvent, TrackerConfig};
@@ -27,7 +31,9 @@ use crate::shard::EngineCache;
 /// in the merged event stream break by it, and shard routing hashes it.
 pub type SessionId = u64;
 
-/// Which of the device's modes a session runs.
+/// Which of the device's modes a session runs. Dispatch over this enum
+/// must stay exhaustive — `tests/modes.rs` serves one session per
+/// [`Self::ALL`] entry so a new variant cannot silently miss an arm.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SessionMode {
     /// Mode 1, imaging: retain every spectrogram column, output the full
@@ -45,9 +51,23 @@ pub enum SessionMode {
     /// Mode 2: beamform incrementally, decode the gesture message when
     /// the session closes (twin of `decode_gestures_streaming`).
     Gestures,
+    /// Mode 1, 2-D: backproject each imaging aperture onto the room
+    /// grid, CFAR-detect per-window (x, y) fixes, and track positions
+    /// (twin of `WiViDevice::image_streaming` from `wivi-image`).
+    Image,
 }
 
 impl SessionMode {
+    /// Every mode, in declaration order — the exhaustive-dispatch tests
+    /// iterate this so a new mode cannot silently miss a match arm.
+    pub const ALL: [SessionMode; 5] = [
+        SessionMode::Track,
+        SessionMode::TrackTargets,
+        SessionMode::Count,
+        SessionMode::Gestures,
+        SessionMode::Image,
+    ];
+
     /// Stable tag used in reports and JSON.
     pub fn tag(self) -> &'static str {
         match self {
@@ -55,7 +75,13 @@ impl SessionMode {
             SessionMode::TrackTargets => "track_targets",
             SessionMode::Count => "count",
             SessionMode::Gestures => "gestures",
+            SessionMode::Image => "image",
         }
+    }
+
+    /// Inverse of [`Self::tag`].
+    pub fn from_tag(tag: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|m| m.tag() == tag)
     }
 }
 
@@ -115,6 +141,9 @@ pub enum SessionResult {
     Count(Option<f64>),
     /// The gesture decode (`None` if no window).
     Gestures(Option<GestureDecode>),
+    /// The imaging report (empty — zero windows — if the session closed
+    /// before one imaging aperture filled).
+    Image(ImagingReport),
 }
 
 /// Everything one session produced, plus serving telemetry.
@@ -171,6 +200,13 @@ enum Drive {
         stage: SharedStreamingBeamform,
         rows: Vec<Vec<f64>>,
         times: Vec<f64>,
+    },
+    Image {
+        stage: SharedStreamingImage,
+        /// Boxed for symmetry with the angle tracker: live position
+        /// tracks carry whole histories.
+        tracker: Box<PositionTracker>,
+        fixes: Vec<Vec<ImageFix>>,
     },
 }
 
@@ -232,6 +268,21 @@ impl ActiveSession {
                 rows: Vec::new(),
                 times: Vec::new(),
             },
+            SessionMode::Image => {
+                // The derived configuration plus the session's own
+                // nulling weight — exactly what the standalone
+                // `image_streaming` entry point uses (including its
+                // geometry check against the session's scene).
+                let icfg = ImageConfig::for_wivi(&eff);
+                assert_device_geometry(&dev, &icfg);
+                Drive::Image {
+                    stage: SharedStreamingImage::new(&icfg, nulling_tx_weight(&dev)),
+                    tracker: Box::new(PositionTracker::new(PositionTrackerConfig::for_image(
+                        &icfg,
+                    ))),
+                    fixes: Vec::new(),
+                }
+            }
         };
         let n_requested = dev.trace_len(duration_s);
         Self {
@@ -298,6 +349,17 @@ impl ActiveSession {
                     times.push(music.isar.window_center_s(start));
                 });
             }
+            Drive::Image {
+                stage,
+                tracker,
+                fixes,
+            } => {
+                let engine = engines.image(stage.cfg());
+                stage.push_with(engine, scratch, |_start, frame| {
+                    tracker.push_fixes(&frame);
+                    fixes.push(frame);
+                });
+            }
         }
     }
 
@@ -332,6 +394,15 @@ impl ActiveSession {
                     decode(&spec, &gesture_cfg)
                 });
                 (n, SessionResult::Gestures(decode), Vec::new())
+            }
+            Drive::Image {
+                stage,
+                tracker,
+                fixes,
+            } => {
+                let n = stage.n_frames();
+                let report = ImagingReport::assemble(stage.cfg().grid, fixes, tracker.finish());
+                (n, SessionResult::Image(report), Vec::new())
             }
         };
         SessionOutput {

@@ -23,6 +23,7 @@ use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 use wivi_core::{BeamformEngine, IsarConfig, MusicConfig, MusicEngine};
+use wivi_image::{ImageConfig, ImagingEngine};
 use wivi_num::Complex64;
 
 use crate::session::{ActiveSession, SessionId, SessionOutput, SessionSpec};
@@ -32,6 +33,7 @@ use crate::session::{ActiveSession, SessionId, SessionOutput, SessionSpec};
 pub(crate) struct EngineCache {
     music: Vec<(MusicConfig, MusicEngine)>,
     beam: Vec<(IsarConfig, BeamformEngine)>,
+    image: Vec<(ImageConfig, ImagingEngine)>,
 }
 
 impl EngineCache {
@@ -39,6 +41,7 @@ impl EngineCache {
         Self {
             music: Vec::new(),
             beam: Vec::new(),
+            image: Vec::new(),
         }
     }
 
@@ -60,9 +63,21 @@ impl EngineCache {
         &mut self.beam.last_mut().unwrap().1
     }
 
+    /// The shard's imaging engine for `cfg`, building it on first use.
+    /// The per-session nulling weight is a runtime parameter of every
+    /// push, so sessions whose nulling converged differently still
+    /// share one steering table.
+    pub(crate) fn image(&mut self, cfg: &ImageConfig) -> &mut ImagingEngine {
+        if let Some(i) = self.image.iter().position(|(c, _)| c == cfg) {
+            return &mut self.image[i].1;
+        }
+        self.image.push((*cfg, ImagingEngine::new(*cfg)));
+        &mut self.image.last_mut().unwrap().1
+    }
+
     /// Number of distinct engines currently resident.
     pub(crate) fn len(&self) -> usize {
-        self.music.len() + self.beam.len()
+        self.music.len() + self.beam.len() + self.image.len()
     }
 }
 

@@ -39,8 +39,9 @@ fn zero_duration_sessions_drain_cleanly() {
     engine.open(spec(2, 0.0, SessionMode::TrackTargets));
     engine.open(spec(3, 0.0, SessionMode::Count));
     engine.open(spec(4, 0.0, SessionMode::Gestures));
+    engine.open(spec(5, 0.0, SessionMode::Image));
     let report = engine.finish();
-    assert_eq!(report.outputs.len(), 4);
+    assert_eq!(report.outputs.len(), 5);
     assert!(report.events.is_empty());
     for out in &report.outputs {
         assert_eq!(out.n_requested, 0);
@@ -56,6 +57,10 @@ fn zero_duration_sessions_drain_cleanly() {
             }
             SessionResult::Count(v) => assert!(v.is_none()),
             SessionResult::Gestures(d) => assert!(d.is_none()),
+            SessionResult::Image(r) => {
+                assert_eq!(r.n_windows(), 0);
+                assert!(r.fixes.is_empty() && r.tracks.is_empty());
+            }
         }
     }
 }

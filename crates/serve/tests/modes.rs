@@ -1,0 +1,84 @@
+//! Exhaustive `SessionMode` dispatch coverage: every variant has a
+//! round-tripping label and actually serves end-to-end, with the result
+//! payload matching the mode. The `match` expressions here are
+//! deliberately written *without* wildcard arms, so adding a variant to
+//! [`SessionMode`] fails compilation in this test until its dispatch is
+//! spelled out — the enum cannot silently grow past the serving layer.
+
+use wivi_core::WiViConfig;
+use wivi_rf::{Material, Mover, Point, Scene, WaypointWalker};
+use wivi_serve::{ServeConfig, ServeEngine, SessionMode, SessionResult, SessionSpec};
+
+fn scene() -> Scene {
+    Scene::new(Material::HollowWall6In)
+        .with_office_clutter(Scene::conference_room_small())
+        .with_mover(Mover::human(WaypointWalker::new(
+            vec![Point::new(-2.0, 2.5), Point::new(2.0, 2.5)],
+            1.0,
+        )))
+}
+
+#[test]
+fn every_mode_label_round_trips() {
+    for mode in SessionMode::ALL {
+        // No-wildcard match: a new variant must add its tag here.
+        let tag = match mode {
+            SessionMode::Track => "track",
+            SessionMode::TrackTargets => "track_targets",
+            SessionMode::Count => "count",
+            SessionMode::Gestures => "gestures",
+            SessionMode::Image => "image",
+        };
+        assert_eq!(mode.tag(), tag);
+        assert_eq!(SessionMode::from_tag(tag), Some(mode));
+    }
+    assert_eq!(SessionMode::from_tag("no_such_mode"), None);
+    // ALL is exhaustive and duplicate-free.
+    for (i, a) in SessionMode::ALL.iter().enumerate() {
+        for b in &SessionMode::ALL[i + 1..] {
+            assert_ne!(a, b);
+        }
+    }
+}
+
+#[test]
+fn every_mode_serves_and_returns_its_own_payload() {
+    let mut engine = ServeEngine::start(ServeConfig::with_shards(2));
+    for (i, mode) in SessionMode::ALL.into_iter().enumerate() {
+        engine.open(SessionSpec::new(
+            i as u64,
+            scene(),
+            WiViConfig::fast_test(),
+            100 + i as u64,
+            2.5,
+            mode,
+        ));
+    }
+    let report = engine.finish();
+    assert_eq!(report.outputs.len(), SessionMode::ALL.len());
+    for (i, mode) in SessionMode::ALL.into_iter().enumerate() {
+        let out = report.output(i as u64).expect("session served");
+        assert_eq!(out.mode, mode);
+        assert_eq!(out.n_samples, out.n_requested);
+        assert!(out.n_columns > 0, "{mode:?} produced no windows");
+        // No-wildcard match: a new variant must declare its payload.
+        match (&out.result, mode) {
+            (SessionResult::Track(spec), SessionMode::Track) => {
+                assert!(spec.is_some());
+            }
+            (SessionResult::TrackTargets(r), SessionMode::TrackTargets) => {
+                assert!(!r.times_s.is_empty());
+            }
+            (SessionResult::Count(v), SessionMode::Count) => {
+                assert!(v.is_some());
+            }
+            (SessionResult::Gestures(d), SessionMode::Gestures) => {
+                assert!(d.is_some());
+            }
+            (SessionResult::Image(r), SessionMode::Image) => {
+                assert!(r.n_windows() > 0);
+            }
+            (result, mode) => panic!("mode {mode:?} produced mismatched payload {result:?}"),
+        }
+    }
+}

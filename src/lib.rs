@@ -21,6 +21,11 @@
 //!   detection, optimal data association, per-track Kalman filters, and
 //!   the entry/exit/crossing/count event stream
 //!   ([`TrackTargets`](track::TrackTargets) extends the device).
+//! * [`image`] — through-wall 2-D imaging: near-field holographic
+//!   backprojection of the nulled residual onto a room grid, CA-CFAR
+//!   detection of per-window (x, y) fixes, and position tracking
+//!   ([`ImageThroughWall`](image::ImageThroughWall) extends the
+//!   device).
 //! * [`serve`] — the sharded multi-session serving engine: many
 //!   concurrent sessions hash-routed to worker shards, streamed in
 //!   batches with backpressure, their tracker events merged into one
@@ -53,6 +58,7 @@
 //! ```
 
 pub use wivi_core as core;
+pub use wivi_image as image;
 pub use wivi_num as num;
 pub use wivi_rf as rf;
 pub use wivi_sdr as sdr;
@@ -65,6 +71,7 @@ pub mod prelude {
     pub use wivi_core::{
         AngleSpectrogram, Stage, StreamingBeamform, StreamingMusic, WiViConfig, WiViDevice,
     };
+    pub use wivi_image::{ImageConfig, ImageThroughWall, ImagingReport};
     pub use wivi_rf::{
         ConfinedRandomWalk, GestureScript, GestureStyle, Material, Mover, Point, Rect, Scene, Vec2,
         WaypointWalker,

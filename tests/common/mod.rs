@@ -17,7 +17,8 @@ pub const BATCH: usize = 16;
 /// Trial duration for non-gesture sessions, seconds.
 pub const DUR: f64 = 2.5;
 
-/// The number of sessions in the standard mixed-mode set.
+/// The number of sessions in the standard mixed-mode set (≥ one full
+/// cycle of all five modes).
 pub const N_SESSIONS: usize = 6;
 
 /// The scenario cell behind non-gesture session `i` — varied rooms,
@@ -62,15 +63,9 @@ pub fn gesture_duration() -> f64 {
     3.0 + script.duration() + 1.0
 }
 
-/// Session `i`'s mode: the set cycles track-targets, count, track, and
-/// ends with two gesture sessions' worth of cycle coverage.
+/// Session `i`'s mode: the set cycles through all five modes.
 pub fn mode_of(i: usize) -> SessionMode {
-    match i % 4 {
-        0 => SessionMode::TrackTargets,
-        1 => SessionMode::Count,
-        2 => SessionMode::Track,
-        _ => SessionMode::Gestures,
-    }
+    SessionMode::ALL[i % SessionMode::ALL.len()]
 }
 
 /// Ids deliberately non-contiguous so hash routing is exercised.
@@ -129,6 +124,7 @@ pub fn run_standalone(i: usize) -> SessionResult {
         SessionMode::Gestures => {
             SessionResult::Gestures(Some(dev.decode_gestures_streaming(duration, BATCH)))
         }
+        SessionMode::Image => SessionResult::Image(dev.image_streaming(duration, BATCH)),
     }
 }
 
@@ -166,6 +162,33 @@ fn assert_decode_eq(a: &GestureDecode, b: &GestureDecode, ctx: &str) {
     assert_eq!(bits(&a.matched), bits(&b.matched), "{ctx}: matched filter");
 }
 
+fn assert_imaging_eq(a: &ImagingReport, b: &ImagingReport, ctx: &str) {
+    assert_eq!(a.grid, b.grid, "{ctx}: imaging grids differ");
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+    assert_eq!(bits(&a.times_s), bits(&b.times_s), "{ctx}: window times");
+    assert_eq!(a.fixes.len(), b.fixes.len(), "{ctx}: frame counts");
+    for (w, (fa, fb)) in a.fixes.iter().zip(&b.fixes).enumerate() {
+        assert_eq!(fa.len(), fb.len(), "{ctx}: fixes at window {w}");
+        for (x, y) in fa.iter().zip(fb) {
+            assert_eq!((x.ix, x.iy), (y.ix, y.iy), "{ctx}: window {w} cell");
+            assert_eq!(x.x_m.to_bits(), y.x_m.to_bits(), "{ctx}: window {w} x");
+            assert_eq!(x.y_m.to_bits(), y.y_m.to_bits(), "{ctx}: window {w} y");
+            assert_eq!(
+                x.power_db.to_bits(),
+                y.power_db.to_bits(),
+                "{ctx}: window {w} power"
+            );
+            assert_eq!(
+                x.snr_db.to_bits(),
+                y.snr_db.to_bits(),
+                "{ctx}: window {w} snr"
+            );
+        }
+    }
+    assert_eq!(a.confirmed_counts, b.confirmed_counts, "{ctx}: counts");
+    assert_eq!(a.tracks, b.tracks, "{ctx}: position tracks");
+}
+
 /// Exact comparison of two session results — every f64 by bit pattern.
 pub fn assert_result_eq(a: &SessionResult, b: &SessionResult, ctx: &str) {
     match (a, b) {
@@ -194,6 +217,7 @@ pub fn assert_result_eq(a: &SessionResult, b: &SessionResult, ctx: &str) {
             (None, None) => {}
             _ => panic!("{ctx}: one Gestures result empty"),
         },
+        (SessionResult::Image(x), SessionResult::Image(y)) => assert_imaging_eq(x, y, ctx),
         _ => panic!("{ctx}: mode mismatch"),
     }
 }

@@ -151,6 +151,80 @@ fn gesture_trace(name: &str, seed: u64) -> String {
     out
 }
 
+/// Scenario 4: the imaging path. Pins every per-window CFAR fix —
+/// position, cell, focused power, CFAR SNR, all by f64 bit pattern —
+/// plus the per-window confirmed position-track counts, so any drift in
+/// the backprojection, the CLEAN loop, the CFAR detector, or the 2-D
+/// tracker fails the suite.
+fn imaging_trace(name: &str, seed: u64) -> String {
+    let duration_s = 4.0;
+    let mut dev = WiViDevice::new(imaging_scene(), WiViConfig::fast_test(), seed);
+    dev.calibrate();
+    let report = dev.image(duration_s);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"scenario\": \"{name}\",");
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(out, "  \"duration_s\": {duration_s},");
+    let _ = writeln!(out, "  \"n_windows\": {},", report.n_windows());
+    let _ = writeln!(out, "  \"windows\": [");
+    let n = report.n_windows();
+    for (w, (t, fixes)) in report.times_s.iter().zip(&report.fixes).enumerate() {
+        let comma = if w + 1 == n { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"window\": {w}, \"time_bits\": \"0x{:016x}\", \"fixes\": [",
+            t.to_bits()
+        );
+        for (i, f) in fixes.iter().enumerate() {
+            let fcomma = if i + 1 == fixes.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "      {{\"cell\": [{}, {}], \"x_bits\": \"0x{:016x}\", \"x\": {:.4}, \
+                 \"y_bits\": \"0x{:016x}\", \"y\": {:.4}, \"power_bits\": \"0x{:016x}\", \
+                 \"snr_bits\": \"0x{:016x}\"}}{fcomma}",
+                f.ix,
+                f.iy,
+                f.x_m.to_bits(),
+                f.x_m,
+                f.y_m.to_bits(),
+                f.y_m,
+                f.power_db.to_bits(),
+                f.snr_db.to_bits(),
+            );
+        }
+        let _ = writeln!(out, "    ]}}{comma}");
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"confirmed_counts\": [{}],", {
+        let v: Vec<String> = report
+            .confirmed_counts
+            .iter()
+            .map(usize::to_string)
+            .collect();
+        v.join(", ")
+    });
+    let _ = writeln!(out, "  \"n_tracks\": {}", report.tracks.len());
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Two pacers on wall-parallel lanes — the imaging subsystem's native
+/// geometry.
+fn imaging_scene() -> Scene {
+    Scene::new(Material::HollowWall6In)
+        .with_office_clutter(Scene::conference_room_small())
+        .with_mover(Mover::human(WaypointWalker::new(
+            vec![Point::new(-2.6, 1.8), Point::new(2.6, 1.8)],
+            1.0,
+        )))
+        .with_mover(Mover::human(WaypointWalker::new(
+            vec![Point::new(2.4, 3.2), Point::new(-2.6, 3.2)],
+            1.0,
+        )))
+}
+
 fn crossing_scene() -> Scene {
     Scene::new(Material::HollowWall6In)
         .with_office_clutter(Scene::conference_room_small())
@@ -235,6 +309,14 @@ fn golden_single_pacer() {
 #[test]
 fn golden_gesture_two_bits() {
     check_or_bless("gesture_two_bits", &gesture_trace("gesture_two_bits", 3));
+}
+
+#[test]
+fn golden_imaging_two_pacers() {
+    check_or_bless(
+        "imaging_two_pacers",
+        &imaging_trace("imaging_two_pacers", 17),
+    );
 }
 
 #[test]

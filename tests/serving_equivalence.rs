@@ -57,6 +57,7 @@ fn served_tracking_sessions_produce_nonempty_reports() {
     let mut saw_variance = false;
     let mut saw_columns = false;
     let mut saw_bits = false;
+    let mut saw_frames = false;
     for out in &report.outputs {
         assert!(out.n_columns > 0, "session {} made no columns", out.id);
         match &out.result {
@@ -66,12 +67,14 @@ fn served_tracking_sessions_produce_nonempty_reports() {
             SR::Gestures(d) => {
                 saw_bits |= d.as_ref().is_some_and(|d| !d.bits.is_empty());
             }
+            SR::Image(r) => saw_frames |= r.n_windows() > 0,
         }
     }
     assert!(saw_tracks, "no tracking session produced tracks");
     assert!(saw_variance, "no counting session produced a variance");
     assert!(saw_columns, "no track session produced a spectrogram");
     assert!(saw_bits, "no gesture session decoded bits");
+    assert!(saw_frames, "no imaging session produced frames");
 }
 
 #[test]

@@ -9,6 +9,35 @@ use wivi::core::stage::{Stage, StreamingMusic};
 use wivi::prelude::*;
 use wivi::rf::Point as P;
 
+fn assert_imaging_report_eq(a: &ImagingReport, b: &ImagingReport, ctx: &str) {
+    assert_eq!(a.grid, b.grid, "{ctx}: grids differ");
+    assert_eq!(a.times_s.len(), b.times_s.len(), "{ctx}: window counts");
+    for (x, y) in a.times_s.iter().zip(&b.times_s) {
+        assert_eq!(x.to_bits(), y.to_bits(), "{ctx}: window times differ");
+    }
+    assert_eq!(a.fixes.len(), b.fixes.len());
+    for (w, (fa, fb)) in a.fixes.iter().zip(&b.fixes).enumerate() {
+        assert_eq!(fa.len(), fb.len(), "{ctx}: fix counts differ at window {w}");
+        for (x, y) in fa.iter().zip(fb) {
+            assert_eq!((x.ix, x.iy), (y.ix, y.iy), "{ctx}: window {w} cells");
+            assert_eq!(x.x_m.to_bits(), y.x_m.to_bits(), "{ctx}: window {w} x");
+            assert_eq!(x.y_m.to_bits(), y.y_m.to_bits(), "{ctx}: window {w} y");
+            assert_eq!(
+                x.power_db.to_bits(),
+                y.power_db.to_bits(),
+                "{ctx}: window {w} power"
+            );
+            assert_eq!(
+                x.snr_db.to_bits(),
+                y.snr_db.to_bits(),
+                "{ctx}: window {w} snr"
+            );
+        }
+    }
+    assert_eq!(a.confirmed_counts, b.confirmed_counts, "{ctx}: counts");
+    assert_eq!(a.tracks, b.tracks, "{ctx}: position tracks differ");
+}
+
 fn walled_scene() -> Scene {
     Scene::new(Material::HollowWall6In).with_office_clutter(Scene::conference_room_small())
 }
@@ -89,6 +118,25 @@ fn streaming_gesture_decode_is_exact() {
     assert_eq!(streamed.track, offline.track);
     assert_eq!(streamed.matched, offline.matched);
     assert_eq!(streamed.gestures.len(), offline.gestures.len());
+}
+
+#[test]
+fn streaming_imaging_is_bitwise_identical_to_offline() {
+    // 4 s covers several 2 s imaging apertures of the derived config.
+    let duration = 4.0;
+    let offline = device(75).image(duration);
+    assert!(offline.n_windows() >= 3, "trial too short to mean anything");
+
+    for batch_len in [7usize, 16, 100] {
+        let streamed = device(75).image_streaming(duration, batch_len);
+        assert_imaging_report_eq(&streamed, &offline, &format!("batch {batch_len}"));
+    }
+
+    // An explicit (non-derived) configuration round-trips too.
+    let cfg = ImageConfig::for_wivi(&WiViConfig::fast_test());
+    let explicit_offline = device(76).image_with(duration, &cfg);
+    let explicit_streamed = device(76).image_streaming_with(duration, 16, &cfg);
+    assert_imaging_report_eq(&explicit_streamed, &explicit_offline, "explicit cfg");
 }
 
 #[test]
