@@ -12,6 +12,7 @@ fn main() {
                 name: "probe",
                 n_subjects: n,
                 speed: 1.0,
+                one_sided: false,
                 duration_s: IMAGING_SHOWCASE_DURATION_S,
                 seed,
             };

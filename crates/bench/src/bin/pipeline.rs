@@ -234,6 +234,16 @@ fn main() {
         1e3 * DEFAULT_BATCH_LEN as f64 / REALTIME_RATE,
         r.events.len()
     );
+    let oc = &soak.open_cost;
+    println!(
+        "  open cost ({} fleet sessions/path): shared {:.2}ms vs owned {:.2}ms per session \
+         (scene-acquire {:.2}us vs {:.2}us)",
+        oc.n_sessions,
+        1e3 * oc.shared_open_s(),
+        1e3 * oc.owned_open_s(),
+        1e6 * oc.shared_acquire_s,
+        1e6 * oc.owned_acquire_s
+    );
 
     let spath = "BENCH_serving.json";
     write_serving_json(spath, &soak, smode).expect("failed to write BENCH_serving.json");
@@ -272,7 +282,7 @@ fn main() {
                 format!("{}", r.n_windows),
                 format!("{:.2}", r.detection_rate),
                 format!("{:.2}", r.mean_error_m),
-                format!("{}", r.false_fixes),
+                format!("{}/{}", r.false_fixes, r.false_fixes_raw),
                 format!("{:.0}", r.samples_per_sec()),
                 format!("{:.2}", 1e3 * r.window_latency_percentile_s(99.0)),
             ]

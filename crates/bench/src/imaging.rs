@@ -92,7 +92,18 @@ pub struct ImagingScore {
     pub errors_m: Vec<f64>,
     /// Fixes (over all scored windows) farther than the match radius
     /// from every ground-truth subject — ghosts and artefacts.
+    /// Counted over the *credible* fix view: per-window fixes with the
+    /// tracker-level mirror-side vote's ghost tracks removed
+    /// ([`ImagingReport::credible_fixes`]).
     pub false_fixes: usize,
+    /// False fixes over the raw per-window detections, before the
+    /// mirror-side vote — the pre-vote baseline, kept for comparison.
+    pub false_fixes_raw: usize,
+    /// Confirmed tracks the mirror-side vote marked as ghosts, counted
+    /// over the same scored (post-warm-up) windows as the false-fix
+    /// metrics: a ghost observed only during warm-up removes no scored
+    /// fix and is not counted.
+    pub ghost_tracks: usize,
     /// Windows scored (after warm-up).
     pub n_windows: usize,
 }
@@ -129,7 +140,10 @@ impl ImagingScore {
 
 /// Scores an imaging report against ground-truth trajectories.
 /// `rx_x_m` is the receive antenna's x (the boresight axis);
-/// `warmup_windows` are excluded from scoring.
+/// `warmup_windows` are excluded from scoring. Detection and false-fix
+/// metrics are computed over [`ImagingReport::credible_fixes`] (the
+/// mirror-side vote's ghost tracks removed); the raw-detection false
+/// count is kept alongside as `false_fixes_raw`.
 pub fn score_imaging(
     report: &ImagingReport,
     gt: &[Vec<Point>],
@@ -138,14 +152,40 @@ pub fn score_imaging(
 ) -> ImagingScore {
     assert_eq!(gt.len(), report.n_windows(), "ground-truth shape mismatch");
     let from = warmup_windows.min(report.n_windows());
+    let credible = report.credible_fixes();
     let mut score = ImagingScore {
         n_detectable: 0,
         n_detected: 0,
         errors_m: Vec::new(),
         false_fixes: 0,
+        false_fixes_raw: 0,
+        ghost_tracks: report
+            .tracks
+            .iter()
+            .filter(|t| {
+                t.mirror_of.is_some()
+                    && t.history
+                        .iter()
+                        .any(|p| p.observed.is_some() && p.window >= from)
+            })
+            .count(),
         n_windows: report.n_windows() - from,
     };
-    for (gt_row, fixes) in gt[from..].iter().zip(&report.fixes[from..]) {
+    let false_in = |fixes: &[wivi_image::ImageFix], gt_row: &[Point]| {
+        fixes
+            .iter()
+            .filter(|f| {
+                gt_row
+                    .iter()
+                    .all(|p| (f.x_m - p.x).hypot(f.y_m - p.y) > MATCH_RADIUS_M)
+            })
+            .count()
+    };
+    for ((gt_row, fixes), raw) in gt[from..]
+        .iter()
+        .zip(&credible[from..])
+        .zip(&report.fixes[from..])
+    {
         for p in gt_row {
             if (p.x - rx_x_m).abs() < BORESIGHT_GUARD_M {
                 continue;
@@ -160,14 +200,8 @@ pub fn score_imaging(
                 score.errors_m.push(nearest);
             }
         }
-        score.false_fixes += fixes
-            .iter()
-            .filter(|f| {
-                gt_row
-                    .iter()
-                    .all(|p| (f.x_m - p.x).hypot(f.y_m - p.y) > MATCH_RADIUS_M)
-            })
-            .count();
+        score.false_fixes += false_in(fixes, gt_row);
+        score.false_fixes_raw += false_in(raw, gt_row);
     }
     score.errors_m.sort_by(f64::total_cmp);
     score
@@ -183,6 +217,12 @@ pub struct ImagingTrialSpec {
     /// Walking speed of every subject, m/s: 1.0 matches the aperture's
     /// assumed speed; other values measure the autofocus mismatch.
     pub speed: f64,
+    /// `true`: one subject pacing a short lane entirely on one side of
+    /// the boresight axis — the geometry whose conjugate ghost lands
+    /// far from the subject, so joint-LS side flips at the lane
+    /// turn-arounds accrete into mirror-ghost tracks. The trial that
+    /// exercises the tracker-level mirror-side vote.
+    pub one_sided: bool,
     /// Recording duration, seconds.
     pub duration_s: f64,
     /// Deterministic seed.
@@ -190,11 +230,28 @@ pub struct ImagingTrialSpec {
 }
 
 impl ImagingTrialSpec {
-    /// Builds the trial's scene (the showcase lanes at this trial's
-    /// walking speed).
+    /// Builds the trial's scene (the showcase lanes — or the one-sided
+    /// lane — at this trial's walking speed).
     pub fn build_scene(&self) -> Scene {
-        showcase_lanes(self.n_subjects, self.speed)
+        if self.one_sided {
+            one_sided_lane(self.speed)
+        } else {
+            showcase_lanes(self.n_subjects, self.speed)
+        }
     }
+}
+
+/// One subject pacing back and forth on the left half of the room (the
+/// lane stays clear of the boresight strip). Long enough for any trial
+/// duration the bench uses.
+fn one_sided_lane(speed: f64) -> Scene {
+    let (a, b) = (Point::new(-3.2, 2.6), Point::new(-1.4, 2.6));
+    Scene::new(Material::HollowWall6In)
+        .with_office_clutter(Scene::conference_room_small())
+        .with_mover(Mover::human(WaypointWalker::new(
+            vec![a, b, a, b, a, b, a],
+            speed,
+        )))
 }
 
 /// Outcome and per-stage wall-clock of one imaging trial.
@@ -206,7 +263,12 @@ pub struct ImagingTrialResult {
     pub detection_rate: f64,
     pub mean_error_m: f64,
     pub median_error_m: f64,
+    /// False fixes after the mirror-side vote (the scored metric).
     pub false_fixes: usize,
+    /// False fixes over raw detections, before the vote.
+    pub false_fixes_raw: usize,
+    /// Confirmed tracks the mirror-side vote marked as ghosts.
+    pub n_ghost_tracks: usize,
     /// Confirmed position tracks.
     pub n_tracks: usize,
     /// Achieved nulling, dB.
@@ -310,6 +372,8 @@ pub fn run_imaging_trial(
         mean_error_m: score.mean_error_m(),
         median_error_m: score.median_error_m(),
         false_fixes: score.false_fixes,
+        false_fixes_raw: score.false_fixes_raw,
+        n_ghost_tracks: score.ghost_tracks,
         n_tracks: report.tracks.len(),
         nulling_db,
         n_samples: trace.len(),
@@ -323,15 +387,17 @@ pub fn run_imaging_trial(
     (result, report)
 }
 
-/// The standard imaging trial family: one subject, two subjects, and a
+/// The standard imaging trial family: one subject, two subjects, a
 /// two-subject run at a mismatched walking speed (the autofocus
-/// degradation axis).
+/// degradation axis), and the one-sided lane whose turn-arounds breed
+/// mirror-ghost tracks (the mirror-side-vote axis).
 pub fn imaging_trials(duration_s: f64) -> Vec<ImagingTrialSpec> {
     vec![
         ImagingTrialSpec {
             name: "showcase_1",
             n_subjects: 1,
             speed: 1.0,
+            one_sided: false,
             duration_s,
             seed: 31,
         },
@@ -339,6 +405,7 @@ pub fn imaging_trials(duration_s: f64) -> Vec<ImagingTrialSpec> {
             name: "showcase_2",
             n_subjects: 2,
             speed: 1.0,
+            one_sided: false,
             duration_s,
             seed: 32,
         },
@@ -346,8 +413,17 @@ pub fn imaging_trials(duration_s: f64) -> Vec<ImagingTrialSpec> {
             name: "speed_mismatch_2",
             n_subjects: 2,
             speed: 0.85,
+            one_sided: false,
             duration_s,
             seed: 33,
+        },
+        ImagingTrialSpec {
+            name: "one_sided_ghosts",
+            n_subjects: 1,
+            speed: 1.0,
+            one_sided: true,
+            duration_s,
+            seed: 40,
         },
     ]
 }
@@ -403,7 +479,8 @@ pub fn write_imaging_json(
             f,
             "    {{\"label\": \"{}\", \"seed\": {}, \"subjects\": {}, \"speed\": {}, \
              \"n_windows\": {}, \"detection_rate\": {:.4}, \"mean_error_m\": {:.4}, \
-             \"median_error_m\": {:.4}, \"false_fixes\": {}, \"n_tracks\": {}, \
+             \"median_error_m\": {:.4}, \"false_fixes\": {}, \"false_fixes_raw\": {}, \
+             \"ghost_tracks\": {}, \"n_tracks\": {}, \
              \"nulling_db\": {:.3}, \"n_samples\": {}, \"record_s\": {:.6}, \
              \"image_s\": {:.6}, \"samples_per_sec\": {:.2}, \"cells_per_sec\": {:.0}, \
              \"windows_per_sec\": {:.2}, \"window_latency_p50_ms\": {:.4}, \
@@ -417,6 +494,8 @@ pub fn write_imaging_json(
             r.mean_error_m,
             r.median_error_m,
             r.false_fixes,
+            r.false_fixes_raw,
+            r.n_ghost_tracks,
             r.n_tracks,
             r.nulling_db,
             r.n_samples,
@@ -492,6 +571,9 @@ mod tests {
         assert_eq!(s.n_detectable, 3);
         assert_eq!(s.n_detected, 2);
         assert_eq!(s.false_fixes, 1);
+        // No ghost tracks in this report: credible == raw.
+        assert_eq!(s.false_fixes_raw, 1);
+        assert_eq!(s.ghost_tracks, 0);
         assert!((s.detection_rate() - 2.0 / 3.0).abs() < 1e-12);
         assert!(s.mean_error_m() < 0.2);
 
@@ -520,6 +602,7 @@ mod tests {
             name: "showcase_1",
             n_subjects: 1,
             speed: 1.0,
+            one_sided: false,
             duration_s: 2.6,
             seed: 5,
         };

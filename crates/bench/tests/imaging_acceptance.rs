@@ -18,6 +18,7 @@ fn showcase(n_subjects: usize) -> ImagingTrialSpec {
         name: "acceptance",
         n_subjects,
         speed: 1.0,
+        one_sided: false,
         duration_s: IMAGING_SHOWCASE_DURATION_S,
         seed: 32,
     }

@@ -15,7 +15,7 @@
 //! shapes produce bitwise-identical outputs.
 
 use wivi_num::Complex64;
-use wivi_rf::Scene;
+use wivi_rf::SceneHandle;
 use wivi_sdr::{MimoFrontend, Observation, RadioConfig};
 
 use crate::counting::{mean_spatial_variance, StreamingVariance};
@@ -88,12 +88,16 @@ pub struct WiViDevice {
 
 impl WiViDevice {
     /// Builds a device over `scene` with deterministic noise from `seed`.
+    /// `scene` may be an owned [`Scene`](wivi_rf::Scene) or a shared
+    /// [`SceneHandle`] from a [`SceneStore`](wivi_rf::SceneStore) —
+    /// devices never mutate their scene during recording, so sharing is
+    /// free and bitwise-invisible.
     ///
     /// The MUSIC noise floor is derived from the radio configuration
     /// (thermal noise per subcarrier, combined over the subcarriers) —
     /// the simulated analogue of the one-off terminated-input noise
     /// calibration a real receiver performs.
-    pub fn new(scene: Scene, mut cfg: WiViConfig, seed: u64) -> Self {
+    pub fn new(scene: impl Into<SceneHandle>, mut cfg: WiViConfig, seed: u64) -> Self {
         cfg.validate();
         if cfg.music.noise_floor_power.is_none() {
             let k = cfg.radio.ofdm.n_subcarriers as f64;

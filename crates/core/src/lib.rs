@@ -25,6 +25,10 @@
 //!   [`Stage`]s that consume channel-sample batches incrementally and
 //!   emit `A′[θ, n]` columns as analysis windows complete, bitwise
 //!   identical to the offline entry points.
+//! * [`cache`] — the keyed engine registry serving shards share their
+//!   per-window engines through: any crate registers its engine type via
+//!   [`ShardEngine`], and same-configuration sessions share one resident
+//!   engine.
 //! * [`device`] — [`WiViDevice`], the end-to-end device tying all stages
 //!   together in the paper's two operating modes, with both one-shot and
 //!   batch-streaming entry points.
@@ -33,6 +37,7 @@
 //!   without nulling (the related-work approach the flash defeats, §2.1).
 
 pub mod baseline;
+pub mod cache;
 pub mod counting;
 pub mod device;
 pub mod gesture;
@@ -42,6 +47,7 @@ pub mod nulling;
 pub mod spectrogram;
 pub mod stage;
 
+pub use cache::{EngineCache, ShardEngine};
 pub use device::{WiViConfig, WiViDevice};
 pub use isar::{BeamformEngine, IsarConfig};
 pub use music::{MusicConfig, MusicEngine};

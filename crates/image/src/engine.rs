@@ -50,6 +50,7 @@
 //! construction: the output depends only on the configuration, the
 //! window contents, and the nulling weight.
 
+use wivi_core::ShardEngine;
 use wivi_num::{ca_cfar_2d, Complex64, Grid2d};
 use wivi_rf::Point;
 
@@ -86,6 +87,19 @@ pub struct ImagingEngine {
     /// Mean-removed window scratch (the CLEAN loop subtracts detected
     /// targets from it in place).
     centered: Vec<Complex64>,
+}
+
+/// Serving shards host imaging engines through the generic engine
+/// registry: the engine is a pure function of (configuration, window,
+/// nulling weight) — the weight is a per-push runtime parameter — so
+/// same-configuration sessions share one steering table even when their
+/// nulling converged differently.
+impl ShardEngine for ImagingEngine {
+    type Config = ImageConfig;
+
+    fn build(cfg: &ImageConfig) -> Self {
+        ImagingEngine::new(*cfg)
+    }
 }
 
 impl ImagingEngine {

@@ -23,7 +23,7 @@
 //!   `(x, y)` in metres instead of bare angles.
 //! * [`ImageThroughWall`] — the device extension:
 //!   `WiViDevice::image{,_streaming}`, bitwise identical to each other
-//!   for every batch size, and to a served `SessionMode::Image` session
+//!   for every batch size, and to a served `image`-mode session
 //!   at every shard count.
 
 pub mod config;

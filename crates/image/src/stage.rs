@@ -67,6 +67,36 @@ impl ImagingReport {
     pub fn n_fixes(&self) -> usize {
         self.fixes.iter().map(Vec::len).sum()
     }
+
+    /// Ids of confirmed tracks the tracker-level mirror-side vote
+    /// marked as conjugate ghosts (see [`PositionTrack::mirror_of`]).
+    pub fn mirror_ghost_ids(&self) -> Vec<u32> {
+        self.tracks
+            .iter()
+            .filter(|t| t.mirror_of.is_some())
+            .map(|t| t.id)
+            .collect()
+    }
+
+    /// The per-window fixes with every fix that fed a mirror-ghost
+    /// track removed — the view to *score* (and display) by. The raw
+    /// [`Self::fixes`] are untouched: they are what the golden traces
+    /// pin, and the per-window detector genuinely emitted them; the
+    /// vote is hindsight only a whole track's history can provide.
+    pub fn credible_fixes(&self) -> Vec<Vec<ImageFix>> {
+        let mut out = self.fixes.clone();
+        for ghost in self.tracks.iter().filter(|t| t.mirror_of.is_some()) {
+            for p in &ghost.history {
+                let Some(observed) = p.observed else { continue };
+                if let Some(win) = out.get_mut(p.window) {
+                    if let Some(k) = win.iter().position(|f| *f == observed) {
+                        win.remove(k);
+                    }
+                }
+            }
+        }
+        out
+    }
 }
 
 /// The owned streaming imaging stage (device entry points).
@@ -325,6 +355,62 @@ mod tests {
             assert_eq!(starts[s], expect);
             assert_eq!(shared[s].n_frames(), got[s].len());
             assert_eq!(shared[s].n_seen(), n);
+        }
+    }
+
+    #[test]
+    fn credible_fixes_drop_exactly_the_ghost_tracks_observations() {
+        use crate::track2d::{PositionTracker, PositionTrackerConfig};
+
+        let cfg = ImageConfig::fast_test();
+        let tcfg = PositionTrackerConfig::for_image(&cfg);
+        let mut tracker = PositionTracker::new(tcfg);
+        let mk = |x: f64, y: f64| ImageFix {
+            x_m: x,
+            y_m: y,
+            power_db: -30.0,
+            snr_db: 12.0,
+            ix: 0,
+            iy: 0,
+        };
+        let mut fixes: Vec<Vec<ImageFix>> = Vec::new();
+        let dt = tcfg.window_dt_s();
+        for k in 0..10 {
+            let x = -2.0 + 0.8 * k as f64 * dt;
+            let mut frame = vec![mk(x, 2.0)];
+            if k < 4 {
+                frame.push(mk(-x, 2.0)); // mirror-side error windows
+            }
+            tracker.push_fixes(&frame);
+            fixes.push(frame);
+        }
+        let report = ImagingReport::assemble(cfg.grid, fixes, tracker.finish());
+
+        let ghosts = report.mirror_ghost_ids();
+        assert_eq!(ghosts.len(), 1, "expected exactly one voted ghost");
+        let credible = report.credible_fixes();
+        // Raw fixes keep everything (the golden-trace view)…
+        assert_eq!(report.n_fixes(), 14);
+        // …while the credible view drops exactly the ghost's matched
+        // observations and keeps every real fix.
+        let ghost = report
+            .tracks
+            .iter()
+            .find(|t| t.mirror_of.is_some())
+            .unwrap();
+        let dropped = ghost
+            .history
+            .iter()
+            .filter(|p| p.observed.is_some())
+            .count();
+        let credible_total: usize = credible.iter().map(Vec::len).sum();
+        assert_eq!(credible_total, report.n_fixes() - dropped);
+        for (w, win) in credible.iter().enumerate() {
+            assert!(
+                win.iter()
+                    .any(|f| (f.x_m - (-2.0 + 0.8 * w as f64 * dt)).abs() < 1e-9),
+                "window {w} lost its real fix"
+            );
         }
     }
 

@@ -52,7 +52,52 @@ pub struct PositionTrackerConfig {
     pub hop: usize,
     /// Channel sampling period, seconds.
     pub sample_period_s: f64,
+    /// The boresight (mirror) axis `x`, metres — the receive antenna's
+    /// x. A target at `(x, y)` leaves its conjugate ghost near the
+    /// reflection of `x` across this axis.
+    pub mirror_axis_x_m: f64,
+    /// Track-pair tolerance of the mirror-side vote, metres
+    /// (0 disables): two confirmed tracks whose per-window positions
+    /// reflect each other across the axis within this tolerance form a
+    /// mirror pair, and the vote marks the weaker member a ghost (see
+    /// [`PositionTrack::mirror_of`]).
+    pub mirror_vote_tol_m: f64,
 }
+
+/// Fraction of a mirror pair's jointly observed windows that must vote
+/// "mirrored" before the pair is declared real + ghost (per-window
+/// side flips are noisy; a supermajority is required).
+const MIRROR_VOTE_MAJORITY: f64 = 0.7;
+
+/// Minimum jointly observed windows before the vote is meaningful.
+/// Ghost tracks are short — the joint-LS errs in bursts of a few
+/// windows — so the floor is the tracker's own confirmation bar, not
+/// a long overlap.
+const MIRROR_VOTE_MIN_COMMON: usize = 2;
+
+/// Range-axis (y) slack factor of the pair test: the range axis is
+/// several times coarser than azimuth and limb micro-Doppler smears a
+/// body's focused blob along it, so a mirrored pair's y values differ
+/// by more than their x values reflect. Must stay below the showcase
+/// lane separation (1.4 m) over the default tolerance so two real
+/// subjects on mirrored lanes never pair.
+const MIRROR_VOTE_Y_SLACK: f64 = 1.2;
+
+/// Window slack of the pair test: a ghost fix is compared against the
+/// real track's observed positions up to this many windows away. In
+/// exactly the windows whose body fix flipped sides, the real track has
+/// no body fix of its own (it coasted, or latched a limb artefact), so
+/// the ghost must be matched against where the body track was *around*
+/// the flip, not at it.
+const MIRROR_VOTE_WINDOW_SLACK: usize = 1;
+
+/// Boresight guard of the vote, metres: side decisions anchored closer
+/// than this to the mirror axis are not counted. Near the axis the two
+/// mirror hypotheses collapse into one (the per-window joint solve
+/// itself bails there as indistinguishable), and a subject *crossing*
+/// the axis legitimately leaves an axis-adjacent mirror-looking track
+/// pair — votes there would suppress real detections, not ghosts.
+const MIRROR_VOTE_AXIS_GUARD_M: f64 = 1.5;
 
 impl PositionTrackerConfig {
     /// A tracker matched to an imaging configuration: window timing from
@@ -73,6 +118,16 @@ impl PositionTrackerConfig {
             window_len: cfg.window,
             hop: cfg.hop,
             sample_period_s: cfg.sample_period_s,
+            mirror_axis_x_m: cfg.rx.x,
+            // Track-level positions carry range smear the per-window
+            // detector's sub-cell fixes do not, so the vote's tolerance
+            // is the coarse-axis cell pitch (2 cells), not the
+            // detector's mirror_tol_m.
+            mirror_vote_tol_m: if cfg.mirror_tol_m > 0.0 {
+                2.0 * cell
+            } else {
+                0.0
+            },
         }
     }
 
@@ -98,6 +153,8 @@ impl PositionTrackerConfig {
         assert!(self.confirm_hits >= 1, "confirm_hits must be at least 1");
         assert!(self.window_len >= 1 && self.hop >= 1);
         assert!(self.sample_period_s > 0.0);
+        assert!(self.mirror_axis_x_m.is_finite());
+        assert!(self.mirror_vote_tol_m >= 0.0);
     }
 }
 
@@ -150,6 +207,17 @@ pub struct PositionTrack {
     pub misses: usize,
     /// Total windows with a matched fix.
     pub observed_windows: usize,
+    /// Set by the mirror-side vote at [`PositionTracker::finish`]: the
+    /// id of the (stronger) track this one is the conjugate ghost of.
+    /// The per-window joint-LS mirror resolution occasionally picks the
+    /// wrong side, and those error windows accrete into a track on the
+    /// mirrored trajectory; across windows the errors flip side while a
+    /// real target's fixes keep feeding one track, so the track that
+    /// wins the per-window majority is real and the loser is marked
+    /// here. Ghost tracks stay in the report (nothing pinned changes) —
+    /// consumers filter with
+    /// [`ImagingReport::credible_fixes`](crate::ImagingReport::credible_fixes).
+    pub mirror_of: Option<u32>,
     /// One point per window from birth.
     pub history: Vec<PositionPoint>,
 }
@@ -367,6 +435,7 @@ impl PositionTracker {
                 ky,
                 misses: 0,
                 observed_windows: 1,
+                mirror_of: None,
                 history: Vec::new(),
             };
             record_position(&mut tr, w, t, Some(*f));
@@ -385,8 +454,9 @@ impl PositionTracker {
         self.window += 1;
     }
 
-    /// Finalizes the run: confirmed tracks only, id order; tracks alive
-    /// at the end keep their final status.
+    /// Finalizes the run: confirmed tracks only, id order, with the
+    /// mirror-side vote annotating conjugate ghosts; tracks alive at
+    /// the end keep their final status.
     pub fn finish(mut self) -> PositionTrackingSummary {
         let mut tracks = std::mem::take(&mut self.finished);
         for tr in self.live {
@@ -395,10 +465,86 @@ impl PositionTracker {
             }
         }
         tracks.sort_by_key(|t| t.id);
+        vote_mirror_sides(&mut tracks, &self.cfg);
         PositionTrackingSummary {
             tracks,
             confirmed_counts: self.confirmed_counts,
             times_s: self.times_s,
+        }
+    }
+}
+
+/// The tracker-level mirror disambiguation. Every window where two
+/// tracks were both fed a fix is one joint-LS side decision; the pair
+/// votes "mirrored" when those fixes reflect each other across the
+/// boresight axis (x reflects within the tolerance; y — the coarse,
+/// micro-Doppler-smeared range axis — gets proportional slack). A
+/// supermajority of mirrored windows means the pair is one target plus
+/// its conjugate ghost: the joint-LS side choice flips window-to-window
+/// for the ghost (it is fed only by the resolution's error windows)
+/// while the real target's track is fed consistently — so the member
+/// holding a clear fix majority (`observed_windows`, ≥ 2×) is real and
+/// the other is marked [`PositionTrack::mirror_of`] it. A pair without
+/// that dominance — e.g. two genuinely mirror-symmetric subjects — is
+/// left alone. Pure function of the track set, so serving stays
+/// bitwise identical to standalone.
+fn vote_mirror_sides(tracks: &mut [PositionTrack], cfg: &PositionTrackerConfig) {
+    let tol = cfg.mirror_vote_tol_m;
+    if tol <= 0.0 {
+        return;
+    }
+    let axis2 = 2.0 * cfg.mirror_axis_x_m;
+    for i in 0..tracks.len() {
+        for j in (i + 1)..tracks.len() {
+            // A track already voted a ghost cannot claim others (its
+            // mirror is the real target it shadows).
+            if tracks[i].mirror_of.is_some() || tracks[j].mirror_of.is_some() {
+                continue;
+            }
+            // Only a clearly weaker partner can be a ghost: error
+            // windows are the minority by construction.
+            let (oi, oj) = (tracks[i].observed_windows, tracks[j].observed_windows);
+            if 2 * oi.min(oj) > oi.max(oj) {
+                continue;
+            }
+            let ghost = if oi >= oj { j } else { i };
+            let real = i + j - ghost;
+            // Each of the candidate ghost's observed windows is one
+            // joint-LS side decision: it votes "mirrored" when the real
+            // track holds a nearby observed position whose reflection
+            // matches it.
+            let (mut common, mut mirrored) = (0usize, 0usize);
+            for pg in tracks[ghost]
+                .history
+                .iter()
+                .filter(|p| p.observed.is_some())
+            {
+                let neighbors: Vec<&PositionPoint> = tracks[real]
+                    .history
+                    .iter()
+                    .filter(|p| {
+                        p.observed.is_some()
+                            && p.window.abs_diff(pg.window) <= MIRROR_VOTE_WINDOW_SLACK
+                            && (p.x_m - cfg.mirror_axis_x_m).abs() >= MIRROR_VOTE_AXIS_GUARD_M
+                    })
+                    .collect();
+                if neighbors.is_empty() {
+                    continue;
+                }
+                common += 1;
+                if neighbors.iter().any(|pr| {
+                    (pg.x_m + pr.x_m - axis2).abs() <= tol
+                        && (pg.y_m - pr.y_m).abs() <= MIRROR_VOTE_Y_SLACK * tol
+                }) {
+                    mirrored += 1;
+                }
+            }
+            if common < MIRROR_VOTE_MIN_COMMON
+                || (mirrored as f64) < MIRROR_VOTE_MAJORITY * common as f64
+            {
+                continue;
+            }
+            tracks[ghost].mirror_of = Some(tracks[real].id);
         }
     }
 }
@@ -494,6 +640,53 @@ mod tests {
             );
         }
         assert_eq!(*s.confirmed_counts.last().unwrap(), 2);
+        // Different lanes (Δy well past the tolerance): two real
+        // subjects, the mirror vote must not touch them.
+        assert!(s.tracks.iter().all(|t| t.mirror_of.is_none()));
+    }
+
+    #[test]
+    fn mirror_vote_marks_the_intermittent_ghost() {
+        // A real subject paces one lane; the per-window joint-LS errs
+        // for a stretch of windows, feeding fixes on the conjugate side
+        // (x reflected across the boresight axis, same y). The ghost
+        // track those errors accrete into mirrors the real track
+        // window-for-window but holds fewer observations — the vote
+        // must mark it, and only it.
+        let mut tk = PositionTracker::new(cfg());
+        let dt = tk.cfg.window_dt_s();
+        for k in 0..10 {
+            let t = k as f64 * dt;
+            let x = -2.0 + 0.8 * t;
+            let mut fixes = vec![fix(x, 2.0)];
+            if k < 4 {
+                fixes.push(fix(-x, 2.0)); // the side-flip error windows
+            }
+            tk.push_fixes(&fixes);
+        }
+        let s = tk.finish();
+        assert_eq!(s.tracks.len(), 2);
+        let real = s.tracks.iter().max_by_key(|t| t.observed_windows).unwrap();
+        let ghost = s.tracks.iter().min_by_key(|t| t.observed_windows).unwrap();
+        assert!(real.mirror_of.is_none(), "real track voted a ghost");
+        assert_eq!(
+            ghost.mirror_of,
+            Some(real.id),
+            "ghost not attributed to its real twin"
+        );
+    }
+
+    #[test]
+    fn mirror_vote_is_disabled_by_zero_tolerance() {
+        let mut c = cfg();
+        c.mirror_vote_tol_m = 0.0;
+        let mut tk = PositionTracker::new(c);
+        for k in 0..8 {
+            let x = -1.6 + 0.3 * k as f64;
+            tk.push_fixes(&[fix(x, 2.0), fix(-x, 2.0)]);
+        }
+        let s = tk.finish();
+        assert!(s.tracks.iter().all(|t| t.mirror_of.is_none()));
     }
 
     #[test]

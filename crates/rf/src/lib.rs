@@ -30,6 +30,7 @@ pub mod geometry;
 pub mod materials;
 pub mod motion;
 pub mod scene;
+pub mod store;
 
 pub use antenna::Antenna;
 pub use channel::PathContribution;
@@ -40,6 +41,7 @@ pub use motion::{
     RobotMover, Stationary, WaypointWalker,
 };
 pub use scene::{DeviceLayout, Scatterer, Scene, Wall};
+pub use store::{SceneHandle, SceneStore};
 
 /// Speed of light in vacuum, m/s.
 pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;

@@ -26,7 +26,14 @@ use crate::scene::Scatterer;
 
 /// A deterministic trajectory: position of the body's reference point
 /// (torso) as a function of time.
-pub trait Motion: Send + Sync {
+///
+/// `MotionClone` is a supertrait so boxed trajectories — and therefore
+/// [`Mover`]s and whole [`Scene`](crate::Scene)s — are `Clone`: the
+/// copy-on-write [`SceneStore`](crate::SceneStore) relies on cloning a
+/// shared scene the moment someone mutates it. Any `Motion` type that is
+/// itself `Clone` (every one in this crate) gets the impl for free via
+/// the blanket below.
+pub trait Motion: Send + Sync + MotionClone {
     /// Torso position at time `t` seconds.
     fn position(&self, t: f64) -> Point;
 
@@ -46,6 +53,25 @@ pub trait Motion: Send + Sync {
     fn speed(&self, t: f64) -> f64 {
         const DT: f64 = 0.01;
         ((self.position(t + DT) - self.position(t - DT)) / (2.0 * DT)).norm()
+    }
+}
+
+/// Object-safe cloning for boxed trajectories (the classic `dyn`-clone
+/// pattern): implemented automatically for every `Motion + Clone` type.
+pub trait MotionClone {
+    /// Clones `self` into a fresh box.
+    fn clone_box(&self) -> Box<dyn Motion>;
+}
+
+impl<T: Motion + Clone + 'static> MotionClone for T {
+    fn clone_box(&self) -> Box<dyn Motion> {
+        Box::new(self.clone())
+    }
+}
+
+impl Clone for Box<dyn Motion> {
+    fn clone(&self) -> Self {
+        self.clone_box()
     }
 }
 
@@ -425,6 +451,7 @@ impl BodyConfig {
 }
 
 /// A moving body in the scene: trajectory + radar body model.
+#[derive(Clone)]
 pub struct Mover {
     motion: Box<dyn Motion>,
     body: BodyConfig,

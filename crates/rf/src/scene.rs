@@ -71,6 +71,11 @@ impl DeviceLayout {
 }
 
 /// A complete through-wall scene.
+///
+/// `Clone` is deliberate: scenes are plain values, and the copy-on-write
+/// [`SceneStore`](crate::SceneStore) clones a shared scene only at the
+/// moment a holder mutates it.
+#[derive(Clone)]
 pub struct Scene {
     pub device: DeviceLayout,
     pub wall: Wall,

@@ -1,0 +1,228 @@
+//! Copy-on-write scene sharing: [`SceneHandle`] and [`SceneStore`].
+//!
+//! A fleet-style deployment opens many sensing sessions observing the
+//! *same* room. Scenes are pure values — every mutating operation the
+//! simulator performs during a recording is `&self` (trajectories are
+//! deterministic functions of time) — so sessions have no reason to each
+//! own a private copy of the room: a [`SceneHandle`] is an
+//! `Arc`-shared immutable [`Scene`], cheap to clone into every session
+//! spec, and the [`SceneStore`] is the registry fleet code inserts rooms
+//! into once and hands handles out of thereafter.
+//!
+//! Mutation still works — [`SceneHandle::make_mut`] is copy-on-write:
+//! while the scene is shared it clones a private copy first (the other
+//! holders keep observing the original), and once unique it mutates in
+//! place with no copy at all. This is exactly `Arc::make_mut`, surfaced
+//! so the radio front-end's `scene_mut()` keeps its historical
+//! "mutate my scene" semantics whether or not the scene came from a
+//! store.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+use crate::scene::Scene;
+
+/// A shared, immutable view of a [`Scene`]. Cloning is an `Arc` bump —
+/// the whole point: N sessions observing one room hold N handles to one
+/// scene, not N scenes.
+#[derive(Clone)]
+pub struct SceneHandle(Arc<Scene>);
+
+impl SceneHandle {
+    /// Wraps an owned scene into a (so far unshared) handle.
+    pub fn new(scene: Scene) -> Self {
+        Self(Arc::new(scene))
+    }
+
+    /// The shared scene.
+    pub fn scene(&self) -> &Scene {
+        &self.0
+    }
+
+    /// Mutable access, copy-on-write: clones the scene first iff other
+    /// handles still share it, so mutation never alters what the other
+    /// holders observe.
+    pub fn make_mut(&mut self) -> &mut Scene {
+        Arc::make_mut(&mut self.0)
+    }
+
+    /// `true` if `a` and `b` are views of the *same* allocation (not
+    /// merely equal-looking scenes).
+    pub fn ptr_eq(a: &Self, b: &Self) -> bool {
+        Arc::ptr_eq(&a.0, &b.0)
+    }
+
+    /// Number of handles currently sharing this scene (including this
+    /// one) — the store's sharing degree for telemetry.
+    pub fn shared_count(&self) -> usize {
+        Arc::strong_count(&self.0)
+    }
+}
+
+impl From<Scene> for SceneHandle {
+    fn from(scene: Scene) -> Self {
+        Self::new(scene)
+    }
+}
+
+impl Deref for SceneHandle {
+    type Target = Scene;
+
+    fn deref(&self) -> &Scene {
+        &self.0
+    }
+}
+
+impl std::fmt::Debug for SceneHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SceneHandle")
+            .field("clutter", &self.clutter.len())
+            .field("movers", &self.movers.len())
+            .field("shared_count", &self.shared_count())
+            .finish()
+    }
+}
+
+/// A named registry of shared scenes — the fleet-serving pattern: insert
+/// each observed room once, clone handles out per session. Linear scan
+/// over names: deployments watch a handful of rooms, not thousands.
+#[derive(Default)]
+pub struct SceneStore {
+    entries: Vec<(String, SceneHandle)>,
+}
+
+impl SceneStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts `scene` under `name`, returning its handle.
+    ///
+    /// # Panics
+    /// Panics if `name` is already present — a store maps each room name
+    /// to one scene for its lifetime, so sessions can never silently
+    /// observe different rooms under one name.
+    pub fn insert(&mut self, name: impl Into<String>, scene: Scene) -> SceneHandle {
+        let name = name.into();
+        assert!(
+            self.get(&name).is_none(),
+            "scene '{name}' already in the store"
+        );
+        let handle = SceneHandle::new(scene);
+        self.entries.push((name, handle.clone()));
+        handle
+    }
+
+    /// The handle registered under `name`, if any (an `Arc` bump, never
+    /// a scene copy).
+    pub fn get(&self, name: &str) -> Option<SceneHandle> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h.clone())
+    }
+
+    /// The handle under `name`, inserting `build()` first if absent.
+    pub fn get_or_insert_with(&mut self, name: &str, build: impl FnOnce() -> Scene) -> SceneHandle {
+        match self.get(name) {
+            Some(h) => h,
+            None => self.insert(name, build()),
+        }
+    }
+
+    /// Registered scene names, in insertion order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Number of registered scenes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Point;
+    use crate::materials::Material;
+    use crate::motion::{Mover, WaypointWalker};
+
+    fn scene() -> Scene {
+        Scene::new(Material::HollowWall6In)
+            .with_office_clutter(Scene::conference_room_small())
+            .with_mover(Mover::human(WaypointWalker::new(
+                vec![Point::new(-2.0, 2.5), Point::new(2.0, 2.5)],
+                1.0,
+            )))
+    }
+
+    #[test]
+    fn handles_share_one_scene() {
+        let mut store = SceneStore::new();
+        let a = store.insert("room", scene());
+        let b = store.get("room").expect("registered");
+        assert!(SceneHandle::ptr_eq(&a, &b));
+        // Store + two handles.
+        assert_eq!(a.shared_count(), 3);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.names().collect::<Vec<_>>(), vec!["room"]);
+    }
+
+    #[test]
+    fn make_mut_copies_only_while_shared() {
+        let mut store = SceneStore::new();
+        let mut a = store.insert("room", scene());
+        let n_movers = a.movers.len();
+
+        // Shared: mutation clones; the stored original is untouched.
+        a.make_mut().movers.push(Mover::human(WaypointWalker::new(
+            vec![Point::new(0.0, 1.0), Point::new(0.0, 3.0)],
+            0.5,
+        )));
+        assert_eq!(a.movers.len(), n_movers + 1);
+        let original = store.get("room").unwrap();
+        assert_eq!(original.movers.len(), n_movers);
+        assert!(!SceneHandle::ptr_eq(&a, &original));
+
+        // Unique: mutation is in place (same allocation before/after).
+        let mut lone = SceneHandle::new(scene());
+        let before = Arc::as_ptr(&lone.0);
+        lone.make_mut().clutter.clear();
+        assert_eq!(before, Arc::as_ptr(&lone.0));
+    }
+
+    #[test]
+    fn cloned_scene_is_deterministically_identical() {
+        let a = scene();
+        let b = a.clone();
+        assert_eq!(a.clutter.len(), b.clutter.len());
+        for t in [0.0, 0.7, 2.3] {
+            for (ma, mb) in a.movers.iter().zip(&b.movers) {
+                assert_eq!(ma.position(t), mb.position(t));
+            }
+        }
+    }
+
+    #[test]
+    fn get_or_insert_builds_once() {
+        let mut store = SceneStore::new();
+        let a = store.get_or_insert_with("room", scene);
+        let b = store.get_or_insert_with("room", || panic!("must not rebuild"));
+        assert!(SceneHandle::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "already in the store")]
+    fn duplicate_names_are_rejected() {
+        let mut store = SceneStore::new();
+        store.insert("room", scene());
+        store.insert("room", scene());
+    }
+}

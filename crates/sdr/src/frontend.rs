@@ -23,7 +23,7 @@ use wivi_num::fft::FftPlan;
 use wivi_num::rng::{complex_gaussian, Rng64};
 use wivi_num::Complex64;
 use wivi_rf::channel::{gain_from_paths, Path};
-use wivi_rf::Scene;
+use wivi_rf::{Scene, SceneHandle};
 
 use crate::adc::{clip_tx, Adc, QuantizeOutcome};
 use crate::ofdm::{demodulate_in_place, modulate_in_place, OfdmConfig};
@@ -138,8 +138,14 @@ enum TxMode {
 }
 
 /// The simulated 3-antenna MIMO radio bound to a scene.
+///
+/// The scene is held through a [`SceneHandle`]: radios observing the
+/// same room (fleet-style serving) share one immutable scene rather
+/// than each owning a copy, and [`Self::scene_mut`] is copy-on-write —
+/// mutating a shared scene clones a private copy first, so no radio can
+/// perturb another's world.
 pub struct MimoFrontend {
-    scene: Scene,
+    scene: SceneHandle,
     cfg: RadioConfig,
     rng: Rng64,
     /// Linear RX amplitude gain ahead of the ADC.
@@ -167,13 +173,16 @@ pub struct MimoFrontend {
 
 impl MimoFrontend {
     /// Binds a radio to `scene` with deterministic noise from `seed`.
-    pub fn new(scene: Scene, cfg: RadioConfig, seed: u64) -> Self {
+    /// Accepts an owned [`Scene`] or a shared [`SceneHandle`] — sharing
+    /// changes nothing about the radio's behavior, only who owns the
+    /// room description.
+    pub fn new(scene: impl Into<SceneHandle>, cfg: RadioConfig, seed: u64) -> Self {
         assert!(cfg.noise_sigma >= 0.0);
         assert!(cfg.tx_amplitude > 0.0 && cfg.tx_linear_limit > 0.0);
         assert!(cfg.channel_rate_hz > 0.0 && cfg.sounding_dwell_s > 0.0);
         let k = cfg.ofdm.n_subcarriers;
         Self {
-            scene,
+            scene: scene.into(),
             cfg,
             rng: Rng64::seed_from_u64(seed),
             rx_gain: 1.0,
@@ -205,8 +214,17 @@ impl MimoFrontend {
     }
 
     /// Mutable access to the scene (e.g. to add movers between stages).
+    /// Copy-on-write: if other radios share this scene through the same
+    /// [`SceneHandle`], a private copy is cloned first and only this
+    /// radio sees the change.
     pub fn scene_mut(&mut self) -> &mut Scene {
-        &mut self.scene
+        self.scene.make_mut()
+    }
+
+    /// The scene handle, cheap to clone into further radios or session
+    /// specs observing the same room.
+    pub fn scene_handle(&self) -> &SceneHandle {
+        &self.scene
     }
 
     /// Current RX amplitude gain.

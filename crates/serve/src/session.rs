@@ -1,97 +1,41 @@
 //! Sessions: what one subscriber asks the serving engine to sense.
 //!
 //! A [`SessionSpec`] is a self-contained description of one sensing
-//! session — the scene behind the wall, the device configuration, the
-//! deterministic seed, how long to record, and which of the device's
-//! modes to run. The engine routes it to a worker shard, which owns the
-//! session through its lifecycle (open → stream → drain → close) and
-//! produces a [`SessionOutput`].
+//! session — the scene behind the wall (owned, or shared through a
+//! [`SceneHandle`] from a [`SceneStore`](wivi_rf::SceneStore)), the
+//! device configuration, the deterministic seed, how long to record,
+//! and which [`SensingMode`](crate::SensingMode) to run. The engine
+//! routes it to a worker shard, which owns the session through its
+//! lifecycle (open → stream → drain → close) and produces a
+//! [`SessionOutput`].
 //!
 //! The per-session streaming state (`ActiveSession`, crate-private) is
-//! deliberately thin: the heavy per-window scratch (steering tables, FFT
-//! plans, the eigendecomposition workspace) lives once per *shard* and
-//! is borrowed per batch — see [`crate::shard`].
+//! deliberately thin: the mode's state holds only per-session data, and
+//! the heavy per-window scratch (steering tables, FFT plans, the
+//! eigendecomposition workspace) lives once per *shard* in the keyed
+//! [`EngineCache`] and is borrowed per batch — see [`crate::shard`].
 
-use wivi_core::counting::StreamingVariance;
-use wivi_core::gesture::{decode, GestureDecode};
-use wivi_core::{
-    AngleSpectrogram, SharedStreamingBeamform, SharedStreamingMusic, WiViConfig, WiViDevice,
-};
-use wivi_image::{
-    assert_device_geometry, nulling_tx_weight, ImageConfig, ImageFix, ImagingReport,
-    PositionTracker, PositionTrackerConfig, SharedStreamingImage,
-};
+use wivi_core::{EngineCache, WiViConfig, WiViDevice};
 use wivi_num::Complex64;
-use wivi_rf::Scene;
-use wivi_track::{MultiTargetTracker, TrackEvent, TrackerConfig};
+use wivi_rf::SceneHandle;
+use wivi_track::TrackEvent;
 
-use crate::shard::EngineCache;
+use crate::mode::{ErasedState, ModeOutput, ModeRef};
 
 /// Session identity. Must be unique across the engine's lifetime; ties
 /// in the merged event stream break by it, and shard routing hashes it.
 pub type SessionId = u64;
 
-/// Which of the device's modes a session runs. Dispatch over this enum
-/// must stay exhaustive — `tests/modes.rs` serves one session per
-/// [`Self::ALL`] entry so a new variant cannot silently miss an arm.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum SessionMode {
-    /// Mode 1, imaging: retain every spectrogram column, output the full
-    /// `A′[θ, n]` (the serving twin of `WiViDevice::track_streaming`).
-    Track,
-    /// Mode 1, extended: multi-target tracking; outputs the
-    /// [`TrackingReport`](wivi_track::TrackingReport) and contributes
-    /// entry/exit/crossing/count events to the engine's unified stream
-    /// (twin of `track_targets_streaming`).
-    TrackTargets,
-    /// Mode 1, counting: fold columns into the spatial-variance sink;
-    /// nothing is retained (twin of
-    /// `measure_spatial_variance_streaming`).
-    Count,
-    /// Mode 2: beamform incrementally, decode the gesture message when
-    /// the session closes (twin of `decode_gestures_streaming`).
-    Gestures,
-    /// Mode 1, 2-D: backproject each imaging aperture onto the room
-    /// grid, CFAR-detect per-window (x, y) fixes, and track positions
-    /// (twin of `WiViDevice::image_streaming` from `wivi-image`).
-    Image,
-}
-
-impl SessionMode {
-    /// Every mode, in declaration order — the exhaustive-dispatch tests
-    /// iterate this so a new mode cannot silently miss a match arm.
-    pub const ALL: [SessionMode; 5] = [
-        SessionMode::Track,
-        SessionMode::TrackTargets,
-        SessionMode::Count,
-        SessionMode::Gestures,
-        SessionMode::Image,
-    ];
-
-    /// Stable tag used in reports and JSON.
-    pub fn tag(self) -> &'static str {
-        match self {
-            SessionMode::Track => "track",
-            SessionMode::TrackTargets => "track_targets",
-            SessionMode::Count => "count",
-            SessionMode::Gestures => "gestures",
-            SessionMode::Image => "image",
-        }
-    }
-
-    /// Inverse of [`Self::tag`].
-    pub fn from_tag(tag: &str) -> Option<Self> {
-        Self::ALL.into_iter().find(|m| m.tag() == tag)
-    }
-}
-
 /// One session request, self-contained and owned (it moves to a shard
-/// thread).
+/// thread). Construct with [`SessionSpec::new`] or, field by field, with
+/// [`SessionSpec::builder`].
 pub struct SessionSpec {
     pub id: SessionId,
-    /// The scene this session senses. Each session owns its scene — no
-    /// state is shared between sessions.
-    pub scene: Scene,
+    /// The scene this session senses. A [`SceneHandle`] is a shared
+    /// immutable view: fleet-style sessions observing the same room
+    /// clone the handle (an `Arc` bump), not the scene. An owned
+    /// [`Scene`](wivi_rf::Scene) converts implicitly.
+    pub scene: SceneHandle,
     pub config: WiViConfig,
     /// Deterministic seed for the session's radio noise and trajectories.
     pub seed: u64,
@@ -101,49 +45,139 @@ pub struct SessionSpec {
     /// the engine's merged stream are `start_s` + the session-relative
     /// window time.
     pub start_s: f64,
-    pub mode: SessionMode,
+    /// The sensing mode to run — any registered [`SensingMode`]
+    /// (built-in or downstream-defined), type-erased.
+    ///
+    /// [`SensingMode`]: crate::SensingMode
+    pub mode: ModeRef,
 }
 
 impl SessionSpec {
-    /// A spec starting at serving-clock zero.
+    /// A spec starting at serving-clock zero. `scene` may be owned or a
+    /// shared handle; `mode` may be a mode value (`Track`) or a
+    /// [`ModeRef`] from a registry.
     pub fn new(
         id: SessionId,
-        scene: Scene,
+        scene: impl Into<SceneHandle>,
         config: WiViConfig,
         seed: u64,
         duration_s: f64,
-        mode: SessionMode,
+        mode: impl Into<ModeRef>,
     ) -> Self {
         Self {
             id,
-            scene,
+            scene: scene.into(),
             config,
             seed,
             duration_s,
             start_s: 0.0,
-            mode,
+            mode: mode.into(),
+        }
+    }
+
+    /// Starts a field-by-field builder for session `id`.
+    pub fn builder(id: SessionId) -> SessionSpecBuilder {
+        SessionSpecBuilder {
+            id,
+            scene: None,
+            config: WiViConfig::paper_default(),
+            seed: 0,
+            duration_s: None,
+            start_s: 0.0,
+            mode: None,
         }
     }
 }
 
-/// The mode-specific payload of a finished session. Modes whose output
-/// needs at least one analysis window carry `Option`s: a zero-duration
-/// (or immediately closed) session drains cleanly with `None` instead of
-/// panicking.
-#[derive(Clone, Debug)]
-pub enum SessionResult {
-    /// The retained spectrogram (`None` if no window ever completed).
-    Track(Option<AngleSpectrogram>),
-    /// The tracking report (empty — zero windows — if the session closed
-    /// before one window).
-    TrackTargets(wivi_track::TrackingReport),
-    /// Mean spatial variance over the session (`None` if no window).
-    Count(Option<f64>),
-    /// The gesture decode (`None` if no window).
-    Gestures(Option<GestureDecode>),
-    /// The imaging report (empty — zero windows — if the session closed
-    /// before one imaging aperture filled).
-    Image(ImagingReport),
+/// Builder for [`SessionSpec`]: scene, duration, and mode are required;
+/// the configuration defaults to [`WiViConfig::paper_default`], the
+/// seed to 0, and the start offset to serving-clock zero.
+///
+/// ```
+/// use wivi_rf::{Material, Scene, SceneStore};
+/// use wivi_serve::{modes::Count, SessionSpec};
+///
+/// let mut store = SceneStore::new();
+/// let room = store.insert("lab", Scene::new(Material::HollowWall6In));
+/// let spec = SessionSpec::builder(7)
+///     .scene(room.clone()) // an Arc bump, not a scene copy
+///     .seed(42)
+///     .duration_s(4.0)
+///     .start_s(1.5)
+///     .mode(Count)
+///     .build();
+/// assert_eq!(spec.mode.tag(), "count");
+/// ```
+pub struct SessionSpecBuilder {
+    id: SessionId,
+    scene: Option<SceneHandle>,
+    config: WiViConfig,
+    seed: u64,
+    duration_s: Option<f64>,
+    start_s: f64,
+    mode: Option<ModeRef>,
+}
+
+impl SessionSpecBuilder {
+    /// The scene to sense — an owned [`Scene`](wivi_rf::Scene) or a
+    /// shared [`SceneHandle`]. Required.
+    pub fn scene(mut self, scene: impl Into<SceneHandle>) -> Self {
+        self.scene = Some(scene.into());
+        self
+    }
+
+    /// The device configuration (default: the paper's parameters).
+    pub fn config(mut self, config: WiViConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The deterministic seed (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Recording duration, simulated seconds. Required.
+    pub fn duration_s(mut self, duration_s: f64) -> Self {
+        self.duration_s = Some(duration_s);
+        self
+    }
+
+    /// Serving-clock offset of the session's start (default 0).
+    pub fn start_s(mut self, start_s: f64) -> Self {
+        self.start_s = start_s;
+        self
+    }
+
+    /// The sensing mode — a mode value or a [`ModeRef`]. Required.
+    pub fn mode(mut self, mode: impl Into<ModeRef>) -> Self {
+        self.mode = Some(mode.into());
+        self
+    }
+
+    /// Assembles the spec.
+    ///
+    /// # Panics
+    /// Panics if the scene, duration, or mode was not set.
+    pub fn build(self) -> SessionSpec {
+        let id = self.id;
+        SessionSpec {
+            id,
+            scene: self
+                .scene
+                .unwrap_or_else(|| panic!("session {id}: no scene set")),
+            config: self.config,
+            seed: self.seed,
+            duration_s: self
+                .duration_s
+                .unwrap_or_else(|| panic!("session {id}: no duration set")),
+            start_s: self.start_s,
+            mode: self
+                .mode
+                .unwrap_or_else(|| panic!("session {id}: no mode set")),
+        }
+    }
 }
 
 /// Everything one session produced, plus serving telemetry.
@@ -152,7 +186,8 @@ pub struct SessionOutput {
     pub id: SessionId,
     /// The shard that served the session.
     pub shard: usize,
-    pub mode: SessionMode,
+    /// The tag of the mode the session ran ([`ModeRef::tag`]).
+    pub mode: &'static str,
     pub start_s: f64,
     /// Channel samples requested (`duration_s` at the radio's rate).
     pub n_requested: usize,
@@ -165,11 +200,13 @@ pub struct SessionOutput {
     pub closed_early: bool,
     /// Nulling achieved at session open, dB.
     pub nulling_db: f64,
-    pub result: SessionResult,
+    /// The mode's payload — downcast with [`ModeOutput::expect`] to the
+    /// type the mode documents.
+    pub result: ModeOutput,
     /// The session's tracker events (session-relative times, emission
-    /// order) — duplicated out of the report so the engine can merge
-    /// streams without digging into mode-specific payloads. Empty for
-    /// non-tracking modes.
+    /// order), as returned by the mode's `finalize` — the one event
+    /// path every mode shares; modes without an event stream return
+    /// none. The engine merges these into its unified stream.
     pub events: Vec<TrackEvent>,
     /// Calibration wall-clock at open, seconds.
     pub calibrate_s: f64,
@@ -177,46 +214,14 @@ pub struct SessionOutput {
     pub stream_s: f64,
 }
 
-/// Per-mode streaming state. Variants hold only per-session data; the
-/// per-window engines are borrowed from the shard's [`EngineCache`] at
-/// every batch.
-enum Drive {
-    Track {
-        stage: SharedStreamingMusic,
-        rows: Vec<Vec<f64>>,
-        times: Vec<f64>,
-    },
-    TrackTargets {
-        stage: SharedStreamingMusic,
-        /// Boxed: the tracker (live tracks, histories) dwarfs the other
-        /// variants.
-        tracker: Box<MultiTargetTracker>,
-    },
-    Count {
-        stage: SharedStreamingMusic,
-        sink: StreamingVariance,
-    },
-    Gestures {
-        stage: SharedStreamingBeamform,
-        rows: Vec<Vec<f64>>,
-        times: Vec<f64>,
-    },
-    Image {
-        stage: SharedStreamingImage,
-        /// Boxed for symmetry with the angle tracker: live position
-        /// tracks carry whole histories.
-        tracker: Box<PositionTracker>,
-        fixes: Vec<Vec<ImageFix>>,
-    },
-}
-
-/// A session being served by a shard.
+/// A session being served by a shard: the device plus the mode's
+/// type-erased streaming state.
 pub(crate) struct ActiveSession {
     pub(crate) id: SessionId,
-    mode: SessionMode,
+    mode: ModeRef,
     start_s: f64,
     dev: WiViDevice,
-    drive: Drive,
+    state: Box<dyn ErasedState>,
     n_requested: usize,
     remaining: usize,
     nulling_db: f64,
@@ -228,10 +233,9 @@ pub(crate) struct ActiveSession {
 
 impl ActiveSession {
     /// Opens the session: builds the device, calibrates (timing it), and
-    /// sets up the mode's streaming state. The *effective* configuration
-    /// (the device derives the MUSIC noise floor from the radio) drives
-    /// stage and tracker setup, exactly as the standalone entry points
-    /// do.
+    /// opens the mode's streaming state against the *effective*
+    /// configuration (the device derives the MUSIC noise floor from the
+    /// radio), exactly as the standalone entry points do.
     pub(crate) fn open(spec: SessionSpec) -> Self {
         let SessionSpec {
             id,
@@ -247,50 +251,14 @@ impl ActiveSession {
         let nulling_db = dev.calibrate().nulling_db();
         let calibrate_s = t0.elapsed().as_secs_f64();
         let eff = *dev.config();
-        let drive = match mode {
-            SessionMode::Track => Drive::Track {
-                stage: SharedStreamingMusic::new(&eff.music),
-                rows: Vec::new(),
-                times: Vec::new(),
-            },
-            SessionMode::TrackTargets => Drive::TrackTargets {
-                stage: SharedStreamingMusic::new(&eff.music),
-                tracker: Box::new(MultiTargetTracker::new(TrackerConfig::for_music(
-                    &eff.music,
-                ))),
-            },
-            SessionMode::Count => Drive::Count {
-                stage: SharedStreamingMusic::new(&eff.music),
-                sink: StreamingVariance::new(),
-            },
-            SessionMode::Gestures => Drive::Gestures {
-                stage: SharedStreamingBeamform::new(&eff.music.isar),
-                rows: Vec::new(),
-                times: Vec::new(),
-            },
-            SessionMode::Image => {
-                // The derived configuration plus the session's own
-                // nulling weight — exactly what the standalone
-                // `image_streaming` entry point uses (including its
-                // geometry check against the session's scene).
-                let icfg = ImageConfig::for_wivi(&eff);
-                assert_device_geometry(&dev, &icfg);
-                Drive::Image {
-                    stage: SharedStreamingImage::new(&icfg, nulling_tx_weight(&dev)),
-                    tracker: Box::new(PositionTracker::new(PositionTrackerConfig::for_image(
-                        &icfg,
-                    ))),
-                    fixes: Vec::new(),
-                }
-            }
-        };
+        let state = mode.open_state(&dev, &eff);
         let n_requested = dev.trace_len(duration_s);
         Self {
             id,
             mode,
             start_s,
             dev,
-            drive,
+            state,
             n_requested,
             remaining: n_requested,
             nulling_db,
@@ -321,46 +289,7 @@ impl ActiveSession {
         }
         self.dev.observe_batch_into(n, scratch);
         self.remaining -= n;
-        let music = self.dev.config().music;
-        match &mut self.drive {
-            Drive::Track { stage, rows, times } => {
-                let engine = engines.music(&music);
-                stage.push_with(engine, scratch, |start, _thetas, row| {
-                    rows.push(row.to_vec());
-                    times.push(music.isar.window_center_s(start));
-                });
-            }
-            Drive::TrackTargets { stage, tracker } => {
-                let engine = engines.music(&music);
-                stage.push_with(engine, scratch, |_start, thetas, row| {
-                    tracker.push_column(thetas, row);
-                });
-            }
-            Drive::Count { stage, sink } => {
-                let engine = engines.music(&music);
-                stage.push_with(engine, scratch, |_start, thetas, row| {
-                    sink.push_column(thetas, row);
-                });
-            }
-            Drive::Gestures { stage, rows, times } => {
-                let engine = engines.beam(&music.isar);
-                stage.push_with(engine, scratch, |start, _thetas, row| {
-                    rows.push(row.to_vec());
-                    times.push(music.isar.window_center_s(start));
-                });
-            }
-            Drive::Image {
-                stage,
-                tracker,
-                fixes,
-            } => {
-                let engine = engines.image(stage.cfg());
-                stage.push_with(engine, scratch, |_start, frame| {
-                    tracker.push_fixes(&frame);
-                    fixes.push(frame);
-                });
-            }
-        }
+        self.state.step(engines, scratch);
     }
 
     /// Drains the session into its output (the close step of the
@@ -368,47 +297,12 @@ impl ActiveSession {
     pub(crate) fn finalize(self, shard: usize) -> SessionOutput {
         let n_samples = self.n_requested - self.remaining;
         let closed_early = self.remaining > 0;
-        let gesture_cfg = self.dev.config().gesture;
-        let (n_columns, result, events) = match self.drive {
-            Drive::Track { stage, rows, times } => {
-                let n = stage.n_columns();
-                let spec = (!rows.is_empty())
-                    .then(|| AngleSpectrogram::new(stage.thetas_deg().to_vec(), times, rows));
-                (n, SessionResult::Track(spec), Vec::new())
-            }
-            Drive::TrackTargets { stage, tracker } => {
-                let n = stage.n_columns();
-                let report = tracker.finish();
-                let events = report.events.clone();
-                (n, SessionResult::TrackTargets(report), events)
-            }
-            Drive::Count { stage, sink } => {
-                let n = stage.n_columns();
-                let mean = (sink.n_columns() > 0).then(|| sink.mean());
-                (n, SessionResult::Count(mean), Vec::new())
-            }
-            Drive::Gestures { stage, rows, times } => {
-                let n = stage.n_columns();
-                let decode = (!rows.is_empty()).then(|| {
-                    let spec = AngleSpectrogram::new(stage.thetas_deg().to_vec(), times, rows);
-                    decode(&spec, &gesture_cfg)
-                });
-                (n, SessionResult::Gestures(decode), Vec::new())
-            }
-            Drive::Image {
-                stage,
-                tracker,
-                fixes,
-            } => {
-                let n = stage.n_frames();
-                let report = ImagingReport::assemble(stage.cfg().grid, fixes, tracker.finish());
-                (n, SessionResult::Image(report), Vec::new())
-            }
-        };
+        let n_columns = self.state.columns();
+        let (result, events) = self.state.finalize();
         SessionOutput {
             id: self.id,
             shard,
-            mode: self.mode,
+            mode: self.mode.tag(),
             start_s: self.start_s,
             n_requested: self.n_requested,
             n_samples,

@@ -12,78 +12,28 @@
 //!
 //! The PR-1 zero-allocation design extends here from per-device to
 //! per-shard: all sessions on a shard that share a configuration share
-//! one [`MusicEngine`] / [`BeamformEngine`] — one steering table, one
-//! correlation matrix, one eigendecomposition workspace — borrowed per
-//! batch through the [`wivi_core::SharedStreamingMusic`] stages. The
-//! engines are keyed by configuration in a crate-private `EngineCache`,
-//! so a shard serving N same-config sessions holds one engine, not N.
+//! one resident engine — one steering table, one correlation matrix,
+//! one eigendecomposition workspace — borrowed per batch through the
+//! `Shared*` streaming stages. The engines live in the shard's keyed
+//! [`EngineCache`], a registry open to any
+//! engine type (see [`wivi_core::ShardEngine`]): a shard serving N
+//! same-config sessions holds one engine, not N, and a downstream
+//! sensing mode's engines are hosted exactly like the built-ins'.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
-use wivi_core::{BeamformEngine, IsarConfig, MusicConfig, MusicEngine};
-use wivi_image::{ImageConfig, ImagingEngine};
+use wivi_core::EngineCache;
 use wivi_num::Complex64;
 
 use crate::session::{ActiveSession, SessionId, SessionOutput, SessionSpec};
 
-/// Configuration-keyed engine pool, one per shard. Linear scan: shards
-/// see a handful of distinct configurations at most.
-pub(crate) struct EngineCache {
-    music: Vec<(MusicConfig, MusicEngine)>,
-    beam: Vec<(IsarConfig, BeamformEngine)>,
-    image: Vec<(ImageConfig, ImagingEngine)>,
-}
-
-impl EngineCache {
-    pub(crate) fn new() -> Self {
-        Self {
-            music: Vec::new(),
-            beam: Vec::new(),
-            image: Vec::new(),
-        }
-    }
-
-    /// The shard's MUSIC engine for `cfg`, building it on first use.
-    pub(crate) fn music(&mut self, cfg: &MusicConfig) -> &mut MusicEngine {
-        if let Some(i) = self.music.iter().position(|(c, _)| c == cfg) {
-            return &mut self.music[i].1;
-        }
-        self.music.push((*cfg, MusicEngine::new(*cfg)));
-        &mut self.music.last_mut().unwrap().1
-    }
-
-    /// The shard's beamform engine for `cfg`, building it on first use.
-    pub(crate) fn beam(&mut self, cfg: &IsarConfig) -> &mut BeamformEngine {
-        if let Some(i) = self.beam.iter().position(|(c, _)| c == cfg) {
-            return &mut self.beam[i].1;
-        }
-        self.beam.push((*cfg, BeamformEngine::new(*cfg)));
-        &mut self.beam.last_mut().unwrap().1
-    }
-
-    /// The shard's imaging engine for `cfg`, building it on first use.
-    /// The per-session nulling weight is a runtime parameter of every
-    /// push, so sessions whose nulling converged differently still
-    /// share one steering table.
-    pub(crate) fn image(&mut self, cfg: &ImageConfig) -> &mut ImagingEngine {
-        if let Some(i) = self.image.iter().position(|(c, _)| c == cfg) {
-            return &mut self.image[i].1;
-        }
-        self.image.push((*cfg, ImagingEngine::new(*cfg)));
-        &mut self.image.last_mut().unwrap().1
-    }
-
-    /// Number of distinct engines currently resident.
-    pub(crate) fn len(&self) -> usize {
-        self.music.len() + self.beam.len() + self.image.len()
-    }
-}
-
 /// A command routed to a shard.
 pub(crate) enum Command {
-    /// Admit a session (boxed: specs own whole scenes).
+    /// Admit a session (boxed: a spec carries a full device
+    /// configuration plus scene and mode handles, and moves through
+    /// queues and `try_open` round trips).
     Open(Box<SessionSpec>),
     /// Close a session early: it drains at its next batch boundary.
     Close(SessionId),

@@ -3,10 +3,12 @@
 //! backpressure — each asserting that no events (or sessions) are lost
 //! or duplicated.
 
-use wivi_core::{WiViConfig, WiViDevice};
+use wivi_core::gesture::GestureDecode;
+use wivi_core::{AngleSpectrogram, WiViConfig, WiViDevice};
+use wivi_image::ImagingReport;
 use wivi_rf::{Material, Mover, Point, Scene, WaypointWalker};
-use wivi_serve::{ServeConfig, ServeEngine, SessionMode, SessionResult, SessionSpec};
-use wivi_track::TrackTargets;
+use wivi_serve::{modes, ModeRef, ServeConfig, ServeEngine, SessionSpec};
+use wivi_track::{TrackTargets, TrackingReport};
 
 fn crossing_scene() -> Scene {
     Scene::new(Material::HollowWall6In)
@@ -21,7 +23,7 @@ fn crossing_scene() -> Scene {
         )))
 }
 
-fn spec(id: u64, duration_s: f64, mode: SessionMode) -> SessionSpec {
+fn spec(id: u64, duration_s: f64, mode: impl Into<ModeRef>) -> SessionSpec {
     SessionSpec::new(
         id,
         crossing_scene(),
@@ -35,11 +37,11 @@ fn spec(id: u64, duration_s: f64, mode: SessionMode) -> SessionSpec {
 #[test]
 fn zero_duration_sessions_drain_cleanly() {
     let mut engine = ServeEngine::start(ServeConfig::with_shards(2));
-    engine.open(spec(1, 0.0, SessionMode::Track));
-    engine.open(spec(2, 0.0, SessionMode::TrackTargets));
-    engine.open(spec(3, 0.0, SessionMode::Count));
-    engine.open(spec(4, 0.0, SessionMode::Gestures));
-    engine.open(spec(5, 0.0, SessionMode::Image));
+    engine.open(spec(1, 0.0, modes::Track));
+    engine.open(spec(2, 0.0, modes::TrackTargets));
+    engine.open(spec(3, 0.0, modes::Count));
+    engine.open(spec(4, 0.0, modes::Gestures));
+    engine.open(spec(5, 0.0, modes::Image));
     let report = engine.finish();
     assert_eq!(report.outputs.len(), 5);
     assert!(report.events.is_empty());
@@ -49,18 +51,21 @@ fn zero_duration_sessions_drain_cleanly() {
         assert_eq!(out.n_columns, 0);
         assert!(!out.closed_early, "a zero-duration session is complete");
         assert!(out.events.is_empty());
-        match &out.result {
-            SessionResult::Track(s) => assert!(s.is_none()),
-            SessionResult::TrackTargets(r) => {
+        match out.mode {
+            "track" => assert!(out.result.expect::<Option<AngleSpectrogram>>().is_none()),
+            "track_targets" => {
+                let r = out.result.expect::<TrackingReport>();
                 assert_eq!(r.n_windows(), 0);
                 assert!(r.tracks.is_empty() && r.events.is_empty());
             }
-            SessionResult::Count(v) => assert!(v.is_none()),
-            SessionResult::Gestures(d) => assert!(d.is_none()),
-            SessionResult::Image(r) => {
+            "count" => assert!(out.result.expect::<Option<f64>>().is_none()),
+            "gestures" => assert!(out.result.expect::<Option<GestureDecode>>().is_none()),
+            "image" => {
+                let r = out.result.expect::<ImagingReport>();
                 assert_eq!(r.n_windows(), 0);
                 assert!(r.fixes.is_empty() && r.tracks.is_empty());
             }
+            other => panic!("unexpected mode '{other}'"),
         }
     }
 }
@@ -70,7 +75,7 @@ fn more_sessions_than_shards_all_complete_exactly_once() {
     let n = 6usize;
     let mut engine = ServeEngine::start(ServeConfig::with_shards(2));
     for id in 0..n as u64 {
-        engine.open(spec(id, 1.5, SessionMode::TrackTargets));
+        engine.open(spec(id, 1.5, modes::TrackTargets));
     }
     let report = engine.finish();
     assert_eq!(report.outputs.len(), n);
@@ -91,10 +96,8 @@ fn more_sessions_than_shards_all_complete_exactly_once() {
     dev.calibrate();
     let reference = dev.track_targets_streaming(1.5, engine_batch());
     for out in &report.outputs {
-        match &out.result {
-            SessionResult::TrackTargets(r) => assert_eq!(r, &reference, "session {}", out.id),
-            _ => unreachable!(),
-        }
+        let r = out.result.expect::<TrackingReport>();
+        assert_eq!(r, &reference, "session {}", out.id);
         assert_eq!(out.events, reference.events);
     }
     for s in &report.shards {
@@ -116,7 +119,7 @@ fn closing_mid_stream_yields_an_exact_prefix_with_no_event_loss() {
     // duplicated at the cut.
     let duration = 60.0; // ~18'750 samples ≈ seconds of compute: close lands mid-stream
     let mut engine = ServeEngine::start(ServeConfig::with_shards(1));
-    engine.open(spec(9, duration, SessionMode::TrackTargets));
+    engine.open(spec(9, duration, modes::TrackTargets));
     std::thread::sleep(std::time::Duration::from_millis(300));
     engine.close(9);
     let report = engine.finish();
@@ -141,17 +144,13 @@ fn closing_mid_stream_yields_an_exact_prefix_with_no_event_loss() {
     assert_eq!(dev.trace_len(truncated_duration), out.n_samples);
     let reference = dev.track_targets_streaming(truncated_duration, engine_batch());
 
-    match &out.result {
-        SessionResult::TrackTargets(r) => {
-            assert_eq!(r.n_windows(), reference.n_windows());
-            assert_eq!(
-                r.events, reference.events,
-                "events lost or duplicated at close"
-            );
-            assert_eq!(r, &reference, "closed session is not an exact prefix");
-        }
-        _ => unreachable!(),
-    }
+    let r = out.result.expect::<TrackingReport>();
+    assert_eq!(r.n_windows(), reference.n_windows());
+    assert_eq!(
+        r.events, reference.events,
+        "events lost or duplicated at close"
+    );
+    assert_eq!(r, &reference, "closed session is not an exact prefix");
     // The merged stream carries exactly the session's events.
     assert_eq!(report.events.len(), out.events.len());
 }
@@ -166,11 +165,11 @@ fn full_queue_backpressures_and_loses_nothing() {
         batch_len: 16,
         queue_capacity: 1,
     });
-    engine.open(spec(0, 0.5, SessionMode::Count));
-    engine.open(spec(1, 0.5, SessionMode::Count));
+    engine.open(spec(0, 0.5, modes::Count));
+    engine.open(spec(1, 0.5, modes::Count));
 
     let mut rejected = 0usize;
-    let mut pending = spec(2, 0.5, SessionMode::Count);
+    let mut pending = spec(2, 0.5, modes::Count);
     loop {
         match engine.try_open(pending) {
             Ok(()) => break,
@@ -202,9 +201,9 @@ fn full_queue_backpressures_and_loses_nothing() {
 #[test]
 fn duplicate_session_ids_are_rejected() {
     let mut engine = ServeEngine::start(ServeConfig::with_shards(1));
-    engine.open(spec(5, 0.5, SessionMode::Count));
+    engine.open(spec(5, 0.5, modes::Count));
     let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        engine.open(spec(5, 0.5, SessionMode::Count));
+        engine.open(spec(5, 0.5, modes::Count));
     }));
     assert!(r.is_err(), "duplicate id must panic");
     let report = engine.finish();
@@ -214,7 +213,7 @@ fn duplicate_session_ids_are_rejected() {
 #[test]
 fn closing_unknown_or_finished_sessions_is_harmless() {
     let mut engine = ServeEngine::start(ServeConfig::with_shards(2));
-    engine.open(spec(1, 0.5, SessionMode::Count));
+    engine.open(spec(1, 0.5, modes::Count));
     engine.close(999); // never existed
     let report = engine.finish();
     assert_eq!(report.outputs.len(), 1);
@@ -225,7 +224,7 @@ fn closing_unknown_or_finished_sessions_is_harmless() {
 fn shard_stats_are_consistent() {
     let mut engine = ServeEngine::start(ServeConfig::with_shards(3));
     for id in 0..5u64 {
-        engine.open(spec(id, 1.0, SessionMode::Count));
+        engine.open(spec(id, 1.0, modes::Count));
     }
     let report = engine.finish();
     assert_eq!(report.shards.len(), 3);

@@ -1,13 +1,25 @@
-//! Exhaustive `SessionMode` dispatch coverage: every variant has a
-//! round-tripping label and actually serves end-to-end, with the result
-//! payload matching the mode. The `match` expressions here are
-//! deliberately written *without* wildcard arms, so adding a variant to
-//! [`SessionMode`] fails compilation in this test until its dispatch is
-//! spelled out — the enum cannot silently grow past the serving layer.
+//! Registry-exhaustiveness coverage: every mode registered in
+//! [`ModeRegistry::builtin`] round-trips its tag and actually serves
+//! end-to-end, with the result payload downcasting to the type the mode
+//! documents. The payload `match` below is deliberately written over an
+//! *explicit* tag list with a panicking fallback, and the expected-tag
+//! list is asserted against the registry — so registering a new
+//! built-in mode fails this test until its payload contract is spelled
+//! out: the registry cannot silently grow past its coverage.
+//!
+//! This file is also an out-of-crate extension-point proof: integration
+//! tests link `wivi_serve` as an external crate, and the toy mode at the
+//! bottom implements [`SensingMode`] — with its own shard-resident
+//! engine through the keyed [`EngineCache`] — without touching the
+//! serving crate.
 
-use wivi_core::WiViConfig;
+use wivi_core::gesture::GestureDecode;
+use wivi_core::{AngleSpectrogram, EngineCache, ShardEngine, WiViConfig, WiViDevice};
+use wivi_image::ImagingReport;
+use wivi_num::Complex64;
 use wivi_rf::{Material, Mover, Point, Scene, WaypointWalker};
-use wivi_serve::{ServeConfig, ServeEngine, SessionMode, SessionResult, SessionSpec};
+use wivi_serve::{ModeOutput, ModeRegistry, SensingMode, ServeConfig, ServeEngine, SessionSpec};
+use wivi_track::{TrackEvent, TrackingReport};
 
 fn scene() -> Scene {
     Scene::new(Material::HollowWall6In)
@@ -18,67 +30,183 @@ fn scene() -> Scene {
         )))
 }
 
+/// The payload contract this test knows how to check — must cover the
+/// registry exactly (asserted in the tests below).
+const KNOWN_TAGS: [&str; 5] = ["track", "track_targets", "count", "gestures", "image"];
+
 #[test]
-fn every_mode_label_round_trips() {
-    for mode in SessionMode::ALL {
-        // No-wildcard match: a new variant must add its tag here.
-        let tag = match mode {
-            SessionMode::Track => "track",
-            SessionMode::TrackTargets => "track_targets",
-            SessionMode::Count => "count",
-            SessionMode::Gestures => "gestures",
-            SessionMode::Image => "image",
-        };
-        assert_eq!(mode.tag(), tag);
-        assert_eq!(SessionMode::from_tag(tag), Some(mode));
+fn every_registered_mode_label_round_trips() {
+    let reg = ModeRegistry::builtin();
+    // The registry and this test's coverage must agree exactly: a new
+    // registered mode must be added to KNOWN_TAGS (and the payload
+    // match below) before this suite passes again.
+    assert_eq!(reg.tags(), KNOWN_TAGS.to_vec(), "registry coverage drift");
+    for mode in reg.modes() {
+        let by_tag = reg.get(mode.tag()).expect("tag resolves");
+        assert_eq!(by_tag.tag(), mode.tag());
+        assert_eq!(&by_tag, mode, "tag round-trip changed the mode");
     }
-    assert_eq!(SessionMode::from_tag("no_such_mode"), None);
-    // ALL is exhaustive and duplicate-free.
-    for (i, a) in SessionMode::ALL.iter().enumerate() {
-        for b in &SessionMode::ALL[i + 1..] {
+    assert!(reg.get("no_such_mode").is_none());
+    // Tags are unique (the registry enforces it at registration).
+    for (i, a) in reg.tags().iter().enumerate() {
+        for b in &reg.tags()[i + 1..] {
             assert_ne!(a, b);
         }
     }
 }
 
 #[test]
-fn every_mode_serves_and_returns_its_own_payload() {
+fn every_registered_mode_serves_and_returns_its_own_payload() {
+    let reg = ModeRegistry::builtin();
     let mut engine = ServeEngine::start(ServeConfig::with_shards(2));
-    for (i, mode) in SessionMode::ALL.into_iter().enumerate() {
-        engine.open(SessionSpec::new(
-            i as u64,
-            scene(),
-            WiViConfig::fast_test(),
-            100 + i as u64,
-            2.5,
-            mode,
-        ));
+    for (i, mode) in reg.modes().iter().enumerate() {
+        engine.open(
+            SessionSpec::builder(i as u64)
+                .scene(scene())
+                .config(WiViConfig::fast_test())
+                .seed(100 + i as u64)
+                .duration_s(2.5)
+                .mode(mode.clone())
+                .build(),
+        );
     }
     let report = engine.finish();
-    assert_eq!(report.outputs.len(), SessionMode::ALL.len());
-    for (i, mode) in SessionMode::ALL.into_iter().enumerate() {
+    assert_eq!(report.outputs.len(), reg.len());
+    for (i, mode) in reg.modes().iter().enumerate() {
         let out = report.output(i as u64).expect("session served");
-        assert_eq!(out.mode, mode);
+        assert_eq!(out.mode, mode.tag());
+        assert_eq!(out.result.tag(), mode.tag());
         assert_eq!(out.n_samples, out.n_requested);
-        assert!(out.n_columns > 0, "{mode:?} produced no windows");
-        // No-wildcard match: a new variant must declare its payload.
-        match (&out.result, mode) {
-            (SessionResult::Track(spec), SessionMode::Track) => {
-                assert!(spec.is_some());
+        assert!(out.n_columns > 0, "{} produced no windows", mode.tag());
+        // Explicit tag list with panicking fallback: a newly registered
+        // mode must declare its payload here.
+        match out.mode {
+            "track" => {
+                assert!(out.result.expect::<Option<AngleSpectrogram>>().is_some());
             }
-            (SessionResult::TrackTargets(r), SessionMode::TrackTargets) => {
-                assert!(!r.times_s.is_empty());
+            "track_targets" => {
+                assert!(!out.result.expect::<TrackingReport>().times_s.is_empty());
             }
-            (SessionResult::Count(v), SessionMode::Count) => {
-                assert!(v.is_some());
+            "count" => {
+                assert!(out.result.expect::<Option<f64>>().is_some());
             }
-            (SessionResult::Gestures(d), SessionMode::Gestures) => {
-                assert!(d.is_some());
+            "gestures" => {
+                assert!(out.result.expect::<Option<GestureDecode>>().is_some());
             }
-            (SessionResult::Image(r), SessionMode::Image) => {
-                assert!(r.n_windows() > 0);
+            "image" => {
+                assert!(out.result.expect::<ImagingReport>().n_windows() > 0);
             }
-            (result, mode) => panic!("mode {mode:?} produced mismatched payload {result:?}"),
+            other => panic!("registered mode '{other}' has no payload check"),
         }
     }
+}
+
+// ---- Out-of-crate toy mode ------------------------------------------
+
+/// A shard-resident engine defined outside wivi-serve: a precomputed
+/// Hann-like window the mode applies per batch. Shards build it once
+/// per configuration and share it across sessions.
+struct TaperEngine {
+    taper: Vec<f64>,
+}
+
+impl ShardEngine for TaperEngine {
+    type Config = usize; // taper length
+
+    fn build(cfg: &usize) -> Self {
+        let n = (*cfg).max(1);
+        TaperEngine {
+            taper: (0..n)
+                .map(|i| {
+                    let x = i as f64 / n as f64;
+                    0.5 - 0.5 * (std::f64::consts::TAU * x).cos()
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The toy sixth mode: tapered mean power of the nulled residual.
+struct TaperedPower;
+
+struct TaperedPowerState {
+    sum: f64,
+    n: usize,
+    batch_len: usize,
+}
+
+impl SensingMode for TaperedPower {
+    type State = TaperedPowerState;
+
+    fn tag(&self) -> &'static str {
+        "tapered_power"
+    }
+
+    fn open(&self, _dev: &WiViDevice, _eff: &WiViConfig) -> TaperedPowerState {
+        TaperedPowerState {
+            sum: 0.0,
+            n: 0,
+            batch_len: 16,
+        }
+    }
+
+    fn step(&self, st: &mut TaperedPowerState, engines: &mut EngineCache, h: &[Complex64]) {
+        let engine = engines.engine::<TaperEngine>(&st.batch_len);
+        for (i, z) in h.iter().enumerate() {
+            st.sum += z.norm_sqr() * engine.taper[i % engine.taper.len()];
+        }
+        st.n += h.len();
+    }
+
+    fn columns(&self, st: &TaperedPowerState) -> usize {
+        st.n
+    }
+
+    fn finalize(&self, st: TaperedPowerState) -> (ModeOutput, Vec<TrackEvent>) {
+        let mean = (st.n > 0).then(|| st.sum / st.n as f64);
+        (ModeOutput::new(self.tag(), mean), Vec::new())
+    }
+}
+
+#[test]
+fn out_of_crate_mode_registers_and_serves_next_to_builtins() {
+    let mut reg = ModeRegistry::builtin();
+    let toy = reg.register(TaperedPower);
+    assert_eq!(reg.len(), KNOWN_TAGS.len() + 1);
+    assert_eq!(reg.get("tapered_power").unwrap().tag(), "tapered_power");
+
+    // One toy session multiplexed with a built-in on the same engine.
+    let mut engine = ServeEngine::start(ServeConfig::with_shards(1));
+    engine.open(
+        SessionSpec::builder(1)
+            .scene(scene())
+            .config(WiViConfig::fast_test())
+            .seed(7)
+            .duration_s(0.5)
+            .mode(toy)
+            .build(),
+    );
+    engine.open(
+        SessionSpec::builder(2)
+            .scene(scene())
+            .config(WiViConfig::fast_test())
+            .seed(8)
+            .duration_s(0.5)
+            .mode(reg.get("count").unwrap())
+            .build(),
+    );
+    let report = engine.finish();
+    assert_eq!(report.outputs.len(), 2);
+
+    let toy_out = report.output(1).unwrap();
+    assert_eq!(toy_out.mode, "tapered_power");
+    let mean = toy_out.result.expect::<Option<f64>>();
+    assert!(mean.unwrap() > 0.0, "toy mode saw no residual power");
+    assert!(toy_out.events.is_empty(), "toy mode contributes no events");
+
+    let count_out = report.output(2).unwrap();
+    assert_eq!(count_out.mode, "count");
+    assert!(count_out.result.expect::<Option<f64>>().is_some());
+    // The shard hosted the toy engine next to the built-in MUSIC engine.
+    assert!(report.shards[0].engines >= 2);
 }

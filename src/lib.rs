@@ -30,7 +30,10 @@
 //!   concurrent sessions hash-routed to worker shards, streamed in
 //!   batches with backpressure, their tracker events merged into one
 //!   timestamp-ordered stream — bitwise identical to running each
-//!   session standalone.
+//!   session standalone. Sensing modes are pluggable
+//!   ([`SensingMode`](serve::SensingMode) + a keyed engine registry),
+//!   and fleet sessions share scenes copy-on-write through
+//!   [`SceneStore`](rf::SceneStore).
 //!
 //! ```no_run
 //! use wivi::prelude::*;
@@ -73,11 +76,12 @@ pub mod prelude {
     };
     pub use wivi_image::{ImageConfig, ImageThroughWall, ImagingReport};
     pub use wivi_rf::{
-        ConfinedRandomWalk, GestureScript, GestureStyle, Material, Mover, Point, Rect, Scene, Vec2,
-        WaypointWalker,
+        ConfinedRandomWalk, GestureScript, GestureStyle, Material, Mover, Point, Rect, Scene,
+        SceneHandle, SceneStore, Vec2, WaypointWalker,
     };
     pub use wivi_serve::{
-        ServeConfig, ServeEngine, ServeReport, SessionMode, SessionResult, SessionSpec,
+        modes, ModeOutput, ModeRef, ModeRegistry, SensingMode, ServeConfig, ServeEngine,
+        ServeReport, SessionSpec,
     };
     pub use wivi_track::{
         MultiTargetTracker, TrackEvent, TrackTargets, TrackerConfig, TrackingReport,

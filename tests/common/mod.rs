@@ -8,6 +8,7 @@ use wivi::core::AngleSpectrogram;
 use wivi::prelude::*;
 use wivi::rf::{GestureScript, GestureStyle, Point, Vec2};
 use wivi::serve::SessionId;
+use wivi::track::TrackingReport;
 use wivi_bench::engine::{MotionModel, ScenarioSpec};
 use wivi_bench::scenarios::Room;
 
@@ -63,9 +64,11 @@ pub fn gesture_duration() -> f64 {
     3.0 + script.duration() + 1.0
 }
 
-/// Session `i`'s mode: the set cycles through all five modes.
-pub fn mode_of(i: usize) -> SessionMode {
-    SessionMode::ALL[i % SessionMode::ALL.len()]
+/// Session `i`'s mode: the set cycles through every registered
+/// built-in mode.
+pub fn mode_of(i: usize) -> ModeRef {
+    let reg = ModeRegistry::builtin();
+    reg.modes()[i % reg.len()].clone()
 }
 
 /// Ids deliberately non-contiguous so hash routing is exercised.
@@ -78,15 +81,15 @@ pub fn seed_of(i: usize) -> u64 {
 }
 
 pub fn duration_of(i: usize) -> f64 {
-    match mode_of(i) {
-        SessionMode::Gestures => gesture_duration(),
+    match mode_of(i).tag() {
+        "gestures" => gesture_duration(),
         _ => DUR,
     }
 }
 
 fn scene_of(i: usize) -> Scene {
-    match mode_of(i) {
-        SessionMode::Gestures => gesture_scene(),
+    match mode_of(i).tag() {
+        "gestures" => gesture_scene(),
         _ => scenario(i).build_scene(),
     }
 }
@@ -95,36 +98,34 @@ fn scene_of(i: usize) -> Scene {
 /// the engine, so tests rebuild them per run — construction is
 /// deterministic).
 pub fn session(i: usize) -> SessionSpec {
-    SessionSpec {
-        id: id_of(i),
-        scene: scene_of(i),
-        config: WiViConfig::fast_test(),
-        seed: seed_of(i),
-        duration_s: duration_of(i),
-        start_s: (i % 3) as f64 * 0.75,
-        mode: mode_of(i),
-    }
+    SessionSpec::builder(id_of(i))
+        .scene(scene_of(i))
+        .config(WiViConfig::fast_test())
+        .seed(seed_of(i))
+        .duration_s(duration_of(i))
+        .start_s((i % 3) as f64 * 0.75)
+        .mode(mode_of(i))
+        .build()
 }
 
 /// Runs session `i` standalone through the device's own `*_streaming`
-/// entry point — the reference the serving engine must match bit for
-/// bit.
-pub fn run_standalone(i: usize) -> SessionResult {
+/// entry point, wrapping the payload exactly as the serving mode does —
+/// the reference the serving engine must match bit for bit.
+pub fn run_standalone(i: usize) -> ModeOutput {
     let mut dev = WiViDevice::new(scene_of(i), WiViConfig::fast_test(), seed_of(i));
     dev.calibrate();
     let duration = duration_of(i);
-    match mode_of(i) {
-        SessionMode::Track => SessionResult::Track(Some(dev.track_streaming(duration, BATCH))),
-        SessionMode::TrackTargets => {
-            SessionResult::TrackTargets(dev.track_targets_streaming(duration, BATCH))
-        }
-        SessionMode::Count => SessionResult::Count(Some(
-            dev.measure_spatial_variance_streaming(duration, BATCH),
-        )),
-        SessionMode::Gestures => {
-            SessionResult::Gestures(Some(dev.decode_gestures_streaming(duration, BATCH)))
-        }
-        SessionMode::Image => SessionResult::Image(dev.image_streaming(duration, BATCH)),
+    let tag = mode_of(i).tag();
+    match tag {
+        "track" => ModeOutput::new(tag, Some(dev.track_streaming(duration, BATCH))),
+        "track_targets" => ModeOutput::new(tag, dev.track_targets_streaming(duration, BATCH)),
+        "count" => ModeOutput::new(
+            tag,
+            Some(dev.measure_spatial_variance_streaming(duration, BATCH)),
+        ),
+        "gestures" => ModeOutput::new(tag, Some(dev.decode_gestures_streaming(duration, BATCH))),
+        "image" => ModeOutput::new(tag, dev.image_streaming(duration, BATCH)),
+        other => panic!("unknown built-in mode tag '{other}'"),
     }
 }
 
@@ -189,15 +190,24 @@ fn assert_imaging_eq(a: &ImagingReport, b: &ImagingReport, ctx: &str) {
     assert_eq!(a.tracks, b.tracks, "{ctx}: position tracks");
 }
 
-/// Exact comparison of two session results — every f64 by bit pattern.
-pub fn assert_result_eq(a: &SessionResult, b: &SessionResult, ctx: &str) {
-    match (a, b) {
-        (SessionResult::Track(x), SessionResult::Track(y)) => match (x, y) {
-            (Some(x), Some(y)) => assert_spectrogram_eq(x, y, ctx),
-            (None, None) => {}
-            _ => panic!("{ctx}: one Track result empty"),
-        },
-        (SessionResult::TrackTargets(x), SessionResult::TrackTargets(y)) => {
+/// Exact comparison of two mode outputs — every f64 by bit pattern.
+/// Downcasts by tag to the payload type each built-in mode documents.
+pub fn assert_result_eq(a: &ModeOutput, b: &ModeOutput, ctx: &str) {
+    assert_eq!(a.tag(), b.tag(), "{ctx}: mode mismatch");
+    match a.tag() {
+        "track" => {
+            let (x, y) = (
+                a.expect::<Option<AngleSpectrogram>>(),
+                b.expect::<Option<AngleSpectrogram>>(),
+            );
+            match (x, y) {
+                (Some(x), Some(y)) => assert_spectrogram_eq(x, y, ctx),
+                (None, None) => {}
+                _ => panic!("{ctx}: one Track result empty"),
+            }
+        }
+        "track_targets" => {
+            let (x, y) = (a.expect::<TrackingReport>(), b.expect::<TrackingReport>());
             assert_eq!(
                 x.confirmed_counts, y.confirmed_counts,
                 "{ctx}: per-window counts differ"
@@ -205,19 +215,30 @@ pub fn assert_result_eq(a: &SessionResult, b: &SessionResult, ctx: &str) {
             assert_eq!(x.events, y.events, "{ctx}: event streams differ");
             assert_eq!(x, y, "{ctx}: tracking reports differ");
         }
-        (SessionResult::Count(x), SessionResult::Count(y)) => {
+        "count" => {
+            let (x, y) = (a.expect::<Option<f64>>(), b.expect::<Option<f64>>());
             assert_eq!(
                 x.map(f64::to_bits),
                 y.map(f64::to_bits),
                 "{ctx}: variance differs"
             );
         }
-        (SessionResult::Gestures(x), SessionResult::Gestures(y)) => match (x, y) {
-            (Some(x), Some(y)) => assert_decode_eq(x, y, ctx),
-            (None, None) => {}
-            _ => panic!("{ctx}: one Gestures result empty"),
-        },
-        (SessionResult::Image(x), SessionResult::Image(y)) => assert_imaging_eq(x, y, ctx),
-        _ => panic!("{ctx}: mode mismatch"),
+        "gestures" => {
+            let (x, y) = (
+                a.expect::<Option<GestureDecode>>(),
+                b.expect::<Option<GestureDecode>>(),
+            );
+            match (x, y) {
+                (Some(x), Some(y)) => assert_decode_eq(x, y, ctx),
+                (None, None) => {}
+                _ => panic!("{ctx}: one Gestures result empty"),
+            }
+        }
+        "image" => assert_imaging_eq(
+            a.expect::<ImagingReport>(),
+            b.expect::<ImagingReport>(),
+            ctx,
+        ),
+        other => panic!("{ctx}: unknown mode tag '{other}'"),
     }
 }

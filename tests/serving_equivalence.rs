@@ -9,12 +9,14 @@
 mod common;
 
 use common::*;
+use wivi::core::gesture::GestureDecode;
+use wivi::core::AngleSpectrogram;
 use wivi::prelude::*;
-use wivi::serve::SessionResult as SR;
+use wivi::track::TrackingReport;
 
 #[test]
 fn served_sessions_equal_standalone_across_shard_counts() {
-    let reference: Vec<SessionResult> = (0..N_SESSIONS).map(run_standalone).collect();
+    let reference: Vec<ModeOutput> = (0..N_SESSIONS).map(run_standalone).collect();
 
     // ≥ 2 shard counts, including more shards than sessions.
     for shards in [1usize, 3, 8] {
@@ -60,14 +62,20 @@ fn served_tracking_sessions_produce_nonempty_reports() {
     let mut saw_frames = false;
     for out in &report.outputs {
         assert!(out.n_columns > 0, "session {} made no columns", out.id);
-        match &out.result {
-            SR::TrackTargets(r) => saw_tracks |= !r.tracks.is_empty(),
-            SR::Count(v) => saw_variance |= v.is_some(),
-            SR::Track(s) => saw_columns |= s.is_some(),
-            SR::Gestures(d) => {
+        match out.result.tag() {
+            "track_targets" => {
+                saw_tracks |= !out.result.expect::<TrackingReport>().tracks.is_empty();
+            }
+            "count" => saw_variance |= out.result.expect::<Option<f64>>().is_some(),
+            "track" => {
+                saw_columns |= out.result.expect::<Option<AngleSpectrogram>>().is_some();
+            }
+            "gestures" => {
+                let d = out.result.expect::<Option<GestureDecode>>();
                 saw_bits |= d.as_ref().is_some_and(|d| !d.bits.is_empty());
             }
-            SR::Image(r) => saw_frames |= r.n_windows() > 0,
+            "image" => saw_frames |= out.result.expect::<ImagingReport>().n_windows() > 0,
+            other => panic!("unexpected mode '{other}'"),
         }
     }
     assert!(saw_tracks, "no tracking session produced tracks");
