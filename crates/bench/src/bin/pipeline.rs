@@ -22,6 +22,7 @@ use wivi_bench::engine::{write_pipeline_json, write_tracking_json, ScenarioGrid,
 use wivi_bench::imaging::{
     imaging_trials, run_imaging_trial, write_imaging_json, IMAGING_SHOWCASE_DURATION_S,
 };
+use wivi_bench::kernels::{run_kernels_bench, write_kernels_json};
 use wivi_bench::serving::{run_serving_soak, write_serving_json, REALTIME_RATE};
 use wivi_bench::{quick_mode, report};
 use wivi_core::device::DEFAULT_BATCH_LEN;
@@ -34,6 +35,40 @@ fn main() {
         "Parallel multi-scenario engine over the streaming pipeline",
         "real-time target: ≥ 312.5 channel-samples/sec/trial (§7.1 rate)",
     );
+
+    // ---- The kernels stage: ns/op of each dispatched SIMD kernel at
+    // every level the CPU supports, so per-stage wins below are
+    // attributable.
+    let kmode = if quick_mode() { "quick" } else { "standard" };
+    let kreport = run_kernels_bench(quick_mode());
+    println!(
+        "\nkernels: auto level {} (avx2 {}, fma {}, avx512 {})",
+        kreport.auto_level, kreport.avx2, kreport.fma, kreport.avx512
+    );
+    let rows: Vec<Vec<String>> = kreport
+        .timings
+        .iter()
+        .map(|t| {
+            let mut row = vec![t.kernel.clone()];
+            row.extend(t.ns_per_op.iter().map(|(_, ns)| format!("{ns:.0}")));
+            row.push(format!("{} ({:.2}x)", t.best().0, t.speedup()));
+            row
+        })
+        .collect();
+    let mut headers = vec!["kernel"];
+    if let Some(first) = kreport.timings.first() {
+        headers.extend(first.ns_per_op.iter().map(|(l, _)| match l.as_str() {
+            "scalar" => "scalar ns",
+            "avx2" => "avx2 ns",
+            "avx512" => "avx512 ns",
+            _ => "ns",
+        }));
+    }
+    headers.push("best");
+    report::print_table(&headers, &rows);
+    let kpath = "BENCH_kernels.json";
+    write_kernels_json(kpath, &kreport, kmode).expect("failed to write BENCH_kernels.json");
+    println!("wrote {kpath} ({kmode} mode)");
 
     let mut grid = ScenarioGrid::standard();
     let mode = if quick_mode() {
@@ -185,12 +220,24 @@ fn main() {
     } else {
         (64, 4, 4.0, "standard")
     };
+    // Scale worker threads to the cores the host actually grants:
+    // WIVI_SERVE_WORKERS pins it, otherwise one worker per core per
+    // shard (1 on a single-core box — the shards already are threads).
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let workers = std::env::var("WIVI_SERVE_WORKERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| (cores / n_shards).max(1));
     println!(
-        "\nserving soak: {n_sessions} concurrent sessions (5 modes) on {n_shards} shards, {sduration}s each"
+        "\nserving soak: {n_sessions} concurrent sessions (5 modes) on {n_shards} shards × {workers} workers ({cores} cores), {sduration}s each"
     );
     let soak = run_serving_soak(
         n_sessions,
         n_shards,
+        workers,
         sduration,
         DEFAULT_BATCH_LEN,
         &WiViConfig::paper_default(),
@@ -203,6 +250,7 @@ fn main() {
         .map(|s| {
             vec![
                 format!("shard {}", s.shard),
+                format!("{}", s.workers),
                 format!("{}", s.sessions),
                 format!("{}", s.batches),
                 format!("{:.0}%", 100.0 * s.utilization()),
@@ -210,16 +258,27 @@ fn main() {
             ]
         })
         .collect();
-    report::print_table(&["shard", "sessions", "batches", "util", "engines"], &rows);
+    report::print_table(
+        &[
+            "shard",
+            "workers",
+            "sessions",
+            "batches",
+            "occupancy",
+            "engines",
+        ],
+        &rows,
+    );
     println!(
-        "\nserving: {} sessions in {:.2}s wall ⇒ {:.2} sessions/sec, {:.0} samples/sec aggregate",
+        "\nserving: {} sessions on {} threads in {:.2}s wall ⇒ {:.2} sessions/sec, {:.0} samples/sec aggregate",
         r.outputs.len(),
+        r.threads_used(),
         r.wall_s,
         r.sessions_per_sec(),
         r.samples_per_sec()
     );
     println!(
-        "  vs single session: {:.0} samples/sec standalone ⇒ {:.2}x compute speedup",
+        "  vs 1 thread: {:.0} samples/sec standalone ⇒ {:.2}x compute speedup",
         soak.baseline.samples_per_sec(),
         soak.speedup_vs_single_session()
     );

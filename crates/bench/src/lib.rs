@@ -15,6 +15,9 @@
 //!   are embarrassingly parallel across trials).
 //! * [`serving`] — the multi-session serving soak over
 //!   [`wivi_serve::ServeEngine`] and `BENCH_serving.json` emission.
+//! * [`kernels`] — ns/op microbenchmarks of the dispatched SIMD complex
+//!   kernels (scalar vs AVX2 vs AVX-512) and `BENCH_kernels.json`
+//!   emission.
 //! * [`imaging`] — the 2-D localization workload over `wivi-image`:
 //!   showcase scenes with known positions, detection/localization
 //!   scoring, and `BENCH_imaging.json` emission.
@@ -23,6 +26,7 @@
 
 pub mod engine;
 pub mod imaging;
+pub mod kernels;
 pub mod report;
 pub mod runner;
 pub mod scenarios;

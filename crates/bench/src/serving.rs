@@ -265,15 +265,24 @@ pub struct ServingSoak {
     pub open_cost: OpenCostProbe,
     pub n_sessions: usize,
     pub n_shards: usize,
+    /// Worker threads inside each shard; total serving threads are
+    /// `n_shards × workers_per_shard`.
+    pub workers_per_shard: usize,
     pub batch_len: usize,
     pub duration_s: f64,
 }
 
 impl ServingSoak {
-    /// Aggregate serving throughput over the compute baseline — the
-    /// parallelism speedup, bounded by the host's core count.
+    /// Aggregate serving throughput over the compute baseline — one
+    /// standalone session streaming on one thread — i.e. the speedup
+    /// versus 1 thread, bounded by the host's core count.
     pub fn speedup_vs_single_session(&self) -> f64 {
         self.report.samples_per_sec() / self.baseline.samples_per_sec().max(1e-12)
+    }
+
+    /// Worker threads that executed session batches.
+    pub fn threads_used(&self) -> usize {
+        self.report.threads_used()
     }
 
     /// Concurrent *real-time* sessions this run sustains: aggregate
@@ -284,10 +293,11 @@ impl ServingSoak {
 }
 
 /// Runs the soak: baseline first, then `n_sessions` concurrent sessions
-/// across `n_shards` shards.
+/// across `n_shards` shards of `workers_per_shard` threads each.
 pub fn run_serving_soak(
     n_sessions: usize,
     n_shards: usize,
+    workers_per_shard: usize,
     duration_s: f64,
     batch_len: usize,
     config: &WiViConfig,
@@ -297,6 +307,7 @@ pub fn run_serving_soak(
     let sessions = soak_sessions(n_sessions, duration_s, config);
     let mut engine = ServeEngine::start(ServeConfig {
         n_shards,
+        workers_per_shard,
         batch_len,
         queue_capacity: 32,
     });
@@ -310,6 +321,7 @@ pub fn run_serving_soak(
         open_cost,
         n_sessions,
         n_shards,
+        workers_per_shard,
         batch_len,
         duration_s,
     }
@@ -319,7 +331,7 @@ pub fn run_serving_soak(
 /// ("Serving" section) and DESIGN.md §9.
 pub fn write_serving_json(path: &str, soak: &ServingSoak, mode: &str) -> std::io::Result<()> {
     let r = &soak.report;
-    let threads = std::thread::available_parallelism()
+    let cores = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
     let batch_budget_ms = 1e3 * soak.batch_len as f64 / REALTIME_RATE;
@@ -331,8 +343,10 @@ pub fn write_serving_json(path: &str, soak: &ServingSoak, mode: &str) -> std::io
     writeln!(f, "  \"session_duration_s\": {:.3},", soak.duration_s)?;
     writeln!(f, "  \"sessions\": {},", soak.n_sessions)?;
     writeln!(f, "  \"shards\": {},", soak.n_shards)?;
+    writeln!(f, "  \"workers_per_shard\": {},", soak.workers_per_shard)?;
     writeln!(f, "  \"batch_len\": {},", soak.batch_len)?;
-    writeln!(f, "  \"threads_available\": {threads},")?;
+    writeln!(f, "  \"threads_used\": {},", soak.threads_used())?;
+    writeln!(f, "  \"cores_available\": {cores},")?;
     writeln!(f, "  \"wall_clock_s\": {:.6},", r.wall_s)?;
     writeln!(f, "  \"total_channel_samples\": {},", r.total_samples())?;
     writeln!(f, "  \"sessions_per_sec\": {:.3},", r.sessions_per_sec())?;
@@ -344,7 +358,7 @@ pub fn write_serving_json(path: &str, soak: &ServingSoak, mode: &str) -> std::io
     )?;
     writeln!(
         f,
-        "  \"speedup_vs_single_session\": {:.3},",
+        "  \"speedup_vs_1_thread\": {:.3},",
         soak.speedup_vs_single_session()
     )?;
     writeln!(f, "  \"realtime_rate_per_session\": {REALTIME_RATE},")?;
@@ -385,10 +399,11 @@ pub fn write_serving_json(path: &str, soak: &ServingSoak, mode: &str) -> std::io
         let comma = if i + 1 == r.shards.len() { "" } else { "," };
         writeln!(
             f,
-            "    {{\"shard\": {}, \"sessions\": {}, \"batches\": {}, \
-             \"busy_s\": {:.6}, \"alive_s\": {:.6}, \"utilization\": {:.4}, \
-             \"engines\": {}}}{comma}",
+            "    {{\"shard\": {}, \"workers\": {}, \"sessions\": {}, \
+             \"batches\": {}, \"busy_cpu_s\": {:.6}, \"alive_s\": {:.6}, \
+             \"core_occupancy\": {:.4}, \"engines\": {}}}{comma}",
             s.shard,
+            s.workers,
             s.sessions,
             s.batches,
             s.busy_s,
@@ -482,7 +497,7 @@ mod tests {
     #[test]
     fn small_soak_serves_everything_and_writes_json() {
         let cfg = WiViConfig::fast_test();
-        let soak = run_serving_soak(5, 2, 1.0, 16, &cfg);
+        let soak = run_serving_soak(5, 2, 2, 1.0, 16, &cfg);
         assert_eq!(soak.report.outputs.len(), 5);
         for o in &soak.report.outputs {
             assert_eq!(o.n_samples, o.n_requested);
@@ -496,7 +511,11 @@ mod tests {
         write_serving_json(path, &soak, "quick").unwrap();
         let body = std::fs::read_to_string(path).unwrap();
         assert!(body.contains("\"benchmark\": \"wivi_serving_engine\""));
-        assert!(body.contains("\"speedup_vs_single_session\""));
+        assert!(body.contains("\"speedup_vs_1_thread\""));
+        assert!(body.contains("\"threads_used\": 4"));
+        assert!(body.contains("\"workers_per_shard\": 2"));
+        assert!(body.contains("\"cores_available\""));
+        assert!(body.contains("\"core_occupancy\""));
         assert!(body.contains("\"realtime_sessions_sustained\""));
         assert!(body.contains("\"batch_latency_p99_ms\""));
         assert!(body.contains("\"shard_stats\""));

@@ -21,7 +21,7 @@
 //! `k_signal ≪ w′` inner products per angle.
 
 use wivi_num::eig::{hermitian_eig_in, EigWorkspace};
-use wivi_num::{CMatrix, Complex64};
+use wivi_num::{simd, CMatrix, Complex64};
 
 use crate::isar::IsarConfig;
 use crate::spectrogram::AngleSpectrogram;
@@ -141,12 +141,23 @@ pub fn smoothed_correlation_into(window: &[Complex64], subarray: usize, r: &mut 
 pub struct MusicEngine {
     cfg: MusicConfig,
     thetas: Vec<f64>,
-    /// Per-angle steering vectors of subarray length.
-    steering: Vec<Vec<Complex64>>,
+    /// The steering table transposed to antenna-major order: row `i`
+    /// holds element `i` of every angle's steering vector
+    /// (`sub × n_angles`). Angle-contiguous rows let the projection run
+    /// as one [`simd::caxpy`] per (eigenvector, antenna) pair instead of
+    /// an angle-at-a-time scalar dot; the per-angle accumulation order
+    /// (over `i`, then over signal index `j`) is unchanged, so the row
+    /// is bitwise identical to the historical nested loop.
+    steer_flat: Vec<Complex64>,
     /// `‖e‖²` for the unit-modulus steering vectors.
     e_norm_sqr: f64,
     corr: CMatrix,
     eig_ws: EigWorkspace,
+    /// Per-angle complex projection accumulator (one eigenvector at a
+    /// time), reused across windows.
+    proj: Vec<Complex64>,
+    /// Per-angle `Σ_j |u_j^H e|²` accumulator, reused across windows.
+    sig_proj: Vec<f64>,
 }
 
 impl MusicEngine {
@@ -161,13 +172,23 @@ impl MusicEngine {
             .iter()
             .map(|&th| cfg.isar.steering_vector(th, cfg.subarray))
             .collect();
+        // Transpose to antenna-major (see the field docs).
+        let n_angles = thetas.len();
+        let mut steer_flat = vec![Complex64::ZERO; cfg.subarray * n_angles];
+        for (ang, e) in steering.iter().enumerate() {
+            for (i, &ei) in e.iter().enumerate() {
+                steer_flat[i * n_angles + ang] = ei;
+            }
+        }
         Self {
             cfg,
             thetas,
-            steering,
+            steer_flat,
             e_norm_sqr: cfg.subarray as f64,
             corr: CMatrix::zeros(cfg.subarray, cfg.subarray),
             eig_ws: EigWorkspace::new(cfg.subarray),
+            proj: vec![Complex64::ZERO; n_angles],
+            sig_proj: vec![0.0; n_angles],
         }
     }
 
@@ -199,20 +220,28 @@ impl MusicEngine {
 
         let u = self.eig_ws.vectors();
         let e_norm_sqr = self.e_norm_sqr;
+        // ‖U_N^H e‖² = ‖e‖² − Σ_signal |u_j^H e|², with the inner
+        // product accumulated angle-parallel: one caxpy per
+        // (eigenvector, antenna) pair over the angle-contiguous steering
+        // row. Each angle still sums its terms in the historical
+        // `i`-then-`j` order, so the row is bitwise unchanged.
+        let n_angles = self.thetas.len();
+        let sub = self.cfg.subarray;
+        self.sig_proj.iter_mut().for_each(|s| *s = 0.0);
+        for j in 0..n_signal {
+            self.proj.iter_mut().for_each(|p| *p = Complex64::ZERO);
+            for i in 0..sub {
+                let x = &self.steer_flat[i * n_angles..(i + 1) * n_angles];
+                simd::caxpy(&mut self.proj, x, u[(i, j)].conj());
+            }
+            for (sp, pj) in self.sig_proj.iter_mut().zip(&self.proj) {
+                *sp += pj.norm_sqr();
+            }
+        }
         let row: Vec<f64> = self
-            .steering
+            .sig_proj
             .iter()
-            .map(|e| {
-                // ‖U_N^H e‖² = ‖e‖² − Σ_signal |u_j^H e|²
-                let sig_proj: f64 = (0..n_signal)
-                    .map(|j| {
-                        e.iter()
-                            .enumerate()
-                            .map(|(i, ej)| u[(i, j)].conj() * *ej)
-                            .sum::<Complex64>()
-                            .norm_sqr()
-                    })
-                    .sum();
+            .map(|&sig_proj| {
                 let noise_norm = (e_norm_sqr - sig_proj).max(e_norm_sqr * 1e-12);
                 // Normalized so that a steering vector with *no* signal
                 // alignment scores exactly 1: the pseudospectrum has an

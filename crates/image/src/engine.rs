@@ -51,7 +51,7 @@
 //! window contents, and the nulling weight.
 
 use wivi_core::ShardEngine;
-use wivi_num::{ca_cfar_2d, Complex64, Grid2d};
+use wivi_num::{ca_cfar_2d, simd, Complex64, Grid2d};
 use wivi_rf::Point;
 
 use crate::config::ImageConfig;
@@ -87,6 +87,23 @@ pub struct ImagingEngine {
     /// Mean-removed window scratch (the CLEAN loop subtracts detected
     /// targets from it in place).
     centered: Vec<Complex64>,
+    /// Worker threads for the per-cell focus sweep (cells are
+    /// independent, so the partition cannot change any cell's bits).
+    /// Defaults to `WIVI_FOCUS_THREADS` (1 when unset).
+    focus_threads: usize,
+}
+
+/// Parses `WIVI_FOCUS_THREADS` once per process (≥ 1; 1 when unset or
+/// malformed).
+fn default_focus_threads() -> usize {
+    static N: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("WIVI_FOCUS_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(1)
+    })
 }
 
 /// Serving shards host imaging engines through the generic engine
@@ -151,12 +168,25 @@ impl ImagingEngine {
             image: vec![0.0; n_cells],
             dirs: vec![true; n_cells],
             centered: vec![Complex64::ZERO; w],
+            focus_threads: default_focus_threads(),
         }
     }
 
     /// The engine's configuration.
     pub fn cfg(&self) -> &ImageConfig {
         &self.cfg
+    }
+
+    /// Sets the focus-sweep worker count (clamped to ≥ 1). The image is
+    /// bitwise identical for every thread count — the sweep only
+    /// partitions independent cells.
+    pub fn set_focus_threads(&mut self, n: usize) {
+        self.focus_threads = n.max(1);
+    }
+
+    /// The configured focus-sweep worker count.
+    pub fn focus_threads(&self) -> usize {
+        self.focus_threads
     }
 
     /// The flat-buffer shape of the focused image.
@@ -194,37 +224,59 @@ impl ImagingEngine {
     }
 
     /// Backprojects the resident (centred) window onto the grid,
-    /// filling the image and per-cell direction buffers.
+    /// filling the image and per-cell direction buffers. Cells are
+    /// independent, so the sweep splits into contiguous chunks across
+    /// [`Self::focus_threads`] workers; every thread count produces the
+    /// same bits.
     fn focus(&mut self, tx_weight: Complex64) {
         let w = self.cfg.window;
         let wt = tx_weight;
         let wt_conj = wt.conj();
         let wt_sq = wt.norm_sqr();
-        for c in 0..self.grid.len() {
-            let t1 = &self.steer[0][c * w..(c + 1) * w];
-            let t2 = &self.steer[1][c * w..(c + 1) * w];
-            // Four accumulators: two TX paths × two walking directions
-            // (the reversed aperture is the same table backwards).
-            let mut a1f = Complex64::ZERO;
-            let mut a2f = Complex64::ZERO;
-            let mut a1r = Complex64::ZERO;
-            let mut a2r = Complex64::ZERO;
-            for i in 0..w {
-                let h = self.centered[i];
-                let hr = self.centered[w - 1 - i];
-                a1f += h * t1[i];
-                a2f += h * t2[i];
-                a1r += hr * t1[i];
-                a2r += hr * t2[i];
+        let n_cells = self.grid.len();
+        let steer0 = &self.steer[0];
+        let steer1 = &self.steer[1];
+        let centered = &self.centered;
+        let cross = &self.cross;
+        // One cell: the dispatched four-accumulator correlation (two TX
+        // paths × two walking directions — the reversed aperture is the
+        // same table backwards), then the direction pick.
+        let focus_range = |c0: usize, image: &mut [f64], dirs: &mut [bool]| {
+            for (off, (img, dir)) in image.iter_mut().zip(dirs.iter_mut()).enumerate() {
+                let c = c0 + off;
+                let t1 = &steer0[c * w..(c + 1) * w];
+                let t2 = &steer1[c * w..(c + 1) * w];
+                let [a1f, a2f, a1r, a2r] = simd::focus_accumulate(centered, t1, t2);
+                let fwd = (a1f + wt_conj * a2f).norm_sqr();
+                let rev = (a1r + wt_conj * a2r).norm_sqr();
+                // ‖q‖² = w·(1 + |wt|²) + 2·Re(wt·Σ s²conj(s¹)); identical
+                // for both traversal directions (the sum just reorders).
+                let qn = (w as f64 * (1.0 + wt_sq) + 2.0 * (wt * cross[c]).re).max(1e-12);
+                *img = fwd.max(rev) / qn;
+                *dir = fwd >= rev;
             }
-            let fwd = (a1f + wt_conj * a2f).norm_sqr();
-            let rev = (a1r + wt_conj * a2r).norm_sqr();
-            // ‖q‖² = w·(1 + |wt|²) + 2·Re(wt·Σ s²conj(s¹)); identical
-            // for both traversal directions (the sum just reorders).
-            let qn = (w as f64 * (1.0 + wt_sq) + 2.0 * (wt * self.cross[c]).re).max(1e-12);
-            self.image[c] = fwd.max(rev) / qn;
-            self.dirs[c] = fwd >= rev;
+        };
+        let threads = self.focus_threads.min(n_cells.max(1));
+        if threads <= 1 {
+            focus_range(0, &mut self.image, &mut self.dirs);
+            return;
         }
+        let chunk = n_cells.div_ceil(threads);
+        std::thread::scope(|scope| {
+            let mut img_rest: &mut [f64] = &mut self.image;
+            let mut dir_rest: &mut [bool] = &mut self.dirs;
+            let mut c0 = 0;
+            while !img_rest.is_empty() {
+                let take = chunk.min(img_rest.len());
+                let (img_chunk, ir) = img_rest.split_at_mut(take);
+                let (dir_chunk, dr) = dir_rest.split_at_mut(take);
+                img_rest = ir;
+                dir_rest = dr;
+                let fr = &focus_range;
+                scope.spawn(move || fr(c0, img_chunk, dir_chunk));
+                c0 += take;
+            }
+        });
     }
 
     /// The model vector element `q_j` for cell `c` traversed in
@@ -682,6 +734,35 @@ mod tests {
         let b1 = fresh.process_window(&t1, wt).to_vec();
         for (x, y) in a1.iter().zip(&b1) {
             assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn focus_is_thread_count_invariant_bitwise() {
+        let cfg = test_cfg();
+        let wt = Complex64::new(0.4, 0.9);
+        let half_t = (cfg.window as f64 - 1.0) / 2.0 * cfg.sample_period_s;
+        let trace = ImagingEngine::synthetic_subject_trace(
+            &cfg,
+            cfg.window,
+            Point::new(-2.0 - half_t, 1.2),
+            Vec2::new(1.0, 0.0),
+            1.0,
+            wt,
+        );
+        let mut reference = ImagingEngine::new(cfg);
+        reference.set_focus_threads(1);
+        let want = reference.process_window(&trace, wt).to_vec();
+        // More workers than cells is legal too (clamped internally).
+        for threads in [2usize, 3, 7, 10_000] {
+            let mut engine = ImagingEngine::new(cfg);
+            engine.set_focus_threads(threads);
+            assert_eq!(engine.focus_threads(), threads);
+            let got = engine.process_window(&trace, wt);
+            for (x, y) in want.iter().zip(got) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{threads} threads");
+            }
+            assert_eq!(reference.dirs, engine.dirs, "{threads} threads dirs");
         }
     }
 

@@ -19,7 +19,7 @@
 //! where `t = tan θ` solves `t² + 2τt − 1 = 0`, `τ = (A[q,q] − A[p,p])/(2r)`
 //! — the textbook real-Jacobi angle applied to the off-diagonal *magnitude*.
 
-use crate::{CMatrix, Complex64};
+use crate::{simd, CMatrix, Complex64};
 
 /// The result of [`hermitian_eig`]: `A = U·diag(λ)·U^H`.
 ///
@@ -168,10 +168,13 @@ pub fn hermitian_eig_in(a: &CMatrix, ws: &mut EigWorkspace) {
     let lambdas = &ws.lambdas;
     ws.order
         .sort_by(|&i, &j| lambdas[j].partial_cmp(&lambdas[i]).unwrap());
+    // ws.u holds U transposed (rows are eigenvectors) — see
+    // `jacobi_diagonalize`; eigenvector c is its row order[c].
     for c in 0..n {
         ws.values[c] = ws.lambdas[ws.order[c]];
-        for r in 0..n {
-            ws.vectors[(r, c)] = ws.u[(r, ws.order[c])];
+        let src = ws.u.row(ws.order[c]);
+        for (r, &z) in src.iter().enumerate() {
+            ws.vectors[(r, c)] = z;
         }
     }
 }
@@ -192,13 +195,49 @@ pub fn hermitian_eig(a: &CMatrix) -> HermitianEig {
     }
 }
 
+/// `true` if the strictly-off-diagonal part of `m` is Hermitian in
+/// *bits*: `m[(c,r)]` is exactly the sign-flipped-imaginary image of
+/// `m[(r,c)]`. Correlation matrices accumulated through
+/// [`CMatrix::add_outer`] have this property exactly (each step writes
+/// literal conjugate pairs); it is what licenses the mirrored fast path
+/// in [`jacobi_diagonalize`].
+fn bit_hermitian_off_diagonal(m: &CMatrix) -> bool {
+    let n = m.rows();
+    for r in 0..n {
+        for c in (r + 1)..n {
+            let a = m[(r, c)];
+            let b = m[(c, r)];
+            if a.re.to_bits() != b.re.to_bits() || a.im.to_bits() != (-b.im).to_bits() {
+                return false;
+            }
+        }
+    }
+    true
+}
+
 /// The cyclic-Jacobi sweep loop shared by the planned and unplanned entry
-/// points: diagonalizes `m` in place, accumulating rotations into `u`.
-fn jacobi_diagonalize(m: &mut CMatrix, u: &mut CMatrix, scale: f64) {
+/// points: diagonalizes `m` in place, accumulating rotations into `ut` —
+/// the **transpose** of the unitary (row `i` of `ut` is eigenvector `i`),
+/// so the rotation touches two contiguous rows instead of two strided
+/// columns. Per-element arithmetic is unchanged; only the layout is.
+///
+/// Every update funnels through the bitwise-pinned kernels in
+/// [`wivi_num::simd`](crate::simd), so results are identical on every
+/// dispatch level. When the input is Hermitian in bits (the correlation
+/// path always is), the column half of each rotation is not recomputed
+/// but *mirrored* from the freshly rotated rows: for `k ∉ {p,q}` the
+/// scalar column update `akp·c − (e⁻·akq)·s` is the exact conjugate of
+/// the row update `apk·c − (e⁺·aqk)·s` — conjugation distributes
+/// bitwise over IEEE multiply/add/subtract — so writing
+/// `conj(m[(p,k)])` reproduces the textbook loop's bits while keeping
+/// all arithmetic on contiguous rows. Inputs that are only
+/// approximately Hermitian take the direct strided-column path instead.
+fn jacobi_diagonalize(m: &mut CMatrix, ut: &mut CMatrix, scale: f64) {
     let n = m.rows();
 
     // Absolute threshold under which an off-diagonal entry counts as zero.
     let tol = 1e-14 * scale;
+    let mirror = bit_hermitian_off_diagonal(m);
 
     for _sweep in 0..MAX_SWEEPS {
         if m.off_diagonal_energy().sqrt() <= tol * n as f64 {
@@ -228,19 +267,34 @@ fn jacobi_diagonalize(m: &mut CMatrix, u: &mut CMatrix, scale: f64) {
                 let e_pos = Complex64::cis(phi); //  e^{+iφ}
                 let e_neg = e_pos.conj(); //          e^{-iφ}
 
-                // A ← A·V   (columns p and q).
-                for k in 0..n {
-                    let akp = m[(k, p)];
-                    let akq = m[(k, q)];
-                    m[(k, p)] = akp.scale(c) - (e_neg * akq).scale(s);
-                    m[(k, q)] = (e_pos * akp).scale(s) + akq.scale(c);
-                }
-                // A ← V^H·A  (rows p and q).
-                for k in 0..n {
-                    let apk = m[(p, k)];
-                    let aqk = m[(q, k)];
-                    m[(p, k)] = apk.scale(c) - (e_pos * aqk).scale(s);
-                    m[(q, k)] = (e_neg * apk).scale(s) + aqk.scale(c);
+                // A ← A·V   (columns p and q):
+                //   m[(k,p)] = akp·c − (e⁻·akq)·s
+                //   m[(k,q)] = (e⁺·akp)·s + akq·c
+                if mirror {
+                    // Only the 2×2 pivot block needs the column update
+                    // computed directly (the row update below reads it);
+                    // every other column entry is mirrored from the
+                    // freshly rotated rows.
+                    let app = m[(p, p)];
+                    let apq2 = m[(p, q)];
+                    let aqp = m[(q, p)];
+                    let aqq = m[(q, q)];
+                    m[(p, p)] = app.scale(c) - (e_neg * apq2).scale(s);
+                    m[(p, q)] = (e_pos * app).scale(s) + apq2.scale(c);
+                    m[(q, p)] = aqp.scale(c) - (e_neg * aqq).scale(s);
+                    m[(q, q)] = (e_pos * aqp).scale(s) + aqq.scale(c);
+                    // A ← V^H·A rows plus the conjugate column images
+                    // outside the pivot block, fused into one pass
+                    // (bitwise equal to the direct column update — see
+                    // the function docs).
+                    simd::rotate_rows_mirror(m.as_mut_slice(), n, p, q, c, s, e_pos);
+                } else {
+                    simd::givens_rotate_cols(m.as_mut_slice(), n, p, q, c, s, e_neg);
+                    // A ← V^H·A  (rows p and q):
+                    //   m[(p,k)] = apk·c − (e⁺·aqk)·s
+                    //   m[(q,k)] = (e⁻·apk)·s + aqk·c
+                    let (row_p, row_q) = m.row_pair_mut(p, q);
+                    simd::givens_rotate(row_p, row_q, c, s, e_pos);
                 }
                 // Clamp the now-annihilated pair and enforce real diagonal,
                 // preventing rounding drift from accumulating over sweeps.
@@ -249,13 +303,12 @@ fn jacobi_diagonalize(m: &mut CMatrix, u: &mut CMatrix, scale: f64) {
                 m[(p, p)] = Complex64::from_re(m[(p, p)].re);
                 m[(q, q)] = Complex64::from_re(m[(q, q)].re);
 
-                // U ← U·V   (accumulate eigenvectors).
-                for k in 0..n {
-                    let ukp = u[(k, p)];
-                    let ukq = u[(k, q)];
-                    u[(k, p)] = ukp.scale(c) - (e_neg * ukq).scale(s);
-                    u[(k, q)] = (e_pos * ukp).scale(s) + ukq.scale(c);
-                }
+                // U ← U·V — in transposed storage the two columns are the
+                // contiguous rows p and q of ut, same arithmetic:
+                //   ut[(p,k)] = ukp·c − (e⁻·ukq)·s
+                //   ut[(q,k)] = (e⁺·ukp)·s + ukq·c
+                let (ut_p, ut_q) = ut.row_pair_mut(p, q);
+                simd::givens_rotate(ut_p, ut_q, c, s, e_neg);
             }
         }
     }

@@ -133,12 +133,11 @@ impl FftPlan {
         while len <= n {
             let stage = &twiddles[offset..offset + len / 2];
             for start in (0..n).step_by(len) {
-                for (k, &w) in stage.iter().enumerate() {
-                    let u = data[start + k];
-                    let v = data[start + k + len / 2] * w;
-                    data[start + k] = u + v;
-                    data[start + k + len / 2] = u - v;
-                }
+                // Each block's butterflies pair its low and high halves;
+                // the dispatched kernel is bitwise-pinned to the scalar
+                // `u ± v·w` sequence this loop always computed.
+                let (lo, hi) = data[start..start + len].split_at_mut(len / 2);
+                crate::simd::butterflies(lo, hi, stage);
             }
             offset += len / 2;
             len <<= 1;

@@ -24,6 +24,11 @@
 //!   cell-averaging CFAR detector of the 2-D imaging pipeline.
 //! * [`stats`] — means, variances, percentiles, empirical CDFs and the
 //!   dB conversions used throughout the evaluation harness.
+//! * [`simd`] — runtime-dispatched AVX2 kernels for the complex inner
+//!   loops (Givens rotations, butterflies, axpy, backprojection focus),
+//!   bitwise-pinned to their scalar references (DESIGN.md §12).
+//! * [`par`] — the order-preserving, thread-count-invariant parallel
+//!   map the bench runner, imaging sweep, and serving shards share.
 
 pub mod assign;
 pub mod cfar;
@@ -34,7 +39,9 @@ pub mod grid2d;
 pub mod kalman;
 pub mod matrix;
 pub mod merge;
+pub mod par;
 pub mod rng;
+pub mod simd;
 pub mod stats;
 
 pub use assign::{solve_assignment, Assignment};
@@ -46,4 +53,5 @@ pub use grid2d::Grid2d;
 pub use kalman::Kalman2;
 pub use matrix::CMatrix;
 pub use merge::{merge_streams, TimedStream};
+pub use par::{parallel_map, parallel_map_threads};
 pub use rng::Rng64;

@@ -82,6 +82,32 @@ impl CMatrix {
         &self.data
     }
 
+    /// Mutable borrow of the underlying row-major storage (for kernels
+    /// that operate on strided columns in place).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [Complex64] {
+        &mut self.data
+    }
+
+    /// Borrow of row `r` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[Complex64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrows of two distinct rows at once (the row update of a
+    /// Givens rotation needs both sides of the pair).
+    ///
+    /// # Panics
+    /// Panics unless `p < q < self.rows()`.
+    #[inline]
+    pub fn row_pair_mut(&mut self, p: usize, q: usize) -> (&mut [Complex64], &mut [Complex64]) {
+        assert!(p < q && q < self.rows, "row pair must satisfy p < q < rows");
+        let cols = self.cols;
+        let (head, tail) = self.data.split_at_mut(q * cols);
+        (&mut head[p * cols..(p + 1) * cols], &mut tail[..cols])
+    }
+
     /// Conjugate (Hermitian) transpose `A^H`.
     pub fn hermitian(&self) -> CMatrix {
         CMatrix::from_fn(self.cols, self.rows, |r, c| self[(c, r)].conj())
@@ -104,11 +130,9 @@ impl CMatrix {
             self.is_square() && self.rows == v.len(),
             "outer-product shape mismatch"
         );
-        for r in 0..self.rows {
-            let vr = v[r];
-            for c in 0..self.cols {
-                self[(r, c)] += (vr * v[c].conj()).scale(k);
-            }
+        let cols = self.cols;
+        for (r, row) in self.data.chunks_exact_mut(cols).enumerate() {
+            crate::simd::accumulate_outer_row(row, v, v[r], k);
         }
     }
 

@@ -34,6 +34,14 @@ pub struct ServeConfig {
     /// Worker shards. Sessions hash-route here; more shards than cores
     /// is legal (they time-share).
     pub n_shards: usize,
+    /// Worker threads *inside* each shard: every round, the shard
+    /// round-robin partitions its id-sorted live sessions across this
+    /// many scoped threads, each owning a private engine cache and
+    /// scratch buffer. Sessions share no mutable state, so outputs and
+    /// the merged event stream are bit-identical for every worker
+    /// count; only wall-clock changes. `1` is the classic
+    /// single-threaded shard.
+    pub workers_per_shard: usize,
     /// Channel samples each session advances per turn — the serving
     /// analogue of the UHD frame chunk.
     pub batch_len: usize,
@@ -43,25 +51,55 @@ pub struct ServeConfig {
 }
 
 impl ServeConfig {
-    /// `n_shards` shards with the device's default batching and a
-    /// 32-command queue bound.
+    /// `n_shards` shards with the device's default batching, a
+    /// 32-command queue bound, and the `WIVI_SERVE_WORKERS` worker
+    /// count (default 1).
     pub fn with_shards(n_shards: usize) -> Self {
+        Self::with_shards_workers(n_shards, default_workers_per_shard())
+    }
+
+    /// `n_shards` shards × `workers_per_shard` threads, with the
+    /// device's default batching and a 32-command queue bound.
+    pub fn with_shards_workers(n_shards: usize, workers_per_shard: usize) -> Self {
         Self {
             n_shards,
+            workers_per_shard,
             batch_len: wivi_core::device::DEFAULT_BATCH_LEN,
             queue_capacity: 32,
         }
     }
 
+    /// Total worker threads this configuration spins up.
+    pub fn threads(&self) -> usize {
+        self.n_shards * self.workers_per_shard
+    }
+
     /// Validates the configuration.
     ///
     /// # Panics
-    /// Panics on zero shards, batch length, or queue capacity.
+    /// Panics on zero shards, workers, batch length, or queue capacity.
     pub fn validate(&self) {
         assert!(self.n_shards >= 1, "need at least one shard");
+        assert!(
+            self.workers_per_shard >= 1,
+            "need at least one worker per shard"
+        );
         assert!(self.batch_len >= 1, "batch length must be positive");
         assert!(self.queue_capacity >= 1, "queue capacity must be positive");
     }
+}
+
+/// The `WIVI_SERVE_WORKERS` default worker count, read once per
+/// process: unset, unparsable, or zero mean 1 worker per shard.
+pub fn default_workers_per_shard() -> usize {
+    static WORKERS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        std::env::var("WIVI_SERVE_WORKERS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(1)
+    })
 }
 
 /// One event of the engine's unified stream: a tracker event stamped
@@ -112,6 +150,12 @@ impl ServeReport {
     /// Sessions served per wall-clock second.
     pub fn sessions_per_sec(&self) -> f64 {
         self.outputs.len() as f64 / self.wall_s.max(1e-12)
+    }
+
+    /// Total worker threads that executed session batches: the sum of
+    /// every shard's worker count.
+    pub fn threads_used(&self) -> usize {
+        self.shards.iter().map(|s| s.workers).sum()
     }
 
     /// The `p`-th percentile (0–100) of per-batch processing latency
@@ -169,9 +213,10 @@ impl ServeEngine {
             .map(|(i, chan)| {
                 let chan = Arc::clone(chan);
                 let batch_len = cfg.batch_len;
+                let workers = cfg.workers_per_shard;
                 std::thread::Builder::new()
                     .name(format!("wivi-shard-{i}"))
-                    .spawn(move || run_shard(i, chan, batch_len))
+                    .spawn(move || run_shard(i, chan, batch_len, workers))
                     .expect("failed to spawn shard worker")
             })
             .collect();

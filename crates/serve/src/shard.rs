@@ -10,6 +10,12 @@
 //! count; the id order exists so the *wall-clock interleave* is
 //! reproducible too, not just the outputs.
 //!
+//! With `workers_per_shard > 1` (see [`crate::ServeConfig`]) the shard
+//! becomes a coordinator: each round it round-robin partitions the
+//! id-sorted live sessions across that many scoped worker threads, each
+//! owning a private engine cache and scratch. Outputs stay bit-identical
+//! for every worker count — parallelism only changes wall-clock.
+//!
 //! The PR-1 zero-allocation design extends here from per-device to
 //! per-shard: all sessions on a shard that share a configuration share
 //! one resident engine — one steering table, one correlation matrix,
@@ -141,27 +147,35 @@ impl ShardChannel {
 #[derive(Clone, Debug)]
 pub struct ShardStats {
     pub shard: usize,
+    /// Worker threads this shard advanced sessions on.
+    pub workers: usize,
     /// Sessions this shard served to completion.
     pub sessions: usize,
     /// Batch steps executed.
     pub batches: usize,
-    /// Wall-clock spent computing (calibration + batch steps), seconds.
+    /// CPU-seconds spent computing (calibration + batch steps), summed
+    /// across the shard's workers — may exceed `alive_s` when
+    /// `workers > 1`.
     pub busy_s: f64,
     /// Wall-clock from shard start to shard exit, seconds.
     pub alive_s: f64,
     /// Every batch step's wall-clock, seconds (unsorted; percentile
     /// helpers sort a copy).
     pub batch_latencies_s: Vec<f64>,
-    /// Distinct engines resident at exit (the per-shard sharing degree:
-    /// N same-config sessions still mean one engine).
+    /// Distinct engines resident at exit, summed over workers (the
+    /// per-worker sharing degree: N same-config sessions on one worker
+    /// still mean one engine).
     pub engines: usize,
 }
 
 impl ShardStats {
-    /// Busy fraction of the shard's lifetime.
+    /// Busy fraction of the shard's worker threads over the shard's
+    /// lifetime: `busy_s / (alive_s × workers)` — per-core occupancy,
+    /// not a single-thread duty cycle.
     pub fn utilization(&self) -> f64 {
-        if self.alive_s > 0.0 {
-            (self.busy_s / self.alive_s).min(1.0)
+        let capacity = self.alive_s * self.workers.max(1) as f64;
+        if capacity > 0.0 {
+            (self.busy_s / capacity).min(1.0)
         } else {
             0.0
         }
@@ -174,19 +188,36 @@ pub(crate) struct ShardDone {
     pub(crate) stats: ShardStats,
 }
 
+/// One worker thread's private compute state: its own engine cache and
+/// per-batch scratch, so workers of one shard share no mutable state.
+struct WorkerState {
+    engines: EngineCache,
+    scratch: Vec<Complex64>,
+}
+
 /// The shard thread body: rounds of (drain commands → advance each live
 /// session one batch → drain finished sessions), until shutdown and
-/// empty.
+/// empty. With `workers > 1` each round's live sessions are round-robin
+/// partitioned (by position in the id-sorted list) across that many
+/// scoped threads; outputs are bit-identical for every worker count
+/// because sessions own all their streaming state and the per-worker
+/// engines hold no cross-window state.
 pub(crate) fn run_shard(
     shard_idx: usize,
     chan: std::sync::Arc<ShardChannel>,
     batch_len: usize,
+    workers: usize,
 ) -> ShardDone {
+    assert!(workers >= 1, "a shard needs at least one worker");
     let started = Instant::now();
-    let mut engines = EngineCache::new();
+    let mut worker_states: Vec<WorkerState> = (0..workers)
+        .map(|_| WorkerState {
+            engines: EngineCache::new(),
+            scratch: Vec::with_capacity(batch_len),
+        })
+        .collect();
     let mut active: Vec<ActiveSession> = Vec::new();
     let mut outputs: Vec<SessionOutput> = Vec::new();
-    let mut scratch: Vec<Complex64> = Vec::with_capacity(batch_len);
     let mut batch_latencies_s: Vec<f64> = Vec::new();
     let mut busy_s = 0.0f64;
 
@@ -216,16 +247,63 @@ pub(crate) fn run_shard(
             }
             continue;
         }
-        for s in active.iter_mut() {
-            if s.done_streaming() {
-                continue;
+        if workers == 1 || active.len() == 1 {
+            let ws = &mut worker_states[0];
+            for s in active.iter_mut() {
+                if s.done_streaming() {
+                    continue;
+                }
+                let t0 = Instant::now();
+                s.step(&mut ws.engines, batch_len, &mut ws.scratch);
+                let dt = t0.elapsed().as_secs_f64();
+                s.stream_s += dt;
+                busy_s += dt;
+                batch_latencies_s.push(dt);
             }
-            let t0 = Instant::now();
-            s.step(&mut engines, batch_len, &mut scratch);
-            let dt = t0.elapsed().as_secs_f64();
-            s.stream_s += dt;
-            busy_s += dt;
-            batch_latencies_s.push(dt);
+        } else {
+            // Round-robin partition of the id-sorted list: worker w
+            // advances sessions at positions w, w + workers, ... —
+            // stable while the active prefix is stable, so a session
+            // usually keeps hitting the same worker's warm engine
+            // cache. Results merge in worker order, keeping telemetry
+            // (not just outputs) schedule-independent.
+            let mut parts: Vec<Vec<&mut ActiveSession>> =
+                (0..workers).map(|_| Vec::new()).collect();
+            for (i, s) in active.iter_mut().enumerate() {
+                parts[i % workers].push(s);
+            }
+            let results: Vec<(f64, Vec<f64>)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = parts
+                    .into_iter()
+                    .zip(worker_states.iter_mut())
+                    .map(|(part, ws)| {
+                        scope.spawn(move || {
+                            let mut busy = 0.0f64;
+                            let mut lats: Vec<f64> = Vec::new();
+                            for s in part {
+                                if s.done_streaming() {
+                                    continue;
+                                }
+                                let t0 = Instant::now();
+                                s.step(&mut ws.engines, batch_len, &mut ws.scratch);
+                                let dt = t0.elapsed().as_secs_f64();
+                                s.stream_s += dt;
+                                busy += dt;
+                                lats.push(dt);
+                            }
+                            (busy, lats)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker thread panicked"))
+                    .collect()
+            });
+            for (busy, lats) in results {
+                busy_s += busy;
+                batch_latencies_s.extend(lats);
+            }
         }
         // Drain: move finished sessions out, preserving id order.
         let mut i = 0;
@@ -241,12 +319,13 @@ pub(crate) fn run_shard(
 
     let stats = ShardStats {
         shard: shard_idx,
+        workers,
         sessions: outputs.len(),
         batches: batch_latencies_s.len(),
         busy_s,
         alive_s: started.elapsed().as_secs_f64(),
         batch_latencies_s,
-        engines: engines.len(),
+        engines: worker_states.iter().map(|w| w.engines.len()).sum(),
     };
     ShardDone { outputs, stats }
 }

@@ -162,6 +162,7 @@ fn full_queue_backpressures_and_loses_nothing() {
     // enough for try_open to observe backpressure deterministically.
     let mut engine = ServeEngine::start(ServeConfig {
         n_shards: 1,
+        workers_per_shard: 1,
         batch_len: 16,
         queue_capacity: 1,
     });
