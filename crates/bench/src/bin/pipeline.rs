@@ -23,6 +23,7 @@ use wivi_bench::imaging::{
     imaging_trials, run_imaging_trial, write_imaging_json, IMAGING_SHOWCASE_DURATION_S,
 };
 use wivi_bench::kernels::{run_kernels_bench, write_kernels_json};
+use wivi_bench::obs::{run_obs_bench, write_obs_json};
 use wivi_bench::serving::{run_serving_soak, write_serving_json, REALTIME_RATE};
 use wivi_bench::{quick_mode, report};
 use wivi_core::device::DEFAULT_BATCH_LEN;
@@ -245,7 +246,7 @@ fn main() {
     let r = &soak.report;
     assert_eq!(r.outputs.len(), n_sessions, "serving engine lost sessions");
     let rows: Vec<Vec<String>> = r
-        .shards
+        .shards()
         .iter()
         .map(|s| {
             vec![
@@ -369,4 +370,39 @@ fn main() {
     write_imaging_json(ipath, &iresults, &img, iwall, imode)
         .expect("failed to write BENCH_imaging.json");
     println!("wrote {ipath} ({imode} mode, {iduration}s trials)");
+
+    // ---- The obs stage: what the observability layer itself costs —
+    // ns/event per primitive at 1/2/4 threads and the WIVI_OBS on-vs-off
+    // wall-clock delta on a streaming tracking run.
+    let omode = if quick_mode() { "quick" } else { "standard" };
+    let obs = run_obs_bench(quick_mode());
+    let rows: Vec<Vec<String>> = obs
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.threads),
+                format!("{:.1}", r.counter_ns),
+                format!("{:.1}", r.histogram_ns),
+                format!("{:.1}", r.span_ns),
+                format!("{:.1}", r.span_disabled_ns),
+            ]
+        })
+        .collect();
+    println!();
+    report::print_table(
+        &["threads", "counter ns", "hist ns", "span ns", "off ns"],
+        &rows,
+    );
+    println!(
+        "obs overhead: median {:.3}s off vs {:.3}s on per {:.0}s streamed ⇒ {:+.3}% wall-clock",
+        obs.overhead.off_s,
+        obs.overhead.on_s,
+        obs.overhead.duration_s,
+        100.0 * obs.overhead.overhead_frac()
+    );
+
+    let opath = "BENCH_obs.json";
+    write_obs_json(opath, &obs, omode).expect("failed to write BENCH_obs.json");
+    println!("wrote {opath} ({omode} mode)");
 }

@@ -18,6 +18,9 @@
 //! * [`kernels`] — ns/op microbenchmarks of the dispatched SIMD complex
 //!   kernels (scalar vs AVX2 vs AVX-512) and `BENCH_kernels.json`
 //!   emission.
+//! * [`obs`] — ns/event microbenchmarks of the observability layer
+//!   (counter / histogram / span at 1–4 threads), the `WIVI_OBS`
+//!   on-vs-off pipeline overhead probe, and `BENCH_obs.json` emission.
 //! * [`imaging`] — the 2-D localization workload over `wivi-image`:
 //!   showcase scenes with known positions, detection/localization
 //!   scoring, and `BENCH_imaging.json` emission.
@@ -27,6 +30,7 @@
 pub mod engine;
 pub mod imaging;
 pub mod kernels;
+pub mod obs;
 pub mod report;
 pub mod runner;
 pub mod scenarios;

@@ -331,9 +331,7 @@ pub fn run_serving_soak(
 /// ("Serving" section) and DESIGN.md §9.
 pub fn write_serving_json(path: &str, soak: &ServingSoak, mode: &str) -> std::io::Result<()> {
     let r = &soak.report;
-    let cores = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1);
+    let cores = r.snapshot.cores_available;
     let batch_budget_ms = 1e3 * soak.batch_len as f64 / REALTIME_RATE;
 
     let mut f = std::fs::File::create(path)?;
@@ -378,6 +376,24 @@ pub fn write_serving_json(path: &str, soak: &ServingSoak, mode: &str) -> std::io
         1e3 * r.batch_latency_percentile_s(99.0)
     )?;
     writeln!(f, "  \"batch_budget_ms\": {batch_budget_ms:.4},")?;
+    // The merged per-batch latency histogram the percentiles above are
+    // read from: log-linear buckets (≤6.25 % relative width), sparse
+    // (zero-count buckets omitted), nanoseconds.
+    let hist = r.snapshot.batch_latency_ns();
+    writeln!(
+        f,
+        "  \"batch_latency_hist\": {{\"unit\": \"ns\", \"count\": {}, \"buckets\": [",
+        hist.count
+    )?;
+    let nz = hist.nonzero_buckets();
+    for (i, (lo, hi, count)) in nz.iter().enumerate() {
+        let comma = if i + 1 == nz.len() { "" } else { "," };
+        writeln!(
+            f,
+            "    {{\"lo\": {lo}, \"hi\": {hi}, \"count\": {count}}}{comma}"
+        )?;
+    }
+    writeln!(f, "  ]}},")?;
     let oc = &soak.open_cost;
     writeln!(
         f,
@@ -395,8 +411,8 @@ pub fn write_serving_json(path: &str, soak: &ServingSoak, mode: &str) -> std::io
     )?;
     writeln!(f, "  \"merged_events\": {},", r.events.len())?;
     writeln!(f, "  \"shard_stats\": [")?;
-    for (i, s) in r.shards.iter().enumerate() {
-        let comma = if i + 1 == r.shards.len() { "" } else { "," };
+    for (i, s) in r.shards().iter().enumerate() {
+        let comma = if i + 1 == r.shards().len() { "" } else { "," };
         writeln!(
             f,
             "    {{\"shard\": {}, \"workers\": {}, \"sessions\": {}, \
@@ -518,6 +534,7 @@ mod tests {
         assert!(body.contains("\"core_occupancy\""));
         assert!(body.contains("\"realtime_sessions_sustained\""));
         assert!(body.contains("\"batch_latency_p99_ms\""));
+        assert!(body.contains("\"batch_latency_hist\""));
         assert!(body.contains("\"shard_stats\""));
         assert!(body.contains("\"open_cost\""));
         assert!(body.contains("\"shared_scene_acquire_us\""));

@@ -113,8 +113,12 @@ impl EngineCache {
             .expect("slot type pinned by TypeId")
             .0;
         match vec.iter().position(|(c, _)| c == cfg) {
-            Some(i) => &mut vec[i].1,
+            Some(i) => {
+                hooks::cache_hit();
+                &mut vec[i].1
+            }
             None => {
+                hooks::cache_miss();
                 vec.push((cfg.clone(), E::build(cfg)));
                 &mut vec.last_mut().unwrap().1
             }
@@ -131,6 +135,36 @@ impl EngineCache {
     /// `true` if no engine has been built yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+/// Hit/miss counters on the global obs registry, `WIVI_OBS`-gated.
+/// Handles are built once (registration takes a lock) and the gated
+/// fast path is a static load + branch when observability is off.
+mod hooks {
+    use std::sync::OnceLock;
+    use wivi_obs::Counter;
+
+    fn counter(which: &str) -> wivi_obs::Counter {
+        wivi_obs::global().counter(&format!("core.engine_cache.{which}"))
+    }
+
+    #[inline]
+    pub(super) fn cache_hit() {
+        if !wivi_obs::enabled() {
+            return;
+        }
+        static HITS: OnceLock<Counter> = OnceLock::new();
+        HITS.get_or_init(|| counter("hits")).inc();
+    }
+
+    #[inline]
+    pub(super) fn cache_miss() {
+        if !wivi_obs::enabled() {
+            return;
+        }
+        static MISSES: OnceLock<Counter> = OnceLock::new();
+        MISSES.get_or_init(|| counter("misses")).inc();
     }
 }
 

@@ -167,6 +167,7 @@ impl BeamformEngine {
     /// Panics if `window.len()` differs from the configured window.
     pub fn process_window(&mut self, window: &[Complex64]) -> Vec<f64> {
         assert_eq!(window.len(), self.cfg.window, "window length mismatch");
+        let _span = wivi_obs::span("beamform.window");
         self.steering
             .iter()
             .map(|s| {

@@ -209,6 +209,7 @@ impl MusicEngine {
     /// Panics if `window.len()` differs from the configured window.
     pub fn process_window(&mut self, window: &[Complex64]) -> (Vec<f64>, WindowEigen) {
         assert_eq!(window.len(), self.cfg.isar.window, "window length mismatch");
+        let _span = wivi_obs::span("music.window");
         smoothed_correlation_into(window, self.cfg.subarray, &mut self.corr);
         hermitian_eig_in(&self.corr, &mut self.eig_ws);
         let n_signal = signal_subspace_dim(
@@ -238,6 +239,8 @@ impl MusicEngine {
                 *sp += pj.norm_sqr();
             }
         }
+        // One aggregated probe flush for the whole projection loop.
+        wivi_num::probe::count_kernel(wivi_num::probe::Kernel::Caxpy, (n_signal * sub) as u64);
         let row: Vec<f64> = self
             .sig_proj
             .iter()

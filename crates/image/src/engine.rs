@@ -93,6 +93,13 @@ pub struct ImagingEngine {
     focus_threads: usize,
 }
 
+/// The global-registry histogram of focus-sweep chunk wall times
+/// (callers only record when `WIVI_OBS` is on).
+fn focus_chunk_hist() -> &'static wivi_obs::Histogram {
+    static H: std::sync::OnceLock<wivi_obs::Histogram> = std::sync::OnceLock::new();
+    H.get_or_init(|| wivi_obs::global().histogram("image.focus_chunk_ns"))
+}
+
 /// Parses `WIVI_FOCUS_THREADS` once per process (≥ 1; 1 when unset or
 /// malformed).
 fn default_focus_threads() -> usize {
@@ -207,6 +214,7 @@ impl ImagingEngine {
     /// # Panics
     /// Panics if `window.len()` differs from the configured window.
     pub fn process_window(&mut self, window: &[Complex64], tx_weight: Complex64) -> &[f64] {
+        let _span = wivi_obs::span("image.window");
         self.center_window(window);
         self.focus(tx_weight);
         &self.image
@@ -257,8 +265,16 @@ impl ImagingEngine {
             }
         };
         let threads = self.focus_threads.min(n_cells.max(1));
+        // Per-chunk wall-time histogram (`WIVI_OBS`-gated): chunk skew
+        // is the signal that the contiguous split needs rebalancing as
+        // grids grow (ROADMAP item 2).
+        let timing = wivi_obs::enabled();
         if threads <= 1 {
+            let t0 = timing.then(std::time::Instant::now);
             focus_range(0, &mut self.image, &mut self.dirs);
+            if let Some(t0) = t0 {
+                focus_chunk_hist().record_duration(t0.elapsed());
+            }
             return;
         }
         let chunk = n_cells.div_ceil(threads);
@@ -273,7 +289,13 @@ impl ImagingEngine {
                 img_rest = ir;
                 dir_rest = dr;
                 let fr = &focus_range;
-                scope.spawn(move || fr(c0, img_chunk, dir_chunk));
+                scope.spawn(move || {
+                    let t0 = timing.then(std::time::Instant::now);
+                    fr(c0, img_chunk, dir_chunk);
+                    if let Some(t0) = t0 {
+                        focus_chunk_hist().record_duration(t0.elapsed());
+                    }
+                });
                 c0 += take;
             }
         });
@@ -413,6 +435,7 @@ impl ImagingEngine {
         window: &[Complex64],
         tx_weight: Complex64,
     ) -> Vec<ImageFix> {
+        let _span = wivi_obs::span("image.window_fixes");
         self.center_window(window);
         let mut fixes: Vec<ImageFix> = Vec::new();
         for pass in 0..self.cfg.max_fixes {

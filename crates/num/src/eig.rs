@@ -239,10 +239,16 @@ fn jacobi_diagonalize(m: &mut CMatrix, ut: &mut CMatrix, scale: f64) {
     let tol = 1e-14 * scale;
     let mirror = bit_hermitian_off_diagonal(m);
 
+    // Probe counts aggregate in locals and flush once per solve — the
+    // pivot body is ~100 ns, far too hot for per-call counting.
+    let mut sweeps = 0u64;
+    let mut rotations = 0u64;
+
     for _sweep in 0..MAX_SWEEPS {
         if m.off_diagonal_energy().sqrt() <= tol * n as f64 {
             break;
         }
+        sweeps += 1;
         for p in 0..n {
             for q in (p + 1)..n {
                 let apq = m[(p, q)];
@@ -309,9 +315,11 @@ fn jacobi_diagonalize(m: &mut CMatrix, ut: &mut CMatrix, scale: f64) {
                 //   ut[(q,k)] = (e⁺·ukp)·s + ukq·c
                 let (ut_p, ut_q) = ut.row_pair_mut(p, q);
                 simd::givens_rotate(ut_p, ut_q, c, s, e_neg);
+                rotations += 1;
             }
         }
     }
+    crate::probe::count_eig(sweeps, rotations);
 }
 
 #[cfg(test)]

@@ -76,6 +76,7 @@ impl FftPlan {
                 len <<= 1;
             }
         }
+        crate::probe::count_fft_plan();
         Self {
             n,
             bitrev,
@@ -122,6 +123,9 @@ impl FftPlan {
         if n <= 1 {
             return;
         }
+        // One flush per transform (n/2·log₂n butterfly pairs), not one
+        // per block — the probe stays off the per-stage path.
+        crate::probe::count_fft_run((n as u64 / 2) * n.trailing_zeros() as u64);
         for i in 0..n {
             let j = self.bitrev[i] as usize;
             if j > i {

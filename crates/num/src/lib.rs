@@ -29,6 +29,9 @@
 //!   bitwise-pinned to their scalar references (DESIGN.md §12).
 //! * [`par`] — the order-preserving, thread-count-invariant parallel
 //!   map the bench runner, imaging sweep, and serving shards share.
+//! * [`probe`] — the `WIVI_OBS` observability switch plus single-writer
+//!   per-thread kernel counters (SIMD dispatch levels, eig sweeps, FFT
+//!   plan hits) that the `wivi-obs` registry exports (DESIGN.md §13).
 
 pub mod assign;
 pub mod cfar;
@@ -40,6 +43,7 @@ pub mod kalman;
 pub mod matrix;
 pub mod merge;
 pub mod par;
+pub mod probe;
 pub mod rng;
 pub mod simd;
 pub mod stats;

@@ -134,6 +134,8 @@ impl CMatrix {
         for (r, row) in self.data.chunks_exact_mut(cols).enumerate() {
             crate::simd::accumulate_outer_row(row, v, v[r], k);
         }
+        // One aggregated flush per update, not one per ~40 ns row.
+        crate::probe::count_kernel(crate::probe::Kernel::AxpyRows, self.rows as u64);
     }
 
     /// Matrix–vector product `A·x`.

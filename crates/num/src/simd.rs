@@ -518,6 +518,7 @@ pub fn focus_accumulate(h: &[Complex64], t1: &[Complex64], t2: &[Complex64]) -> 
         h.len() == t1.len() && h.len() == t2.len(),
         "focus length mismatch"
     );
+    crate::probe::count_kernel(crate::probe::Kernel::Focus, 1);
     // The four accumulators fill exactly one ymm pair; a 512-bit version
     // would change the (pinned) per-accumulator addition order, so the
     // AVX-512 level reuses the 256-bit path.
@@ -564,6 +565,7 @@ pub fn focus_accumulate_scalar(
 /// Panics if the slices differ in length.
 pub fn cdot(a: &[Complex64], b: &[Complex64]) -> Complex64 {
     assert_eq!(a.len(), b.len(), "dot length mismatch");
+    crate::probe::count_kernel(crate::probe::Kernel::Cdot, 1);
     #[cfg(target_arch = "x86_64")]
     if level() >= SimdLevel::Avx2 && fma_supported() {
         return unsafe { avx2::cdot(a, b) };

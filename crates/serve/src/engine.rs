@@ -22,11 +22,12 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use wivi_num::{merge_streams, stats, TimedStream};
+use wivi_num::{merge_streams, TimedStream};
+use wivi_obs::{HistogramSnapshot, Registry};
 use wivi_track::TrackEvent;
 
 use crate::session::{SessionId, SessionOutput, SessionSpec};
-use crate::shard::{run_shard, Command, ShardChannel, ShardDone, ShardStats};
+use crate::shard::{run_shard, Command, ShardChannel, ShardMetrics, ShardSnapshot};
 
 /// Engine sizing.
 #[derive(Clone, Copy, Debug)]
@@ -116,6 +117,36 @@ pub struct ServeEvent {
     pub event: TrackEvent,
 }
 
+/// Engine-wide serving telemetry, assembled from the engine's obs
+/// registry ([`ServeEngine::registry`]) at [`ServeEngine::finish`]: one
+/// [`ShardSnapshot`] row per shard plus the machine-level context
+/// (threads spun up, cores available) that used to be scattered across
+/// callers.
+#[derive(Clone, Debug)]
+pub struct ServeSnapshot {
+    /// Total worker threads that executed session batches: the sum of
+    /// every shard's worker count.
+    pub threads_used: usize,
+    /// Logical cores the host reports
+    /// ([`std::thread::available_parallelism`]).
+    pub cores_available: usize,
+    /// Per-shard serving telemetry, in shard order.
+    pub shards: Vec<ShardSnapshot>,
+}
+
+impl ServeSnapshot {
+    /// All shards' per-batch latency histograms merged into one, in
+    /// nanoseconds. Merging is element-wise and order-invariant, so the
+    /// result is identical however the shards interleaved.
+    pub fn batch_latency_ns(&self) -> HistogramSnapshot {
+        let mut merged = HistogramSnapshot::empty();
+        for s in &self.shards {
+            merged.merge(&s.batch_latency_ns);
+        }
+        merged
+    }
+}
+
 /// Everything a serving run produced.
 #[derive(Clone, Debug)]
 pub struct ServeReport {
@@ -124,8 +155,8 @@ pub struct ServeReport {
     /// The unified cross-session event stream, ordered by
     /// `(time, session id, emission order)`.
     pub events: Vec<ServeEvent>,
-    /// Per-shard serving telemetry, in shard order.
-    pub shards: Vec<ShardStats>,
+    /// Engine-wide telemetry: per-shard rows plus thread/core context.
+    pub snapshot: ServeSnapshot,
     /// Engine wall-clock from start to finish, seconds.
     pub wall_s: f64,
 }
@@ -152,25 +183,23 @@ impl ServeReport {
         self.outputs.len() as f64 / self.wall_s.max(1e-12)
     }
 
+    /// Per-shard telemetry rows, in shard order.
+    pub fn shards(&self) -> &[ShardSnapshot] {
+        &self.snapshot.shards
+    }
+
     /// Total worker threads that executed session batches: the sum of
     /// every shard's worker count.
     pub fn threads_used(&self) -> usize {
-        self.shards.iter().map(|s| s.workers).sum()
+        self.snapshot.threads_used
     }
 
     /// The `p`-th percentile (0–100) of per-batch processing latency
-    /// across all shards, seconds; 0 if no batches ran.
-    /// ([`stats::percentile`] sorts its own copy.)
+    /// across all shards, seconds; 0 if no batches ran. Read from the
+    /// merged latency histogram (≤6.25 % relative bucket width), not a
+    /// raw sample vector.
     pub fn batch_latency_percentile_s(&self, p: f64) -> f64 {
-        let all: Vec<f64> = self
-            .shards
-            .iter()
-            .flat_map(|s| s.batch_latencies_s.iter().copied())
-            .collect();
-        if all.is_empty() {
-            return 0.0;
-        }
-        stats::percentile(&all, p)
+        self.snapshot.batch_latency_ns().quantile(p) / 1e9
     }
 }
 
@@ -191,7 +220,11 @@ pub fn shard_of(id: SessionId, n_shards: usize) -> usize {
 pub struct ServeEngine {
     cfg: ServeConfig,
     channels: Vec<Arc<ShardChannel>>,
-    workers: Vec<std::thread::JoinHandle<ShardDone>>,
+    workers: Vec<std::thread::JoinHandle<Vec<SessionOutput>>>,
+    /// This engine's private metrics registry: shard workers record
+    /// into it live, [`Self::finish`] snapshots it into the report.
+    registry: Registry,
+    metrics: Vec<ShardMetrics>,
     opened_ids: Vec<SessionId>,
     started: Instant,
 }
@@ -204,8 +237,12 @@ impl ServeEngine {
     /// Panics on an invalid configuration.
     pub fn start(cfg: ServeConfig) -> Self {
         cfg.validate();
+        let registry = Registry::new();
         let channels: Vec<Arc<ShardChannel>> = (0..cfg.n_shards)
             .map(|_| Arc::new(ShardChannel::new(cfg.queue_capacity)))
+            .collect();
+        let metrics: Vec<ShardMetrics> = (0..cfg.n_shards)
+            .map(|i| ShardMetrics::register(&registry, i, cfg.workers_per_shard))
             .collect();
         let workers = channels
             .iter()
@@ -213,10 +250,10 @@ impl ServeEngine {
             .map(|(i, chan)| {
                 let chan = Arc::clone(chan);
                 let batch_len = cfg.batch_len;
-                let workers = cfg.workers_per_shard;
+                let m = metrics[i].clone();
                 std::thread::Builder::new()
                     .name(format!("wivi-shard-{i}"))
-                    .spawn(move || run_shard(i, chan, batch_len, workers))
+                    .spawn(move || run_shard(i, chan, batch_len, m))
                     .expect("failed to spawn shard worker")
             })
             .collect();
@@ -224,6 +261,8 @@ impl ServeEngine {
             cfg,
             channels,
             workers,
+            registry,
+            metrics,
             opened_ids: Vec::new(),
             started: Instant::now(),
         }
@@ -232,6 +271,14 @@ impl ServeEngine {
     /// The engine's configuration.
     pub fn config(&self) -> &ServeConfig {
         &self.cfg
+    }
+
+    /// The engine's metrics registry. Shard telemetry
+    /// (`serve.shard{i}.*`) accumulates here *while the engine runs* —
+    /// snapshot or export it live for a `/metrics`-style endpoint, or
+    /// wait for the aggregated [`ServeSnapshot`] in the final report.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// The shard session `id` routes to.
@@ -309,19 +356,23 @@ impl ServeEngine {
             chan.shutdown();
         }
         let mut outputs: Vec<SessionOutput> = Vec::new();
-        let mut shards: Vec<ShardStats> = Vec::new();
         for w in self.workers {
-            let done = w.join().expect("shard worker panicked");
-            outputs.extend(done.outputs);
-            shards.push(done.stats);
+            outputs.extend(w.join().expect("shard worker panicked"));
         }
         outputs.sort_by_key(|o| o.id);
-        shards.sort_by_key(|s| s.shard);
         let events = merge_session_events(&outputs);
+        // Shards have exited, so the registry is quiescent: the
+        // snapshot rows are final (and already in shard order).
+        let shards: Vec<ShardSnapshot> = self.metrics.iter().map(|m| m.snapshot()).collect();
+        let snapshot = ServeSnapshot {
+            threads_used: shards.iter().map(|s| s.workers).sum(),
+            cores_available: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            shards,
+        };
         ServeReport {
             outputs,
             events,
-            shards,
+            snapshot,
             wall_s: self.started.elapsed().as_secs_f64(),
         }
     }

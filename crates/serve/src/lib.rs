@@ -161,9 +161,11 @@ pub mod modes;
 pub mod session;
 pub mod shard;
 
-pub use engine::{shard_of, ServeConfig, ServeEngine, ServeEvent, ServeReport};
+pub use engine::{shard_of, ServeConfig, ServeEngine, ServeEvent, ServeReport, ServeSnapshot};
 pub use mode::{ModeOutput, ModeRef, ModeRegistry, SensingMode};
 pub use session::{SessionId, SessionOutput, SessionSpec, SessionSpecBuilder};
+pub use shard::ShardSnapshot;
+#[allow(deprecated)]
 pub use shard::ShardStats;
 // Re-exported so mode implementors depend only on this crate's surface.
 pub use wivi_core::{EngineCache, ShardEngine};

@@ -237,6 +237,7 @@ impl ActiveSession {
     /// configuration (the device derives the MUSIC noise floor from the
     /// radio), exactly as the standalone entry points do.
     pub(crate) fn open(spec: SessionSpec) -> Self {
+        let _span = wivi_obs::span_with("session.open", spec.id);
         let SessionSpec {
             id,
             scene,
@@ -287,6 +288,7 @@ impl ActiveSession {
         if n == 0 {
             return;
         }
+        let _span = wivi_obs::span_with("session.step", self.id);
         self.dev.observe_batch_into(n, scratch);
         self.remaining -= n;
         self.state.step(engines, scratch);
@@ -295,6 +297,7 @@ impl ActiveSession {
     /// Drains the session into its output (the close step of the
     /// lifecycle). Consumes the session; the device is dropped here.
     pub(crate) fn finalize(self, shard: usize) -> SessionOutput {
+        let _span = wivi_obs::span_with("session.drain", self.id);
         let n_samples = self.n_requested - self.remaining;
         let closed_early = self.remaining > 0;
         let n_columns = self.state.columns();

@@ -32,6 +32,7 @@ use std::time::Instant;
 
 use wivi_core::EngineCache;
 use wivi_num::Complex64;
+use wivi_obs::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
 
 use crate::session::{ActiveSession, SessionId, SessionOutput, SessionSpec};
 
@@ -143,15 +144,76 @@ impl ShardChannel {
     }
 }
 
-/// Serving telemetry of one shard.
+/// The obs-registry handles one shard records its serving telemetry
+/// into: always on (they replaced the hand-threaded `ShardStats`
+/// plumbing the bench suite reads with `WIVI_OBS` off too), and shared
+/// by value between the shard's workers and the engine — metrics are
+/// `Arc`-backed atomics, so workers record *directly* and there is no
+/// end-of-round merge to get wrong.
+#[derive(Clone)]
+pub(crate) struct ShardMetrics {
+    pub(crate) shard: usize,
+    pub(crate) workers: usize,
+    /// Sessions served to completion.
+    sessions: Counter,
+    /// CPU-nanoseconds computing (calibration + batch steps), summed
+    /// across workers.
+    busy_ns: Counter,
+    /// Wall-clock nanoseconds from shard start to exit.
+    alive_ns: Counter,
+    /// Distinct engines resident at exit, summed over workers.
+    engines: Gauge,
+    /// Per-batch processing wall-clock, nanoseconds.
+    batch_latency_ns: Histogram,
+}
+
+impl ShardMetrics {
+    /// Registers (or re-attaches to) shard `shard`'s metrics in `reg`.
+    pub(crate) fn register(reg: &Registry, shard: usize, workers: usize) -> Self {
+        let name = |metric: &str| format!("serve.shard{shard}.{metric}");
+        Self {
+            shard,
+            workers,
+            sessions: reg.counter(&name("sessions")),
+            busy_ns: reg.counter(&name("busy_ns")),
+            alive_ns: reg.counter(&name("alive_ns")),
+            engines: reg.gauge(&name("engines")),
+            batch_latency_ns: reg.histogram(&name("batch_latency_ns")),
+        }
+    }
+
+    #[inline]
+    fn record_step(&self, d: std::time::Duration) {
+        self.busy_ns
+            .add(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+        self.batch_latency_ns.record_duration(d);
+    }
+
+    /// The shard's current telemetry as one owned row.
+    pub(crate) fn snapshot(&self) -> ShardSnapshot {
+        let batch_latency_ns = self.batch_latency_ns.snapshot();
+        ShardSnapshot {
+            shard: self.shard,
+            workers: self.workers,
+            sessions: self.sessions.value() as usize,
+            batches: batch_latency_ns.count as usize,
+            busy_s: self.busy_ns.value() as f64 / 1e9,
+            alive_s: self.alive_ns.value() as f64 / 1e9,
+            engines: self.engines.value() as usize,
+            batch_latency_ns,
+        }
+    }
+}
+
+/// Serving telemetry of one shard, snapshotted from the obs registry.
 #[derive(Clone, Debug)]
-pub struct ShardStats {
+pub struct ShardSnapshot {
     pub shard: usize,
     /// Worker threads this shard advanced sessions on.
     pub workers: usize,
     /// Sessions this shard served to completion.
     pub sessions: usize,
-    /// Batch steps executed.
+    /// Batch steps executed (the latency histogram's sample count).
     pub batches: usize,
     /// CPU-seconds spent computing (calibration + batch steps), summed
     /// across the shard's workers — may exceed `alive_s` when
@@ -159,16 +221,16 @@ pub struct ShardStats {
     pub busy_s: f64,
     /// Wall-clock from shard start to shard exit, seconds.
     pub alive_s: f64,
-    /// Every batch step's wall-clock, seconds (unsorted; percentile
-    /// helpers sort a copy).
-    pub batch_latencies_s: Vec<f64>,
     /// Distinct engines resident at exit, summed over workers (the
     /// per-worker sharing degree: N same-config sessions on one worker
     /// still mean one engine).
     pub engines: usize,
+    /// Per-batch processing latency, nanoseconds — the mergeable
+    /// histogram that replaced the raw latency vector.
+    pub batch_latency_ns: HistogramSnapshot,
 }
 
-impl ShardStats {
+impl ShardSnapshot {
     /// Busy fraction of the shard's worker threads over the shard's
     /// lifetime: `busy_s / (alive_s × workers)` — per-core occupancy,
     /// not a single-thread duty cycle.
@@ -180,13 +242,19 @@ impl ShardStats {
             0.0
         }
     }
+
+    /// The `p`-th percentile (0–100) of this shard's batch latency,
+    /// seconds.
+    pub fn batch_latency_percentile_s(&self, p: f64) -> f64 {
+        self.batch_latency_ns.quantile(p) / 1e9
+    }
 }
 
-/// What a shard thread returns when it exits.
-pub(crate) struct ShardDone {
-    pub(crate) outputs: Vec<SessionOutput>,
-    pub(crate) stats: ShardStats,
-}
+/// The former name of [`ShardSnapshot`], kept for downstream callers.
+#[deprecated(
+    note = "renamed to ShardSnapshot; per-batch latencies are an obs histogram, not a raw vector"
+)]
+pub type ShardStats = ShardSnapshot;
 
 /// One worker thread's private compute state: its own engine cache and
 /// per-batch scratch, so workers of one shard share no mutable state.
@@ -206,8 +274,9 @@ pub(crate) fn run_shard(
     shard_idx: usize,
     chan: std::sync::Arc<ShardChannel>,
     batch_len: usize,
-    workers: usize,
-) -> ShardDone {
+    metrics: ShardMetrics,
+) -> Vec<SessionOutput> {
+    let workers = metrics.workers;
     assert!(workers >= 1, "a shard needs at least one worker");
     let started = Instant::now();
     let mut worker_states: Vec<WorkerState> = (0..workers)
@@ -218,8 +287,6 @@ pub(crate) fn run_shard(
         .collect();
     let mut active: Vec<ActiveSession> = Vec::new();
     let mut outputs: Vec<SessionOutput> = Vec::new();
-    let mut batch_latencies_s: Vec<f64> = Vec::new();
-    let mut busy_s = 0.0f64;
 
     loop {
         let (cmds, shut) = chan.take(active.is_empty());
@@ -228,13 +295,16 @@ pub(crate) fn run_shard(
                 Command::Open(spec) => {
                     let t0 = Instant::now();
                     let session = ActiveSession::open(*spec);
-                    busy_s += t0.elapsed().as_secs_f64();
+                    metrics
+                        .busy_ns
+                        .add(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
                     active.push(session);
                     // Rounds advance sessions in ascending id order so
                     // the interleave is submission-order-independent.
                     active.sort_by_key(|s| s.id);
                 }
                 Command::Close(id) => {
+                    wivi_obs::event("session.close", id);
                     if let Some(s) = active.iter_mut().find(|s| s.id == id) {
                         s.closing = true;
                     }
@@ -255,55 +325,48 @@ pub(crate) fn run_shard(
                 }
                 let t0 = Instant::now();
                 s.step(&mut ws.engines, batch_len, &mut ws.scratch);
-                let dt = t0.elapsed().as_secs_f64();
-                s.stream_s += dt;
-                busy_s += dt;
-                batch_latencies_s.push(dt);
+                let d = t0.elapsed();
+                s.stream_s += d.as_secs_f64();
+                metrics.record_step(d);
             }
         } else {
             // Round-robin partition of the id-sorted list: worker w
             // advances sessions at positions w, w + workers, ... —
             // stable while the active prefix is stable, so a session
             // usually keeps hitting the same worker's warm engine
-            // cache. Results merge in worker order, keeping telemetry
-            // (not just outputs) schedule-independent.
+            // cache. Workers record telemetry straight into the shared
+            // metric cells; histogram merging is order-invariant by
+            // construction, so telemetry stays schedule-independent
+            // without the old end-of-round merge in worker order.
             let mut parts: Vec<Vec<&mut ActiveSession>> =
                 (0..workers).map(|_| Vec::new()).collect();
             for (i, s) in active.iter_mut().enumerate() {
                 parts[i % workers].push(s);
             }
-            let results: Vec<(f64, Vec<f64>)> = std::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let handles: Vec<_> = parts
                     .into_iter()
                     .zip(worker_states.iter_mut())
                     .map(|(part, ws)| {
+                        let metrics = &metrics;
                         scope.spawn(move || {
-                            let mut busy = 0.0f64;
-                            let mut lats: Vec<f64> = Vec::new();
                             for s in part {
                                 if s.done_streaming() {
                                     continue;
                                 }
                                 let t0 = Instant::now();
                                 s.step(&mut ws.engines, batch_len, &mut ws.scratch);
-                                let dt = t0.elapsed().as_secs_f64();
-                                s.stream_s += dt;
-                                busy += dt;
-                                lats.push(dt);
+                                let d = t0.elapsed();
+                                s.stream_s += d.as_secs_f64();
+                                metrics.record_step(d);
                             }
-                            (busy, lats)
                         })
                     })
                     .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("shard worker thread panicked"))
-                    .collect()
+                for h in handles {
+                    h.join().expect("shard worker thread panicked");
+                }
             });
-            for (busy, lats) in results {
-                busy_s += busy;
-                batch_latencies_s.extend(lats);
-            }
         }
         // Drain: move finished sessions out, preserving id order.
         let mut i = 0;
@@ -311,21 +374,18 @@ pub(crate) fn run_shard(
             if active[i].done_streaming() {
                 let s = active.remove(i);
                 outputs.push(s.finalize(shard_idx));
+                metrics.sessions.inc();
             } else {
                 i += 1;
             }
         }
     }
 
-    let stats = ShardStats {
-        shard: shard_idx,
-        workers,
-        sessions: outputs.len(),
-        batches: batch_latencies_s.len(),
-        busy_s,
-        alive_s: started.elapsed().as_secs_f64(),
-        batch_latencies_s,
-        engines: worker_states.iter().map(|w| w.engines.len()).sum(),
-    };
-    ShardDone { outputs, stats }
+    metrics
+        .engines
+        .set(worker_states.iter().map(|w| w.engines.len()).sum::<usize>() as f64);
+    metrics
+        .alive_ns
+        .add(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    outputs
 }

@@ -84,7 +84,7 @@ fn more_sessions_than_shards_all_complete_exactly_once() {
     ids.dedup();
     assert_eq!(ids.len(), n, "a session was duplicated or lost");
     assert_eq!(
-        report.shards.iter().map(|s| s.sessions).sum::<usize>(),
+        report.shards().iter().map(|s| s.sessions).sum::<usize>(),
         n,
         "shard session counts disagree with outputs"
     );
@@ -100,7 +100,7 @@ fn more_sessions_than_shards_all_complete_exactly_once() {
         assert_eq!(r, &reference, "session {}", out.id);
         assert_eq!(out.events, reference.events);
     }
-    for s in &report.shards {
+    for s in report.shards() {
         if s.sessions > 0 {
             assert_eq!(s.engines, 1, "same-config sessions must share one engine");
         }
@@ -228,11 +228,11 @@ fn shard_stats_are_consistent() {
         engine.open(spec(id, 1.0, modes::Count));
     }
     let report = engine.finish();
-    assert_eq!(report.shards.len(), 3);
+    assert_eq!(report.shards().len(), 3);
     let mut total_batches = 0usize;
-    for s in &report.shards {
+    for s in report.shards() {
         assert!(s.utilization() >= 0.0 && s.utilization() <= 1.0);
-        assert_eq!(s.batches, s.batch_latencies_s.len());
+        assert_eq!(s.batches, s.batch_latency_ns.count as usize);
         total_batches += s.batches;
     }
     // 1.0s at 312.5 Hz = 313 samples = ⌈313/16⌉ = 20 batches per session.

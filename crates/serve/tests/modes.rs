@@ -208,5 +208,5 @@ fn out_of_crate_mode_registers_and_serves_next_to_builtins() {
     assert_eq!(count_out.mode, "count");
     assert!(count_out.result.expect::<Option<f64>>().is_some());
     // The shard hosted the toy engine next to the built-in MUSIC engine.
-    assert!(report.shards[0].engines >= 2);
+    assert!(report.shards()[0].engines >= 2);
 }

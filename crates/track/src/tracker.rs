@@ -464,6 +464,7 @@ impl MultiTargetTracker {
     /// Processes one spectrogram column: the full
     /// predict–detect–associate–update–lifecycle cycle.
     pub fn push_column(&mut self, thetas_deg: &[f64], power_row: &[f64]) {
+        let _span = wivi_obs::span_with("track.window", self.window as u64);
         let w = self.window;
         let t = self.cfg.window_time_s(w);
         let dt = self.cfg.window_dt_s();

@@ -34,6 +34,12 @@
 //!   ([`SensingMode`](serve::SensingMode) + a keyed engine registry),
 //!   and fleet sessions share scenes copy-on-write through
 //!   [`SceneStore`](rf::SceneStore).
+//! * [`obs`] — zero-dependency observability: lock-light metrics
+//!   (counters, gauges, log-linear histograms), span tracing into
+//!   per-thread flight-recorder rings, kernel-level probes, and JSON /
+//!   Prometheus exporters. Off by default; `WIVI_OBS=1` turns it on,
+//!   and enabling it is bitwise invisible to every result (DESIGN.md
+//!   §13).
 //!
 //! ```no_run
 //! use wivi::prelude::*;
@@ -63,6 +69,7 @@
 pub use wivi_core as core;
 pub use wivi_image as image;
 pub use wivi_num as num;
+pub use wivi_obs as obs;
 pub use wivi_rf as rf;
 pub use wivi_sdr as sdr;
 pub use wivi_serve as serve;
