@@ -24,7 +24,7 @@ use wivi_bench::imaging::{
 };
 use wivi_bench::kernels::{run_kernels_bench, write_kernels_json};
 use wivi_bench::obs::{run_obs_bench, write_obs_json};
-use wivi_bench::serving::{run_serving_soak, write_serving_json, REALTIME_RATE};
+use wivi_bench::serving::{run_net_soak, run_serving_soak, write_serving_json, REALTIME_RATE};
 use wivi_bench::{quick_mode, report};
 use wivi_core::device::DEFAULT_BATCH_LEN;
 use wivi_core::WiViConfig;
@@ -305,9 +305,44 @@ fn main() {
         1e6 * oc.owned_acquire_s
     );
 
+    // ---- The wire-front stage: the same mixed workload arriving over
+    // loopback TCP — admission, framing, and completion routing on the
+    // serving path, with the shed rate reported instead of hidden.
+    let (net_sessions, net_duration) = if quick_mode() {
+        (8usize, 0.5)
+    } else {
+        (16, 1.0)
+    };
+    println!(
+        "\nserving net soak: {net_sessions} sessions over loopback TCP on {n_shards} shards × {workers} workers, {net_duration}s each"
+    );
+    let net = run_net_soak(
+        net_sessions,
+        n_shards,
+        workers,
+        net_duration,
+        DEFAULT_BATCH_LEN,
+        &WiViConfig::paper_default(),
+    );
+    assert_eq!(
+        net.outputs_delivered as u64, net.admitted,
+        "wire front lost sessions"
+    );
+    println!(
+        "  {} admitted / {} shed (rate {:.1}%), OPEN rtt {:.0}us, {:.0} samples/sec ⇒ {:.1} real-time sessions, {} events delivered",
+        net.admitted,
+        net.shed,
+        100.0 * net.shed_rate(),
+        1e6 * net.open_rtt_s,
+        net.samples_per_sec,
+        net.realtime_multiplex(),
+        net.events_delivered
+    );
+
     let spath = "BENCH_serving.json";
-    write_serving_json(spath, &soak, smode).expect("failed to write BENCH_serving.json");
-    println!("wrote {spath} ({smode} mode, {n_sessions} sessions × {sduration}s)");
+    write_serving_json(spath, &soak, smode, Some(&net))
+        .expect("failed to write BENCH_serving.json");
+    println!("wrote {spath} ({smode} mode, {n_sessions} sessions × {sduration}s + net stage)");
 
     // ---- The imaging stage: 2-D backprojection + CFAR localization on
     // the deterministic showcase lanes, scored against known positions.

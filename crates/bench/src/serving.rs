@@ -25,7 +25,11 @@ use wivi_rf::{
     GestureScript, GestureStyle, Material, Mover, Point, Scene, SceneHandle, SceneStore, Vec2,
     WaypointWalker,
 };
-use wivi_serve::{modes, ModeRef, ServeConfig, ServeEngine, ServeReport, SessionSpec};
+use wivi_serve::net::ClientError;
+use wivi_serve::{
+    modes, ModeRef, OpenRequest, ServeConfig, ServeEngine, ServeReport, SessionSpec, WireClient,
+    WireServer, WireServerConfig,
+};
 use wivi_track::TrackTargets;
 
 use crate::engine::{json_escape, MotionModel, ScenarioSpec};
@@ -169,15 +173,17 @@ fn timed_fleet_open(
         let t0 = Instant::now();
         let scene = acquire();
         acquire_s += t0.elapsed().as_secs_f64();
-        engine.open(
-            SessionSpec::builder(id)
-                .scene(scene)
-                .config(*config)
-                .seed(500 + id)
-                .duration_s(0.0)
-                .mode(modes::Count)
-                .build(),
-        );
+        engine
+            .open(
+                SessionSpec::builder(id)
+                    .scene(scene)
+                    .config(*config)
+                    .seed(500 + id)
+                    .duration_s(0.0)
+                    .mode(modes::Count)
+                    .build(),
+            )
+            .unwrap();
     }
     let report = engine.finish();
     let calibrate_s: f64 = report.outputs.iter().map(|o| o.calibrate_s).sum();
@@ -312,7 +318,7 @@ pub fn run_serving_soak(
         queue_capacity: 32,
     });
     for s in sessions {
-        engine.open(s);
+        engine.open(s).unwrap();
     }
     let report = engine.finish();
     ServingSoak {
@@ -327,9 +333,120 @@ pub fn run_serving_soak(
     }
 }
 
+/// What the wire soak measured: the same mixed-mode workload as the
+/// in-process soak, but arriving through the loopback TCP front —
+/// admission, framing, and completion routing included.
+pub struct NetSoak {
+    pub n_sessions: usize,
+    /// Sessions the admission gate accepted onto shard queues.
+    pub admitted: u64,
+    /// Sessions shed at the queue-full boundary.
+    pub shed: u64,
+    /// Mean OPEN → OPEN_OK round trip over loopback, seconds.
+    pub open_rtt_s: f64,
+    /// Client-side wall-clock from connect to BYE.
+    pub wall_s: f64,
+    /// Aggregate engine throughput behind the wire, samples/sec.
+    pub samples_per_sec: f64,
+    /// Events + outputs delivered to the client.
+    pub events_delivered: usize,
+    pub outputs_delivered: usize,
+}
+
+impl NetSoak {
+    /// Shed fraction of all OPEN attempts.
+    pub fn shed_rate(&self) -> f64 {
+        self.shed as f64 / (self.admitted + self.shed).max(1) as f64
+    }
+
+    /// Concurrent real-time sessions the wire path sustains.
+    pub fn realtime_multiplex(&self) -> f64 {
+        self.samples_per_sec / REALTIME_RATE
+    }
+}
+
+/// Runs the network soak: the mixed-mode session list served over a
+/// loopback [`WireServer`], one connection, default queue bound. A shed
+/// count > 0 here means the box cannot even enqueue the workload — the
+/// stage reports it rather than hiding it behind a blocking open.
+pub fn run_net_soak(
+    n_sessions: usize,
+    n_shards: usize,
+    workers_per_shard: usize,
+    duration_s: f64,
+    batch_len: usize,
+    config: &WiViConfig,
+) -> NetSoak {
+    let sessions = soak_sessions(n_sessions, duration_s, config);
+    let mut cfg = WireServerConfig::new(ServeConfig {
+        n_shards,
+        workers_per_shard,
+        batch_len,
+        queue_capacity: 32,
+    });
+    cfg.configs.push(("soak".into(), *config));
+    let requests: Vec<OpenRequest> = sessions
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let scene_name = format!("scene-{i}");
+            cfg.scenes.push((scene_name.clone(), s.scene.clone()));
+            OpenRequest {
+                id: s.id,
+                seed: s.seed,
+                duration_s: s.duration_s,
+                start_s: s.start_s,
+                mode: s.mode.tag().to_owned(),
+                scene: scene_name,
+                config: "soak".into(),
+            }
+        })
+        .collect();
+
+    let server = WireServer::start(cfg).expect("bind loopback");
+    let t0 = Instant::now();
+    let mut client = WireClient::connect(server.addr(), "soak").expect("connect loopback");
+    let (mut admitted, mut shed, mut rtt_s) = (0u64, 0u64, 0.0f64);
+    for req in requests {
+        let t = Instant::now();
+        match client.open(req) {
+            Ok(_) => {
+                rtt_s += t.elapsed().as_secs_f64();
+                admitted += 1;
+            }
+            Err(ClientError::Server { code, .. }) if code == "overloaded" => shed += 1,
+            Err(e) => panic!("net soak open failed: {e}"),
+        }
+    }
+    let fin = client.finish().expect("net soak drain");
+    let wall_s = t0.elapsed().as_secs_f64();
+    let report = server.shutdown().expect("net soak shutdown");
+    assert_eq!(
+        report.admitted, admitted,
+        "server/client admit disagreement"
+    );
+    assert_eq!(report.shed, shed, "server/client shed disagreement");
+    NetSoak {
+        n_sessions,
+        admitted,
+        shed,
+        open_rtt_s: rtt_s / admitted.max(1) as f64,
+        wall_s,
+        samples_per_sec: report.report.samples_per_sec(),
+        events_delivered: fin.events.len(),
+        outputs_delivered: fin.outputs.len(),
+    }
+}
+
 /// Writes `BENCH_serving.json`. Field documentation lives in the README
-/// ("Serving" section) and DESIGN.md §9.
-pub fn write_serving_json(path: &str, soak: &ServingSoak, mode: &str) -> std::io::Result<()> {
+/// ("Serving" section) and DESIGN.md §9/§14. `net` adds the wire-front
+/// soak block when that stage ran.
+pub fn write_serving_json(
+    path: &str,
+    soak: &ServingSoak,
+    mode: &str,
+    net: Option<&NetSoak>,
+) -> std::io::Result<()> {
     let r = &soak.report;
     let cores = r.snapshot.cores_available;
     let batch_budget_ms = 1e3 * soak.batch_len as f64 / REALTIME_RATE;
@@ -409,6 +526,25 @@ pub fn write_serving_json(path: &str, soak: &ServingSoak, mode: &str) -> std::io
         1e3 * oc.shared_open_s(),
         1e3 * oc.owned_open_s(),
     )?;
+    if let Some(n) = net {
+        writeln!(
+            f,
+            "  \"net\": {{\"sessions\": {}, \"admitted\": {}, \"shed\": {}, \
+             \"shed_rate\": {:.4}, \"open_rtt_us\": {:.2}, \"wall_clock_s\": {:.6}, \
+             \"samples_per_sec\": {:.2}, \"realtime_sessions_sustained\": {:.1}, \
+             \"events_delivered\": {}, \"outputs_delivered\": {}}},",
+            n.n_sessions,
+            n.admitted,
+            n.shed,
+            n.shed_rate(),
+            1e6 * n.open_rtt_s,
+            n.wall_s,
+            n.samples_per_sec,
+            n.realtime_multiplex(),
+            n.events_delivered,
+            n.outputs_delivered,
+        )?;
+    }
     writeln!(f, "  \"merged_events\": {},", r.events.len())?;
     writeln!(f, "  \"shard_stats\": [")?;
     for (i, s) in r.shards().iter().enumerate() {
@@ -522,11 +658,21 @@ mod tests {
         assert!(soak.report.samples_per_sec() > 0.0);
         assert!(soak.baseline.samples_per_sec() > 0.0);
 
+        // A tiny wire soak rides along so the JSON gains its "net"
+        // block: same workload shape, served over loopback TCP.
+        let net = run_net_soak(4, 2, 1, 0.25, 16, &cfg);
+        assert_eq!(net.admitted, 4);
+        assert_eq!(net.shed, 0, "default queue must not shed 4 sessions");
+        assert_eq!(net.outputs_delivered, 4);
+        assert!(net.open_rtt_s >= 0.0 && net.samples_per_sec > 0.0);
+
         let path = std::env::temp_dir().join("wivi_bench_serving_test.json");
         let path = path.to_str().unwrap();
-        write_serving_json(path, &soak, "quick").unwrap();
+        write_serving_json(path, &soak, "quick", Some(&net)).unwrap();
         let body = std::fs::read_to_string(path).unwrap();
         assert!(body.contains("\"benchmark\": \"wivi_serving_engine\""));
+        assert!(body.contains("\"net\": {\"sessions\": 4, \"admitted\": 4, \"shed\": 0,"));
+        assert!(body.contains("\"open_rtt_us\""));
         assert!(body.contains("\"speedup_vs_1_thread\""));
         assert!(body.contains("\"threads_used\": 4"));
         assert!(body.contains("\"workers_per_shard\": 2"));

@@ -128,6 +128,19 @@ pub fn to_prometheus(snap: &Snapshot) -> String {
     out
 }
 
+/// Wraps [`to_prometheus`] output in a complete HTTP/1.1 response —
+/// what a hand-rolled `/metrics` endpoint (the serving crate's wire
+/// listener) writes straight to the socket. `Connection: close` keeps
+/// the endpoint stateless: one scrape, one connection.
+pub fn to_prometheus_http(snap: &Snapshot) -> String {
+    let body = to_prometheus(snap);
+    format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,5 +193,21 @@ mod tests {
             last = v;
         }
         assert_eq!(last, 4);
+    }
+
+    #[test]
+    fn prometheus_http_response_has_exact_content_length() {
+        let s = sample_snapshot();
+        let resp = to_prometheus_http(&s);
+        assert!(resp.starts_with("HTTP/1.1 200 OK\r\n"));
+        let (head, body) = resp.split_once("\r\n\r\n").expect("blank line");
+        assert_eq!(body, to_prometheus(&s));
+        let declared: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("content-length header")
+            .parse()
+            .unwrap();
+        assert_eq!(declared, body.len());
     }
 }

@@ -19,15 +19,17 @@
 //! outputs or events — the `serving_equivalence` and determinism-matrix
 //! integration tests pin this.
 
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use wivi_num::{merge_streams, TimedStream};
 use wivi_obs::{HistogramSnapshot, Registry};
 use wivi_track::TrackEvent;
 
+use crate::error::ServeError;
 use crate::session::{SessionId, SessionOutput, SessionSpec};
-use crate::shard::{run_shard, Command, ShardChannel, ShardMetrics, ShardSnapshot};
+use crate::shard::{run_shard, Command, ShardChannel, ShardMetrics, ShardSnapshot, TryPushError};
 
 /// Engine sizing.
 #[derive(Clone, Copy, Debug)]
@@ -162,9 +164,15 @@ pub struct ServeReport {
 }
 
 impl ServeReport {
-    /// The output of session `id`, if it was served.
+    /// The output of session `id`, if it was served. `outputs` is
+    /// id-sorted (the engine sorts at `finish`), so this is a binary
+    /// search — O(log n) at wire-front session counts, where the old
+    /// linear scan made report post-processing quadratic.
     pub fn output(&self, id: SessionId) -> Option<&SessionOutput> {
-        self.outputs.iter().find(|o| o.id == id)
+        self.outputs
+            .binary_search_by_key(&id, |o| o.id)
+            .ok()
+            .map(|i| &self.outputs[i])
     }
 
     /// Total channel samples streamed across all sessions.
@@ -216,6 +224,50 @@ pub fn shard_of(id: SessionId, n_shards: usize) -> usize {
     (h % n_shards as u64) as usize
 }
 
+/// Finished sessions, delivered live. Shards push a clone of each
+/// [`SessionOutput`] here the moment the session finalizes — hundreds
+/// of batch rounds before `finish()` would surface it — so a serving
+/// front can stream results back to clients while the engine keeps
+/// running. The payload clone is an `Arc` bump. Cloning the queue
+/// handle shares the same underlying queue.
+#[derive(Clone, Default)]
+pub struct CompletionQueue(Arc<Mutex<VecDeque<SessionOutput>>>);
+
+impl CompletionQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn push(&self, out: SessionOutput) {
+        self.0
+            .lock()
+            .expect("completion queue poisoned")
+            .push_back(out);
+    }
+
+    /// Takes everything completed since the last drain, in completion
+    /// order (per shard; cross-shard interleave is scheduling). Never
+    /// blocks.
+    pub fn drain(&self) -> Vec<SessionOutput> {
+        self.0
+            .lock()
+            .expect("completion queue poisoned")
+            .drain(..)
+            .collect()
+    }
+
+    /// Completed-but-undrained outputs right now.
+    pub fn len(&self) -> usize {
+        self.0.lock().expect("completion queue poisoned").len()
+    }
+
+    /// `true` if nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// The sharded multi-session serving engine.
 pub struct ServeEngine {
     cfg: ServeConfig,
@@ -236,6 +288,21 @@ impl ServeEngine {
     /// # Panics
     /// Panics on an invalid configuration.
     pub fn start(cfg: ServeConfig) -> Self {
+        Self::start_inner(cfg, None)
+    }
+
+    /// [`Self::start`], plus a live [`CompletionQueue`] the shards push
+    /// every finished session into — what the network front drains to
+    /// stream outputs back without waiting for [`Self::finish`].
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration.
+    pub fn start_with_completions(cfg: ServeConfig) -> (Self, CompletionQueue) {
+        let q = CompletionQueue::new();
+        (Self::start_inner(cfg, Some(q.clone())), q)
+    }
+
+    fn start_inner(cfg: ServeConfig, completions: Option<CompletionQueue>) -> Self {
         cfg.validate();
         let registry = Registry::new();
         let channels: Vec<Arc<ShardChannel>> = (0..cfg.n_shards)
@@ -251,9 +318,10 @@ impl ServeEngine {
                 let chan = Arc::clone(chan);
                 let batch_len = cfg.batch_len;
                 let m = metrics[i].clone();
+                let q = completions.clone();
                 std::thread::Builder::new()
                     .name(format!("wivi-shard-{i}"))
-                    .spawn(move || run_shard(i, chan, batch_len, m))
+                    .spawn(move || run_shard(i, chan, batch_len, m, q))
                     .expect("failed to spawn shard worker")
             })
             .collect();
@@ -296,22 +364,30 @@ impl ServeEngine {
     /// engine's backpressure. The session streams to completion (or
     /// [`Self::close`]) on its shard.
     ///
-    /// # Panics
-    /// Panics on a duplicate session id.
-    pub fn open(&mut self, spec: SessionSpec) {
-        self.register(spec.id);
+    /// The id is registered only once the push succeeds (the same
+    /// contract as [`Self::try_open`]): a failed push does not burn the
+    /// id. Errors with [`ServeError::ShutDown`] — instead of panicking —
+    /// if the engine shuts down while this call blocks, and
+    /// [`ServeError::DuplicateId`] on an id reuse.
+    pub fn open(&mut self, spec: SessionSpec) -> Result<(), ServeError> {
+        self.check_unique(spec.id)?;
         let shard = self.shard_of(spec.id);
-        self.channels[shard].push_blocking(Command::Open(Box::new(spec)));
+        let id = spec.id;
+        self.channels[shard]
+            .push_blocking(Command::Open(Box::new(spec)))
+            .map_err(|_| ServeError::ShutDown)?;
+        self.opened_ids.push(id);
+        Ok(())
     }
 
-    /// Non-blocking [`Self::open`]: hands the spec back (boxed — it owns
-    /// a whole scene) if the target shard's queue is at capacity. The id
-    /// is then *not* considered used, so the caller may retry.
-    ///
-    /// # Panics
-    /// Panics on a duplicate session id.
-    pub fn try_open(&mut self, spec: SessionSpec) -> Result<(), Box<SessionSpec>> {
-        self.check_unique(spec.id);
+    /// Non-blocking [`Self::open`]: errors with
+    /// [`ServeError::QueueFull`] — handing the spec back (boxed — it
+    /// owns a whole scene) — if the target shard's queue is at
+    /// capacity. The id is then *not* considered used, so the caller
+    /// may retry; this queue-full boundary is where the admission
+    /// layer's overload shedding engages.
+    pub fn try_open(&mut self, spec: SessionSpec) -> Result<(), ServeError> {
+        self.check_unique(spec.id)?;
         let shard = self.shard_of(spec.id);
         let id = spec.id;
         match self.channels[shard].try_push(Command::Open(Box::new(spec))) {
@@ -319,30 +395,29 @@ impl ServeEngine {
                 self.opened_ids.push(id);
                 Ok(())
             }
-            Err(Command::Open(spec)) => Err(spec),
-            Err(Command::Close(_)) => unreachable!("pushed an Open"),
+            Err(TryPushError::Full(Command::Open(spec))) => Err(ServeError::QueueFull(spec)),
+            Err(TryPushError::Full(Command::Close(_))) => unreachable!("pushed an Open"),
+            Err(TryPushError::Shut) => Err(ServeError::ShutDown),
         }
     }
 
-    fn check_unique(&self, id: SessionId) {
-        assert!(
-            !self.opened_ids.contains(&id),
-            "duplicate session id {id}: ids must be unique for the engine's lifetime"
-        );
-    }
-
-    fn register(&mut self, id: SessionId) {
-        self.check_unique(id);
-        self.opened_ids.push(id);
+    fn check_unique(&self, id: SessionId) -> Result<(), ServeError> {
+        if self.opened_ids.contains(&id) {
+            return Err(ServeError::DuplicateId(id));
+        }
+        Ok(())
     }
 
     /// Requests an early close: the session drains at its next batch
     /// boundary, producing a prefix of its full output (no events lost
     /// or duplicated — the drain runs the normal finalize path).
-    /// Unknown or already-finished ids are ignored by the shard.
-    pub fn close(&mut self, id: SessionId) {
+    /// Unknown or already-finished ids are ignored by the shard. Errors
+    /// with [`ServeError::ShutDown`] if the engine shut down first.
+    pub fn close(&mut self, id: SessionId) -> Result<(), ServeError> {
         let shard = self.shard_of(id);
-        self.channels[shard].push_blocking(Command::Close(id));
+        self.channels[shard]
+            .push_blocking(Command::Close(id))
+            .map_err(|_| ServeError::ShutDown)
     }
 
     /// Declares the command stream complete, drains every shard, joins
@@ -382,7 +457,11 @@ impl ServeEngine {
 /// clock and their emission index, pre-sort by time (entry events are
 /// back-dated, so emission order is not time order), then k-way merge
 /// with ties broken by session id and emission order.
-fn merge_session_events(outputs: &[SessionOutput]) -> Vec<ServeEvent> {
+///
+/// `pub(crate)`: the wire server replays this exact merge over each
+/// connection's own outputs, so a connection's EVENT stream is the same
+/// deterministic function of its session set as the in-process report's.
+pub(crate) fn merge_session_events(outputs: &[SessionOutput]) -> Vec<ServeEvent> {
     let streams: Vec<TimedStream<ServeEvent>> = outputs
         .iter()
         .filter(|o| !o.events.is_empty())
@@ -435,5 +514,99 @@ mod tests {
         cfg.validate();
         let bad = ServeConfig { n_shards: 0, ..cfg };
         assert!(std::panic::catch_unwind(|| bad.validate()).is_err());
+    }
+
+    fn tiny_spec(id: SessionId) -> SessionSpec {
+        SessionSpec::new(
+            id,
+            wivi_rf::Scene::new(wivi_rf::Material::HollowWall6In),
+            wivi_core::WiViConfig::fast_test(),
+            1,
+            0.0,
+            crate::modes::Count,
+        )
+    }
+
+    /// Regression (PR 8): `open`/`close` racing a shutdown return a
+    /// clean [`ServeError::ShutDown`] — the old assert panicked and
+    /// poisoned the shard queue. The failed open must not burn the id.
+    #[test]
+    fn open_and_close_after_shutdown_error_cleanly() {
+        let mut engine = ServeEngine::start(ServeConfig::with_shards(1));
+        for ch in &engine.channels {
+            ch.shutdown();
+        }
+        let err = engine.open(tiny_spec(7)).unwrap_err();
+        assert!(matches!(err, ServeError::ShutDown), "got {err:?}");
+        assert!(
+            engine.opened_ids.is_empty(),
+            "a failed open must not register the id"
+        );
+        assert!(matches!(engine.close(7), Err(ServeError::ShutDown)));
+        // A second attempt with the same id still reports ShutDown, not
+        // DuplicateId — the id was never consumed.
+        assert!(matches!(
+            engine.open(tiny_spec(7)),
+            Err(ServeError::ShutDown)
+        ));
+        let report = engine.finish();
+        assert!(report.outputs.is_empty());
+    }
+
+    /// Duplicate ids are a clean error on both open paths (a malicious
+    /// or buggy wire client must not be able to panic the engine).
+    #[test]
+    fn duplicate_ids_error_on_both_open_paths() {
+        let mut engine = ServeEngine::start(ServeConfig::with_shards(1));
+        engine.open(tiny_spec(3)).unwrap();
+        assert!(matches!(
+            engine.open(tiny_spec(3)),
+            Err(ServeError::DuplicateId(3))
+        ));
+        assert!(matches!(
+            engine.try_open(tiny_spec(3)),
+            Err(ServeError::DuplicateId(3))
+        ));
+        let report = engine.finish();
+        assert_eq!(report.outputs.len(), 1);
+    }
+
+    #[test]
+    fn report_output_binary_search_finds_every_id() {
+        let mut engine = ServeEngine::start(ServeConfig::with_shards(2));
+        let ids: Vec<SessionId> = (0..9).map(|i| 5 + 11 * i).collect();
+        for &id in &ids {
+            engine.open(tiny_spec(id)).unwrap();
+        }
+        let report = engine.finish();
+        for &id in &ids {
+            assert_eq!(report.output(id).expect("served").id, id);
+        }
+        assert!(report.output(4).is_none());
+        assert!(report.output(9999).is_none());
+    }
+
+    #[test]
+    fn completion_queue_sees_every_session_before_finish() {
+        let (mut engine, completions) =
+            ServeEngine::start_with_completions(ServeConfig::with_shards(2));
+        for id in 0..4u64 {
+            engine.open(tiny_spec(id)).unwrap();
+        }
+        // Zero-duration sessions finalize on their first round; poll the
+        // live queue without finishing the engine.
+        let mut live = Vec::new();
+        let t0 = Instant::now();
+        while live.len() < 4 && t0.elapsed().as_secs() < 30 {
+            live.extend(completions.drain());
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(live.len(), 4, "completions not delivered live");
+        let report = engine.finish();
+        assert_eq!(report.outputs.len(), 4);
+        assert!(completions.is_empty(), "nothing new after the last drain");
+        let mut ids: Vec<u64> = live.iter().map(|o| o.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
     }
 }

@@ -56,15 +56,17 @@
 //! );
 //! let mut engine = ServeEngine::start(ServeConfig::with_shards(4));
 //! for id in 0..64 {
-//!     engine.open(
-//!         SessionSpec::builder(id)
-//!             .scene(room.clone()) // an Arc bump — no per-session scene copy
-//!             .config(WiViConfig::paper_default())
-//!             .seed(1000 + id)
-//!             .duration_s(4.0)
-//!             .mode(TrackTargets)
-//!             .build(),
-//!     );
+//!     engine
+//!         .open(
+//!             SessionSpec::builder(id)
+//!                 .scene(room.clone()) // an Arc bump — no per-session scene copy
+//!                 .config(WiViConfig::paper_default())
+//!                 .seed(1000 + id)
+//!                 .duration_s(4.0)
+//!                 .mode(TrackTargets)
+//!                 .build(),
+//!         )
+//!         .unwrap();
 //! }
 //! let report = engine.finish();
 //! println!(
@@ -140,14 +142,16 @@
 //! let scene = Scene::new(Material::HollowWall6In)
 //!     .with_office_clutter(Scene::conference_room_small());
 //! let mut engine = ServeEngine::start(ServeConfig::with_shards(1));
-//! engine.open(SessionSpec::new(
-//!     1,
-//!     scene,
-//!     WiViConfig::fast_test(),
-//!     9,
-//!     0.25,
-//!     mean_power,
-//! ));
+//! engine
+//!     .open(SessionSpec::new(
+//!         1,
+//!         scene,
+//!         WiViConfig::fast_test(),
+//!         9,
+//!         0.25,
+//!         mean_power,
+//!     ))
+//!     .unwrap();
 //! let report = engine.finish();
 //! let out = report.output(1).unwrap();
 //! assert_eq!(out.mode, "mean_power");
@@ -155,17 +159,27 @@
 //! assert!(mean.unwrap() > 0.0);
 //! ```
 
+pub mod admission;
 pub mod engine;
+pub mod error;
 pub mod mode;
 pub mod modes;
+pub mod net;
 pub mod session;
 pub mod shard;
+pub mod wire;
 
-pub use engine::{shard_of, ServeConfig, ServeEngine, ServeEvent, ServeReport, ServeSnapshot};
+pub use admission::{Admission, AdmissionConfig, AdmitError, TokenSpec};
+pub use engine::{
+    shard_of, CompletionQueue, ServeConfig, ServeEngine, ServeEvent, ServeReport, ServeSnapshot,
+};
+pub use error::ServeError;
 pub use mode::{ModeOutput, ModeRef, ModeRegistry, SensingMode};
+pub use net::{WireClient, WireServer, WireServerConfig, WireServerReport};
 pub use session::{SessionId, SessionOutput, SessionSpec, SessionSpecBuilder};
 pub use shard::ShardSnapshot;
 #[allow(deprecated)]
 pub use shard::ShardStats;
+pub use wire::{Frame, OpenRequest, WireError, WIRE_VERSION};
 // Re-exported so mode implementors depend only on this crate's surface.
 pub use wivi_core::{EngineCache, ShardEngine};

@@ -1,0 +1,774 @@
+//! The network front: one listener, one reactor thread, many
+//! connections, zero dependencies.
+//!
+//! [`WireServer::start`] binds a TCP listener and spawns a single
+//! reactor thread that *owns* the [`ServeEngine`], the
+//! [`Admission`] gate, and every connection. Ownership — not locking —
+//! is the concurrency model: the shard threads already provide the
+//! parallelism, so the network side stays a small poll loop over
+//! nonblocking sockets (std offers no epoll; with the workspace's
+//! zero-dependency rule, readiness is a read that returns
+//! `WouldBlock` and a short idle sleep — sub-millisecond reaction,
+//! no busy spin).
+//!
+//! Data flow per connection:
+//!
+//! ```text
+//! bytes in ──▶ sniff (WIVI magic | HTTP GET)
+//!   WIVI: frames ──▶ HELLO→auth, OPEN→admission→shard queue,
+//!                    CLOSE, FINISH
+//!   HTTP: GET /metrics ──▶ Prometheus text from the engine registry
+//! shards ──▶ CompletionQueue ──▶ reactor routes each finished
+//!   session to its owning connection; when a FINISHed connection's
+//!   sessions have all completed, the reactor replays the engine's
+//!   event merge over that connection's outputs and writes
+//!   EVENT* OUTPUT* BYE
+//! ```
+//!
+//! The wire path adds *no* computation of its own: outputs are encoded
+//! with [`wire::encode_session_output`] and events with
+//! [`wire::encode_serve_event`], the same public functions a test can
+//! apply to an in-process [`ServeReport`] — which
+//! is how `tests/serving_net.rs` pins the served bytes to the
+//! in-process bytes, bit for bit.
+
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use wivi_core::WiViConfig;
+use wivi_rf::SceneHandle;
+
+use crate::admission::{Admission, AdmissionConfig};
+use crate::engine::{
+    merge_session_events, CompletionQueue, ServeConfig, ServeEngine, ServeEvent, ServeReport,
+};
+use crate::mode::ModeRegistry;
+use crate::session::{SessionId, SessionOutput, SessionSpec};
+use crate::wire::{self, Frame, OpenRequest, WireError, WireOutput, MAGIC};
+
+/// Everything a [`WireServer`] needs: engine sizing, admission policy,
+/// and the server-side catalogs a wire `OPEN` resolves its names
+/// against.
+pub struct WireServerConfig {
+    pub serve: ServeConfig,
+    pub admission: AdmissionConfig,
+    /// Sensing modes reachable over the wire, by tag. The registry is
+    /// the wire-to-mode resolution point: registering a mode here makes
+    /// it remotely servable with no wire-format changes.
+    pub modes: ModeRegistry,
+    /// Named scenes an `OPEN` may reference.
+    pub scenes: Vec<(String, SceneHandle)>,
+    /// Named device configurations an `OPEN` may reference.
+    pub configs: Vec<(String, WiViConfig)>,
+    /// Bind address; `127.0.0.1:0` (loopback, ephemeral port) by
+    /// default.
+    pub bind: String,
+    /// How long `shutdown()` lets in-flight connections drain before
+    /// dropping them.
+    pub shutdown_grace: Duration,
+}
+
+impl WireServerConfig {
+    /// Open-access loopback server with the built-in modes — the test
+    /// and bench baseline. Add scenes/configs before starting.
+    pub fn new(serve: ServeConfig) -> Self {
+        Self {
+            serve,
+            admission: AdmissionConfig::open_access(),
+            modes: ModeRegistry::builtin(),
+            scenes: Vec::new(),
+            configs: Vec::new(),
+            bind: "127.0.0.1:0".to_owned(),
+            shutdown_grace: Duration::from_secs(10),
+        }
+    }
+
+    /// Registers a named scene.
+    pub fn scene(mut self, name: impl Into<String>, scene: impl Into<SceneHandle>) -> Self {
+        self.scenes.push((name.into(), scene.into()));
+        self
+    }
+
+    /// Registers a named device configuration.
+    pub fn config(mut self, name: impl Into<String>, cfg: WiViConfig) -> Self {
+        self.configs.push((name.into(), cfg));
+        self
+    }
+}
+
+/// What the reactor hands back at [`WireServer::shutdown`].
+pub struct WireServerReport {
+    /// The engine's final report — same type, same contents as the
+    /// in-process path's [`ServeEngine::finish`].
+    pub report: ServeReport,
+    /// Connections accepted over the server's lifetime.
+    pub connections: usize,
+    /// Sessions admitted through the wire.
+    pub admitted: u64,
+    /// Sessions shed at the admission boundary (placed shard queue
+    /// full).
+    pub shed: u64,
+}
+
+/// Handle to a running wire server. Dropping without
+/// [`shutdown`](Self::shutdown) leaks the reactor thread; tests and
+/// binaries should always shut down.
+pub struct WireServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<std::io::Result<WireServerReport>>>,
+}
+
+impl WireServer {
+    /// Binds, spawns the reactor, returns once the socket is live.
+    pub fn start(cfg: WireServerConfig) -> std::io::Result<WireServer> {
+        let listener = TcpListener::bind(&cfg.bind)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("wivi-net".into())
+            .spawn(move || Reactor::new(cfg, listener, flag).run())?;
+        Ok(WireServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains in-flight connections (bounded by the
+    /// configured grace), finishes the engine, and returns the final
+    /// report.
+    pub fn shutdown(mut self) -> std::io::Result<WireServerReport> {
+        self.stop.store(true, Ordering::Release);
+        let handle = self.handle.take().expect("shutdown called once");
+        handle
+            .join()
+            .unwrap_or_else(|p| std::panic::resume_unwind(p))
+    }
+}
+
+// ------------------------------------------------------------ reactor
+
+/// Per-connection protocol position.
+enum ConnState {
+    /// Waiting for the 4 sniff bytes: `WIVI` magic or an HTTP method.
+    Sniff,
+    /// Magic seen; the first frame must be HELLO.
+    AwaitHello,
+    /// Authenticated; accepts OPEN / CLOSE / FINISH.
+    Active { token: String },
+    /// FINISH received: no more commands; drain sessions then report.
+    Finished,
+    /// An HTTP request is accumulating (until the blank line).
+    Http,
+    /// Everything queued; close once the write buffer empties.
+    Draining,
+}
+
+struct Conn {
+    stream: TcpStream,
+    state: ConnState,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    /// Prefix of `wbuf` already written to the socket.
+    wpos: usize,
+    /// Sessions admitted on this connection, still running.
+    pending: usize,
+    /// Finished sessions routed back from the completion queue.
+    done: Vec<SessionOutput>,
+    closed: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            state: ConnState::Sniff,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            pending: 0,
+            done: Vec::new(),
+            closed: false,
+        }
+    }
+
+    fn queue_frame(&mut self, f: &Frame) {
+        f.encode_into(&mut self.wbuf);
+    }
+
+    /// Frames `payload` under `tag` straight into the write buffer —
+    /// the canonical bytes go on the wire untouched.
+    fn queue_raw(&mut self, tag: u8, payload: &[u8]) {
+        let len = (payload.len() + 2) as u32;
+        self.wbuf.extend_from_slice(&len.to_le_bytes());
+        self.wbuf.push(wire::WIRE_VERSION);
+        self.wbuf.push(tag);
+        self.wbuf.extend_from_slice(payload);
+    }
+
+    fn queue_error(&mut self, code: &str, id: SessionId, message: String) {
+        self.queue_frame(&Frame::Error {
+            code: code.to_owned(),
+            id,
+            message,
+        });
+    }
+
+    /// Queues an error and ends the conversation.
+    fn fail(&mut self, code: &str, message: String) {
+        self.queue_error(code, 0, message);
+        self.queue_frame(&Frame::Bye);
+        self.state = ConnState::Draining;
+    }
+}
+
+struct Reactor {
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+    engine: ServeEngine,
+    completions: CompletionQueue,
+    admission: Admission,
+    modes: ModeRegistry,
+    scenes: Vec<(String, SceneHandle)>,
+    configs: Vec<(String, WiViConfig)>,
+    grace: Duration,
+    conns: Vec<Option<Conn>>,
+    /// session id → slot in `conns`, for completion routing.
+    owner: HashMap<SessionId, usize>,
+    accepted: usize,
+}
+
+impl Reactor {
+    fn new(cfg: WireServerConfig, listener: TcpListener, stop: Arc<AtomicBool>) -> Self {
+        let (engine, completions) = ServeEngine::start_with_completions(cfg.serve);
+        let admission = Admission::new(cfg.admission, engine.registry());
+        Reactor {
+            listener,
+            stop,
+            engine,
+            completions,
+            admission,
+            modes: cfg.modes,
+            scenes: cfg.scenes,
+            configs: cfg.configs,
+            grace: cfg.shutdown_grace,
+            conns: Vec::new(),
+            owner: HashMap::new(),
+            accepted: 0,
+        }
+    }
+
+    fn run(mut self) -> std::io::Result<WireServerReport> {
+        let mut stopping: Option<Instant> = None;
+        loop {
+            let mut progressed = false;
+            if stopping.is_none() {
+                progressed |= self.accept_new();
+                if self.stop.load(Ordering::Acquire) {
+                    stopping = Some(Instant::now());
+                }
+            }
+            progressed |= self.pump_reads();
+            progressed |= self.route_completions();
+            self.flush_finished();
+            progressed |= self.pump_writes();
+            self.reap();
+            if let Some(t0) = stopping {
+                let drained = self.conns.iter().all(Option::is_none);
+                if drained || t0.elapsed() > self.grace {
+                    break;
+                }
+            }
+            if !progressed {
+                std::thread::sleep(Duration::from_micros(500));
+            }
+        }
+        // Snapshot admission counters before the engine (and its
+        // registry) is consumed by finish().
+        let snap = self.engine.registry().snapshot(false);
+        let admitted = snap.counter("serve.admission.admitted").unwrap_or(0);
+        let shed = snap.counter("serve.admission.shed").unwrap_or(0);
+        let report = self.engine.finish();
+        Ok(WireServerReport {
+            report,
+            connections: self.accepted,
+            admitted,
+            shed,
+        })
+    }
+
+    fn accept_new(&mut self) -> bool {
+        let mut any = false;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nonblocking(true);
+                    let _ = stream.set_nodelay(true);
+                    self.accepted += 1;
+                    any = true;
+                    let conn = Conn::new(stream);
+                    match self.conns.iter().position(Option::is_none) {
+                        Some(slot) => self.conns[slot] = Some(conn),
+                        None => self.conns.push(Some(conn)),
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+        any
+    }
+
+    fn pump_reads(&mut self) -> bool {
+        let mut any = false;
+        for slot in 0..self.conns.len() {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                continue;
+            };
+            if conn.closed || matches!(conn.state, ConnState::Draining) {
+                continue;
+            }
+            let mut buf = [0u8; 16 * 1024];
+            loop {
+                match conn.stream.read(&mut buf) {
+                    Ok(0) => {
+                        conn.closed = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.rbuf.extend_from_slice(&buf[..n]);
+                        any = true;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.closed = true;
+                        break;
+                    }
+                }
+            }
+            self.process(slot);
+        }
+        any
+    }
+
+    /// Advances one connection's protocol as far as its read buffer
+    /// allows.
+    fn process(&mut self, slot: usize) {
+        loop {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                return;
+            };
+            match &conn.state {
+                ConnState::Sniff => {
+                    if conn.rbuf.len() < 4 {
+                        return;
+                    }
+                    if conn.rbuf[..4] == MAGIC {
+                        conn.rbuf.drain(..4);
+                        conn.state = ConnState::AwaitHello;
+                    } else {
+                        // Anything else is treated as HTTP (in practice
+                        // `GET `): the same port serves /metrics.
+                        conn.state = ConnState::Http;
+                    }
+                }
+                ConnState::Http => {
+                    let Some(end) = find_blank_line(&conn.rbuf) else {
+                        return;
+                    };
+                    let head = String::from_utf8_lossy(&conn.rbuf[..end]).into_owned();
+                    conn.rbuf.clear();
+                    let response = self.http_response(&head);
+                    let conn = self.conns[slot].as_mut().expect("slot live");
+                    conn.wbuf.extend_from_slice(response.as_bytes());
+                    conn.state = ConnState::Draining;
+                }
+                ConnState::Draining | ConnState::Finished => return,
+                ConnState::AwaitHello | ConnState::Active { .. } => {
+                    let frame = match wire::split_frame(&conn.rbuf) {
+                        Ok(Some((frame, used))) => {
+                            conn.rbuf.drain(..used);
+                            frame
+                        }
+                        Ok(None) => return,
+                        Err(e) => {
+                            conn.fail("wire", format!("malformed frame: {e}"));
+                            return;
+                        }
+                    };
+                    self.handle_frame(slot, frame);
+                }
+            }
+        }
+    }
+
+    fn handle_frame(&mut self, slot: usize, frame: Frame) {
+        let conn = self.conns[slot].as_mut().expect("slot live");
+        match (&conn.state, frame) {
+            (ConnState::AwaitHello, Frame::Hello { token }) => {
+                match self.admission.authenticate(&token) {
+                    Ok(()) => {
+                        conn.queue_frame(&Frame::HelloOk);
+                        conn.state = ConnState::Active { token };
+                    }
+                    Err(e) => conn.fail(e.code(), e.to_string()),
+                }
+            }
+            (ConnState::AwaitHello, _) => {
+                conn.fail("protocol", "first frame must be HELLO".into());
+            }
+            (ConnState::Active { token }, Frame::Open(req)) => {
+                let token = token.clone();
+                self.handle_open(slot, &token, req);
+            }
+            (ConnState::Active { .. }, Frame::Close { id }) => {
+                if let Err(e) = self.engine.close(id) {
+                    let conn = self.conns[slot].as_mut().expect("slot live");
+                    conn.queue_error(e.tag(), id, e.to_string());
+                }
+            }
+            (ConnState::Active { .. }, Frame::Finish) => {
+                conn.state = ConnState::Finished;
+            }
+            (ConnState::Active { .. }, other) => {
+                conn.fail("protocol", format!("unexpected client frame: {other:?}"));
+            }
+            // Unreachable by construction: process() stops feeding
+            // frames in the other states.
+            (_, _) => {}
+        }
+    }
+
+    fn handle_open(&mut self, slot: usize, token: &str, req: OpenRequest) {
+        let id = req.id;
+        let Some(mode) = self.modes.get(&req.mode) else {
+            let conn = self.conns[slot].as_mut().expect("slot live");
+            conn.queue_error("unknown_mode", id, format!("no mode '{}'", req.mode));
+            return;
+        };
+        let Some(scene) = self
+            .scenes
+            .iter()
+            .find(|(n, _)| *n == req.scene)
+            .map(|(_, s)| s.clone())
+        else {
+            let conn = self.conns[slot].as_mut().expect("slot live");
+            conn.queue_error("unknown_scene", id, format!("no scene '{}'", req.scene));
+            return;
+        };
+        let Some(config) = self
+            .configs
+            .iter()
+            .find(|(n, _)| *n == req.config)
+            .map(|(_, c)| *c)
+        else {
+            let conn = self.conns[slot].as_mut().expect("slot live");
+            conn.queue_error("unknown_config", id, format!("no config '{}'", req.config));
+            return;
+        };
+        let spec = SessionSpec {
+            id,
+            scene,
+            config,
+            seed: req.seed,
+            duration_s: req.duration_s,
+            start_s: req.start_s,
+            mode,
+        };
+        match self.admission.admit(token, &mut self.engine, spec) {
+            Ok(shard) => {
+                self.owner.insert(id, slot);
+                let conn = self.conns[slot].as_mut().expect("slot live");
+                conn.pending += 1;
+                conn.queue_frame(&Frame::OpenOk {
+                    id,
+                    shard: shard as u32,
+                });
+            }
+            Err(e) => {
+                let conn = self.conns[slot].as_mut().expect("slot live");
+                conn.queue_error(e.code(), id, e.to_string());
+            }
+        }
+    }
+
+    /// Drains the completion queue and hands each finished session to
+    /// the connection that opened it.
+    fn route_completions(&mut self) -> bool {
+        let finished = self.completions.drain();
+        let any = !finished.is_empty();
+        for out in finished {
+            self.admission.session_done(out.id);
+            let Some(slot) = self.owner.remove(&out.id) else {
+                continue; // session opened in-process or conn long gone
+            };
+            if let Some(conn) = self.conns[slot].as_mut() {
+                conn.pending = conn.pending.saturating_sub(1);
+                conn.done.push(out);
+            }
+        }
+        any
+    }
+
+    /// For each FINISHed connection whose sessions have all completed:
+    /// replay the engine's event merge over its outputs, then write
+    /// EVENT* OUTPUT* BYE — the same deterministic function of the
+    /// session set as the in-process report.
+    fn flush_finished(&mut self) {
+        for conn in self.conns.iter_mut().flatten() {
+            if !matches!(conn.state, ConnState::Finished) || conn.pending > 0 {
+                continue;
+            }
+            let mut done = std::mem::take(&mut conn.done);
+            done.sort_by_key(|o| o.id);
+            for e in &merge_session_events(&done) {
+                conn.queue_raw(wire::tag::EVENT, &wire::encode_serve_event(e));
+            }
+            for out in &done {
+                conn.queue_raw(wire::tag::OUTPUT, &wire::encode_session_output(out));
+            }
+            conn.queue_frame(&Frame::Bye);
+            conn.state = ConnState::Draining;
+        }
+    }
+
+    fn pump_writes(&mut self) -> bool {
+        let mut any = false;
+        for conn in self.conns.iter_mut().flatten() {
+            if conn.closed {
+                continue;
+            }
+            while conn.wpos < conn.wbuf.len() {
+                match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+                    Ok(0) => {
+                        conn.closed = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.wpos += n;
+                        any = true;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.closed = true;
+                        break;
+                    }
+                }
+            }
+            if conn.wpos == conn.wbuf.len() && conn.wpos > 0 {
+                conn.wbuf.clear();
+                conn.wpos = 0;
+            }
+        }
+        any
+    }
+
+    /// Releases connections that are done: drained and flushed, or
+    /// dead. Their still-running sessions keep running (the engine owns
+    /// them); their completions will simply find no owner.
+    fn reap(&mut self) {
+        for slot in 0..self.conns.len() {
+            let done = match &self.conns[slot] {
+                Some(c) => {
+                    c.closed
+                        || (matches!(c.state, ConnState::Draining)
+                            && c.wpos == c.wbuf.len()
+                            && c.wbuf.is_empty())
+                }
+                None => false,
+            };
+            if done {
+                self.conns[slot] = None;
+                self.owner.retain(|_, s| *s != slot);
+            }
+        }
+    }
+
+    fn http_response(&self, head: &str) -> String {
+        let path = head.split_whitespace().nth(1).unwrap_or("/");
+        if path == "/metrics" {
+            wivi_obs::export::to_prometheus_http(&self.engine.registry().snapshot(false))
+        } else {
+            "HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\nConnection: close\r\n\r\n".to_owned()
+        }
+    }
+}
+
+fn find_blank_line(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
+}
+
+// ------------------------------------------------------------- client
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    Io(std::io::Error),
+    Wire(WireError),
+    /// The server answered with an `ERROR` frame.
+    Server {
+        code: String,
+        id: SessionId,
+        message: String,
+    },
+    /// The server sent a legal frame the client did not expect here.
+    Protocol(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Wire(e) => write!(f, "wire: {e}"),
+            ClientError::Server { code, id, message } => {
+                write!(f, "server error [{code}] session {id}: {message}")
+            }
+            ClientError::Protocol(what) => write!(f, "protocol: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// What [`WireClient::finish`] collects: the connection's merged event
+/// stream and its outputs (id order), both decoded *and* as the raw
+/// payload bytes the server sent — the bytes are the equivalence
+/// contract.
+pub struct FinishReport {
+    pub events: Vec<ServeEvent>,
+    pub outputs: Vec<WireOutput>,
+    /// Raw EVENT frame payloads, in arrival (= merge) order.
+    pub event_bytes: Vec<Vec<u8>>,
+    /// Raw OUTPUT frame payloads, in arrival (= id) order.
+    pub output_bytes: Vec<Vec<u8>>,
+}
+
+/// A small blocking client for the wire protocol — what tests, the
+/// bench soak, and the CI smoke speak.
+pub struct WireClient {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+}
+
+impl WireClient {
+    /// Connects, sends the magic, and authenticates.
+    pub fn connect(addr: SocketAddr, token: &str) -> Result<WireClient, ClientError> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        stream.write_all(&MAGIC)?;
+        let mut client = WireClient {
+            stream,
+            rbuf: Vec::new(),
+        };
+        client.send(&Frame::Hello {
+            token: token.to_owned(),
+        })?;
+        match client.read_frame()?.0 {
+            Frame::HelloOk => Ok(client),
+            Frame::Error { code, id, message } => Err(ClientError::Server { code, id, message }),
+            _ => Err(ClientError::Protocol("expected HELLO_OK")),
+        }
+    }
+
+    fn send(&mut self, f: &Frame) -> Result<(), ClientError> {
+        self.stream.write_all(&f.encode())?;
+        Ok(())
+    }
+
+    /// Reads one frame; returns it plus its raw payload bytes (after
+    /// the version and type bytes).
+    fn read_frame(&mut self) -> Result<(Frame, Vec<u8>), ClientError> {
+        loop {
+            if let Some((frame, used)) = wire::split_frame(&self.rbuf)? {
+                let payload = self.rbuf[6..used].to_vec();
+                self.rbuf.drain(..used);
+                return Ok((frame, payload));
+            }
+            let mut buf = [0u8; 16 * 1024];
+            let n = self.stream.read(&mut buf)?;
+            if n == 0 {
+                return Err(ClientError::Io(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "server closed mid-frame",
+                )));
+            }
+            self.rbuf.extend_from_slice(&buf[..n]);
+        }
+    }
+
+    /// Opens a session; returns the shard it was placed on.
+    pub fn open(&mut self, req: OpenRequest) -> Result<u32, ClientError> {
+        let want = req.id;
+        self.send(&Frame::Open(req))?;
+        match self.read_frame()?.0 {
+            Frame::OpenOk { id, shard } if id == want => Ok(shard),
+            Frame::OpenOk { .. } => Err(ClientError::Protocol("OPEN_OK for a different id")),
+            Frame::Error { code, id, message } => Err(ClientError::Server { code, id, message }),
+            _ => Err(ClientError::Protocol("expected OPEN_OK")),
+        }
+    }
+
+    /// Requests an early close for `id`.
+    pub fn close_session(&mut self, id: SessionId) -> Result<(), ClientError> {
+        self.send(&Frame::Close { id })
+    }
+
+    /// Declares the conversation over and blocks until the server has
+    /// drained every session opened here, returning the merged events
+    /// and outputs.
+    pub fn finish(mut self) -> Result<FinishReport, ClientError> {
+        self.send(&Frame::Finish)?;
+        let mut report = FinishReport {
+            events: Vec::new(),
+            outputs: Vec::new(),
+            event_bytes: Vec::new(),
+            output_bytes: Vec::new(),
+        };
+        loop {
+            let (frame, payload) = self.read_frame()?;
+            match frame {
+                Frame::Event(e) => {
+                    report.events.push(e);
+                    report.event_bytes.push(payload);
+                }
+                Frame::Output(o) => {
+                    report.outputs.push(o);
+                    report.output_bytes.push(payload);
+                }
+                Frame::Error { code, id, message } => {
+                    return Err(ClientError::Server { code, id, message })
+                }
+                Frame::Bye => return Ok(report),
+                _ => return Err(ClientError::Protocol("unexpected frame during drain")),
+            }
+        }
+    }
+}

@@ -64,6 +64,20 @@ struct QueueState {
     shut: bool,
 }
 
+/// The channel has been shut down: the command was not (and will never
+/// be) enqueued. Returned instead of panicking so a producer racing
+/// `finish()` gets a clean error and the queue mutex is never poisoned.
+#[derive(Debug)]
+pub(crate) struct ShutDown;
+
+/// Why [`ShardChannel::try_push`] refused a command.
+pub(crate) enum TryPushError {
+    /// The queue is at capacity; the command is handed back for retry.
+    Full(Command),
+    /// The channel is shut down; the command can never be delivered.
+    Shut,
+}
+
 impl ShardChannel {
     pub(crate) fn new(capacity: usize) -> Self {
         assert!(capacity >= 1, "queue capacity must be at least 1");
@@ -79,27 +93,35 @@ impl ShardChannel {
     }
 
     /// Enqueues, blocking while the queue is full (backpressure).
-    ///
-    /// # Panics
-    /// Panics if the channel is already shut down.
-    pub(crate) fn push_blocking(&self, cmd: Command) {
+    /// Returns [`ShutDown`] — instead of panicking and poisoning the
+    /// mutex — if the channel shuts down while this producer waits (or
+    /// already had): a connection racing `finish()` must not kill the
+    /// engine.
+    pub(crate) fn push_blocking(&self, cmd: Command) -> Result<(), ShutDown> {
         let mut st = self.state.lock().expect("shard queue poisoned");
-        while st.pending.len() >= st.capacity {
-            assert!(!st.shut, "shard queue shut down with producers waiting");
+        loop {
+            if st.shut {
+                return Err(ShutDown);
+            }
+            if st.pending.len() < st.capacity {
+                break;
+            }
             st = self.can_push.wait(st).expect("shard queue poisoned");
         }
-        assert!(!st.shut, "cannot submit to a finished engine");
         st.pending.push_back(cmd);
         self.has_work.notify_one();
+        Ok(())
     }
 
     /// Enqueues without blocking; hands the command back if the queue is
-    /// full.
-    pub(crate) fn try_push(&self, cmd: Command) -> Result<(), Command> {
+    /// full, and reports shutdown as an error rather than a panic.
+    pub(crate) fn try_push(&self, cmd: Command) -> Result<(), TryPushError> {
         let mut st = self.state.lock().expect("shard queue poisoned");
-        assert!(!st.shut, "cannot submit to a finished engine");
+        if st.shut {
+            return Err(TryPushError::Shut);
+        }
         if st.pending.len() >= st.capacity {
-            return Err(cmd);
+            return Err(TryPushError::Full(cmd));
         }
         st.pending.push_back(cmd);
         self.has_work.notify_one();
@@ -275,6 +297,7 @@ pub(crate) fn run_shard(
     chan: std::sync::Arc<ShardChannel>,
     batch_len: usize,
     metrics: ShardMetrics,
+    completions: Option<crate::engine::CompletionQueue>,
 ) -> Vec<SessionOutput> {
     let workers = metrics.workers;
     assert!(workers >= 1, "a shard needs at least one worker");
@@ -287,6 +310,9 @@ pub(crate) fn run_shard(
         .collect();
     let mut active: Vec<ActiveSession> = Vec::new();
     let mut outputs: Vec<SessionOutput> = Vec::new();
+    // Reused across rounds by the finished-session partition pass, so
+    // draining allocates only while the live set is still growing.
+    let mut keep: Vec<ActiveSession> = Vec::new();
 
     loop {
         let (cmds, shut) = chan.take(active.is_empty());
@@ -368,16 +394,24 @@ pub(crate) fn run_shard(
                 }
             });
         }
-        // Drain: move finished sessions out, preserving id order.
-        let mut i = 0;
-        while i < active.len() {
-            if active[i].done_streaming() {
-                let s = active.remove(i);
-                outputs.push(s.finalize(shard_idx));
-                metrics.sessions.inc();
-            } else {
-                i += 1;
+        // Drain: move finished sessions out in a single order-preserving
+        // partition pass (the old `remove(i)`-in-a-loop was O(n²) per
+        // round at wire-front session counts). `keep` is reused, so the
+        // common all-still-streaming round does no work at all.
+        if active.iter().any(ActiveSession::done_streaming) {
+            for s in active.drain(..) {
+                if s.done_streaming() {
+                    let out = s.finalize(shard_idx);
+                    metrics.sessions.inc();
+                    if let Some(q) = &completions {
+                        q.push(out.clone());
+                    }
+                    outputs.push(out);
+                } else {
+                    keep.push(s);
+                }
             }
+            std::mem::swap(&mut active, &mut keep);
         }
     }
 
@@ -388,4 +422,124 @@ pub(crate) fn run_shard(
         .alive_ns
         .add(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
     outputs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn close_cmd(id: u64) -> Command {
+        Command::Close(id)
+    }
+
+    /// Regression (PR 8): a producer blocked in `push_blocking` while
+    /// the channel shuts down must get a clean `ShutDown`, not an
+    /// assert that poisons the mutex — the exact race a networked
+    /// client opening against a finishing engine hits.
+    #[test]
+    fn blocked_push_gets_shutdown_error_without_poisoning() {
+        let chan = Arc::new(ShardChannel::new(1));
+        chan.push_blocking(close_cmd(0)).expect("first push fits");
+
+        let producer = {
+            let chan = Arc::clone(&chan);
+            std::thread::spawn(move || chan.push_blocking(close_cmd(1)))
+        };
+        // Let the producer reach the full-queue wait, then shut down.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        chan.shutdown();
+        let res = producer.join().expect("producer must not panic");
+        assert!(res.is_err(), "blocked push must observe the shutdown");
+
+        // The mutex survived: the channel still answers, and the one
+        // command enqueued before shutdown is still there (drainable).
+        assert_eq!(chan.queue_len(), 1, "pre-shutdown command lost");
+        let (cmds, shut) = chan.take(false);
+        assert_eq!(cmds.len(), 1);
+        assert!(shut);
+    }
+
+    /// Pushes after shutdown fail cleanly on both entry points.
+    #[test]
+    fn push_after_shutdown_is_an_error_not_a_panic() {
+        let chan = ShardChannel::new(4);
+        chan.shutdown();
+        assert!(chan.push_blocking(close_cmd(1)).is_err());
+        assert!(matches!(
+            chan.try_push(close_cmd(2)),
+            Err(TryPushError::Shut)
+        ));
+        assert_eq!(chan.queue_len(), 0);
+    }
+
+    /// No lost commands under a storm of producers racing shutdown:
+    /// every `Ok` push is delivered exactly once, every failed push is
+    /// absent, and nobody panics.
+    #[test]
+    fn racing_producers_lose_nothing_and_never_poison() {
+        for trial in 0..8u64 {
+            let chan = Arc::new(ShardChannel::new(2));
+            let producers: Vec<_> = (0..4u64)
+                .map(|p| {
+                    let chan = Arc::clone(&chan);
+                    std::thread::spawn(move || {
+                        let mut delivered = Vec::new();
+                        for k in 0..16u64 {
+                            let id = p * 1000 + k;
+                            if chan.push_blocking(Command::Close(id)).is_ok() {
+                                delivered.push(id);
+                            } else {
+                                // Shut: every later push must fail too.
+                                assert!(chan.push_blocking(Command::Close(id)).is_err());
+                                break;
+                            }
+                        }
+                        delivered
+                    })
+                })
+                .collect();
+
+            // A consumer draining concurrently, then a mid-stream shutdown.
+            let consumer = {
+                let chan = Arc::clone(&chan);
+                std::thread::spawn(move || {
+                    let mut seen = Vec::new();
+                    loop {
+                        let (cmds, shut) = chan.take(true);
+                        for c in cmds {
+                            match c {
+                                Command::Close(id) => seen.push(id),
+                                Command::Open(_) => unreachable!(),
+                            }
+                        }
+                        if shut {
+                            // One final non-blocking sweep after the flag.
+                            let (rest, _) = chan.take(false);
+                            for c in rest {
+                                if let Command::Close(id) = c {
+                                    seen.push(id);
+                                }
+                            }
+                            return seen;
+                        }
+                    }
+                })
+            };
+            std::thread::sleep(std::time::Duration::from_millis(1 + trial % 3));
+            chan.shutdown();
+
+            let mut delivered: Vec<u64> = producers
+                .into_iter()
+                .flat_map(|p| p.join().expect("producer panicked"))
+                .collect();
+            let mut seen = consumer.join().expect("consumer panicked");
+            delivered.sort_unstable();
+            seen.sort_unstable();
+            assert_eq!(
+                delivered, seen,
+                "acknowledged pushes were lost or duplicated"
+            );
+        }
+    }
 }

@@ -37,11 +37,11 @@ fn spec(id: u64, duration_s: f64, mode: impl Into<ModeRef>) -> SessionSpec {
 #[test]
 fn zero_duration_sessions_drain_cleanly() {
     let mut engine = ServeEngine::start(ServeConfig::with_shards(2));
-    engine.open(spec(1, 0.0, modes::Track));
-    engine.open(spec(2, 0.0, modes::TrackTargets));
-    engine.open(spec(3, 0.0, modes::Count));
-    engine.open(spec(4, 0.0, modes::Gestures));
-    engine.open(spec(5, 0.0, modes::Image));
+    engine.open(spec(1, 0.0, modes::Track)).unwrap();
+    engine.open(spec(2, 0.0, modes::TrackTargets)).unwrap();
+    engine.open(spec(3, 0.0, modes::Count)).unwrap();
+    engine.open(spec(4, 0.0, modes::Gestures)).unwrap();
+    engine.open(spec(5, 0.0, modes::Image)).unwrap();
     let report = engine.finish();
     assert_eq!(report.outputs.len(), 5);
     assert!(report.events.is_empty());
@@ -75,7 +75,7 @@ fn more_sessions_than_shards_all_complete_exactly_once() {
     let n = 6usize;
     let mut engine = ServeEngine::start(ServeConfig::with_shards(2));
     for id in 0..n as u64 {
-        engine.open(spec(id, 1.5, modes::TrackTargets));
+        engine.open(spec(id, 1.5, modes::TrackTargets)).unwrap();
     }
     let report = engine.finish();
     assert_eq!(report.outputs.len(), n);
@@ -119,9 +119,9 @@ fn closing_mid_stream_yields_an_exact_prefix_with_no_event_loss() {
     // duplicated at the cut.
     let duration = 60.0; // ~18'750 samples ≈ seconds of compute: close lands mid-stream
     let mut engine = ServeEngine::start(ServeConfig::with_shards(1));
-    engine.open(spec(9, duration, modes::TrackTargets));
+    engine.open(spec(9, duration, modes::TrackTargets)).unwrap();
     std::thread::sleep(std::time::Duration::from_millis(300));
-    engine.close(9);
+    engine.close(9).unwrap();
     let report = engine.finish();
 
     let out = report.output(9).expect("closed session must still report");
@@ -166,16 +166,18 @@ fn full_queue_backpressures_and_loses_nothing() {
         batch_len: 16,
         queue_capacity: 1,
     });
-    engine.open(spec(0, 0.5, modes::Count));
-    engine.open(spec(1, 0.5, modes::Count));
+    engine.open(spec(0, 0.5, modes::Count)).unwrap();
+    engine.open(spec(1, 0.5, modes::Count)).unwrap();
 
     let mut rejected = 0usize;
     let mut pending = spec(2, 0.5, modes::Count);
     loop {
         match engine.try_open(pending) {
             Ok(()) => break,
-            Err(back) => {
+            Err(e) => {
                 rejected += 1;
+                assert_eq!(e.tag(), "queue_full");
+                let back = e.into_spec().expect("QueueFull hands the spec back");
                 assert_eq!(back.id, 2, "rejected spec must come back intact");
                 pending = *back;
                 std::thread::sleep(std::time::Duration::from_millis(10));
@@ -202,20 +204,25 @@ fn full_queue_backpressures_and_loses_nothing() {
 #[test]
 fn duplicate_session_ids_are_rejected() {
     let mut engine = ServeEngine::start(ServeConfig::with_shards(1));
-    engine.open(spec(5, 0.5, modes::Count));
-    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        engine.open(spec(5, 0.5, modes::Count));
-    }));
-    assert!(r.is_err(), "duplicate id must panic");
+    engine.open(spec(5, 0.5, modes::Count)).unwrap();
+    let err = engine
+        .open(spec(5, 0.5, modes::Count))
+        .expect_err("duplicate id must be refused");
+    assert!(matches!(err, wivi_serve::ServeError::DuplicateId(5)));
+    // try_open enforces the same uniqueness.
+    let err = engine
+        .try_open(spec(5, 0.5, modes::Count))
+        .expect_err("duplicate id must be refused on try_open too");
+    assert_eq!(err.tag(), "duplicate_id");
     let report = engine.finish();
-    assert_eq!(report.outputs.len(), 1);
+    assert_eq!(report.outputs.len(), 1, "the refused opens must not run");
 }
 
 #[test]
 fn closing_unknown_or_finished_sessions_is_harmless() {
     let mut engine = ServeEngine::start(ServeConfig::with_shards(2));
-    engine.open(spec(1, 0.5, modes::Count));
-    engine.close(999); // never existed
+    engine.open(spec(1, 0.5, modes::Count)).unwrap();
+    engine.close(999).unwrap(); // never existed
     let report = engine.finish();
     assert_eq!(report.outputs.len(), 1);
     assert!(!report.outputs[0].closed_early);
@@ -225,7 +232,7 @@ fn closing_unknown_or_finished_sessions_is_harmless() {
 fn shard_stats_are_consistent() {
     let mut engine = ServeEngine::start(ServeConfig::with_shards(3));
     for id in 0..5u64 {
-        engine.open(spec(id, 1.0, modes::Count));
+        engine.open(spec(id, 1.0, modes::Count)).unwrap();
     }
     let report = engine.finish();
     assert_eq!(report.shards().len(), 3);

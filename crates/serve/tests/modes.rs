@@ -60,15 +60,17 @@ fn every_registered_mode_serves_and_returns_its_own_payload() {
     let reg = ModeRegistry::builtin();
     let mut engine = ServeEngine::start(ServeConfig::with_shards(2));
     for (i, mode) in reg.modes().iter().enumerate() {
-        engine.open(
-            SessionSpec::builder(i as u64)
-                .scene(scene())
-                .config(WiViConfig::fast_test())
-                .seed(100 + i as u64)
-                .duration_s(2.5)
-                .mode(mode.clone())
-                .build(),
-        );
+        engine
+            .open(
+                SessionSpec::builder(i as u64)
+                    .scene(scene())
+                    .config(WiViConfig::fast_test())
+                    .seed(100 + i as u64)
+                    .duration_s(2.5)
+                    .mode(mode.clone())
+                    .build(),
+            )
+            .unwrap();
     }
     let report = engine.finish();
     assert_eq!(report.outputs.len(), reg.len());
@@ -177,24 +179,28 @@ fn out_of_crate_mode_registers_and_serves_next_to_builtins() {
 
     // One toy session multiplexed with a built-in on the same engine.
     let mut engine = ServeEngine::start(ServeConfig::with_shards(1));
-    engine.open(
-        SessionSpec::builder(1)
-            .scene(scene())
-            .config(WiViConfig::fast_test())
-            .seed(7)
-            .duration_s(0.5)
-            .mode(toy)
-            .build(),
-    );
-    engine.open(
-        SessionSpec::builder(2)
-            .scene(scene())
-            .config(WiViConfig::fast_test())
-            .seed(8)
-            .duration_s(0.5)
-            .mode(reg.get("count").unwrap())
-            .build(),
-    );
+    engine
+        .open(
+            SessionSpec::builder(1)
+                .scene(scene())
+                .config(WiViConfig::fast_test())
+                .seed(7)
+                .duration_s(0.5)
+                .mode(toy)
+                .build(),
+        )
+        .unwrap();
+    engine
+        .open(
+            SessionSpec::builder(2)
+                .scene(scene())
+                .config(WiViConfig::fast_test())
+                .seed(8)
+                .duration_s(0.5)
+                .mode(reg.get("count").unwrap())
+                .build(),
+        )
+        .unwrap();
     let report = engine.finish();
     assert_eq!(report.outputs.len(), 2);
 

@@ -77,7 +77,7 @@ fn tracking_runner_is_identical_at_1_2_and_8_threads() {
 fn run_engine_workers(shards: usize, workers: usize, order: &[usize]) -> wivi::serve::ServeReport {
     let mut engine = ServeEngine::start(ServeConfig::with_shards_workers(shards, workers));
     for &i in order {
-        engine.open(session(i));
+        engine.open(session(i)).unwrap();
     }
     engine.finish()
 }

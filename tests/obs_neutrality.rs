@@ -24,7 +24,7 @@ fn guard() -> MutexGuard<'static, ()> {
 fn run_engine(shards: usize, workers: usize) -> wivi::serve::ServeReport {
     let mut engine = ServeEngine::start(ServeConfig::with_shards_workers(shards, workers));
     for i in 0..N_SESSIONS {
-        engine.open(session(i));
+        engine.open(session(i)).unwrap();
     }
     engine.finish()
 }

@@ -43,7 +43,7 @@ fn spec_with(i: usize, scene: impl Into<SceneHandle>) -> SessionSpec {
 fn run(shards: usize, order: &[usize], mut scene_of: impl FnMut() -> SceneHandle) -> ServeReport {
     let mut engine = ServeEngine::start(ServeConfig::with_shards(shards));
     for &i in order {
-        engine.open(spec_with(i, scene_of()));
+        engine.open(spec_with(i, scene_of())).unwrap();
     }
     engine.finish()
 }

@@ -22,7 +22,7 @@ fn served_sessions_equal_standalone_across_shard_counts() {
     for shards in [1usize, 3, 8] {
         let mut engine = ServeEngine::start(ServeConfig::with_shards(shards));
         for i in 0..N_SESSIONS {
-            engine.open(session(i));
+            engine.open(session(i)).unwrap();
         }
         let report = engine.finish();
         assert_eq!(
@@ -51,7 +51,7 @@ fn served_tracking_sessions_produce_nonempty_reports() {
     // actually exercise tracks, events, counting, and gesture decoding.
     let mut engine = ServeEngine::start(ServeConfig::with_shards(2));
     for i in 0..N_SESSIONS {
-        engine.open(session(i));
+        engine.open(session(i)).unwrap();
     }
     let report = engine.finish();
 
@@ -89,7 +89,7 @@ fn served_tracking_sessions_produce_nonempty_reports() {
 fn merged_event_stream_is_ordered_and_complete() {
     let mut engine = ServeEngine::start(ServeConfig::with_shards(2));
     for i in 0..N_SESSIONS {
-        engine.open(session(i));
+        engine.open(session(i)).unwrap();
     }
     let report = engine.finish();
 

@@ -1,0 +1,285 @@
+//! The network serving front, end to end over loopback TCP.
+//!
+//! The load-bearing test is byte identity: a mixed-mode session set
+//! served through the wire protocol must produce EVENT and OUTPUT
+//! frames whose payloads are *byte-identical* to encoding the
+//! in-process [`ServeReport`] with the same public canonical encoders.
+//! No tolerance, no decoded-then-compared structures — the wire bytes
+//! ARE the contract. Alongside it: overload shedding under a
+//! deliberately undersized queue (errors, not panics or stalls), wire
+//! admission errors with stable codes, the `/metrics` endpoint on the
+//! same port, and the 8-session smoke the CI leg runs.
+
+mod common;
+
+use std::io::{Read, Write};
+
+use common::{session, N_SESSIONS};
+use wivi::prelude::*;
+use wivi::serve::wire::{encode_serve_event, encode_session_output};
+use wivi::serve::{
+    AdmissionConfig, OpenRequest, SessionSpec, TokenSpec, WireClient, WireServer, WireServerConfig,
+};
+
+/// Registers each spec's scene/config under per-session names and
+/// returns the wire request that reopens exactly that session remotely.
+fn register(cfg: &mut WireServerConfig, i: usize, spec: &SessionSpec) -> OpenRequest {
+    let scene_name = format!("scene-{i}");
+    let config_name = format!("config-{i}");
+    cfg.scenes.push((scene_name.clone(), spec.scene.clone()));
+    cfg.configs.push((config_name.clone(), spec.config));
+    OpenRequest {
+        id: spec.id,
+        seed: spec.seed,
+        duration_s: spec.duration_s,
+        start_s: spec.start_s,
+        mode: spec.mode.tag().to_owned(),
+        scene: scene_name,
+        config: config_name,
+    }
+}
+
+fn simple_scene() -> Scene {
+    Scene::new(Material::HollowWall6In).with_office_clutter(Scene::conference_room_small())
+}
+
+#[test]
+fn loopback_wire_bytes_equal_in_process_encoding() {
+    // Server side: the standard mixed-mode set, scenes/configs
+    // registered by name.
+    let mut cfg = WireServerConfig::new(ServeConfig::with_shards(2));
+    let requests: Vec<OpenRequest> = (0..N_SESSIONS)
+        .map(|i| register(&mut cfg, i, &session(i)))
+        .collect();
+    let server = WireServer::start(cfg).expect("bind loopback");
+
+    let mut client = WireClient::connect(server.addr(), "any").expect("connect");
+    for req in requests {
+        client.open(req.clone()).unwrap_or_else(|e| {
+            panic!("open {} refused: {e}", req.id);
+        });
+    }
+    let served = client.finish().expect("drain");
+
+    // In-process reference: the same sessions through the same engine
+    // configuration, no network.
+    let mut engine = ServeEngine::start(ServeConfig::with_shards(2));
+    for i in 0..N_SESSIONS {
+        engine.open(session(i)).unwrap();
+    }
+    let reference = engine.finish();
+
+    // The merged event stream, byte for byte, in order.
+    assert_eq!(
+        served.event_bytes.len(),
+        reference.events.len(),
+        "served event count differs from the in-process merge"
+    );
+    for (k, (wire_bytes, event)) in served.event_bytes.iter().zip(&reference.events).enumerate() {
+        assert_eq!(
+            wire_bytes,
+            &encode_serve_event(event),
+            "merged event {k} differs on the wire"
+        );
+    }
+
+    // Every output, byte for byte, in id order.
+    assert_eq!(served.output_bytes.len(), reference.outputs.len());
+    for (wire_bytes, output) in served.output_bytes.iter().zip(&reference.outputs) {
+        assert_eq!(
+            wire_bytes,
+            &encode_session_output(output),
+            "session {} differs on the wire",
+            output.id
+        );
+    }
+
+    let report = server.shutdown().expect("shutdown");
+    assert_eq!(report.admitted, N_SESSIONS as u64);
+    assert_eq!(report.shed, 0, "nothing should shed at default capacity");
+    // The engine behind the wire saw exactly the same session set.
+    assert_eq!(report.report.outputs.len(), N_SESSIONS);
+}
+
+#[test]
+fn undersized_queue_sheds_with_errors_not_panics() {
+    // One shard with a 1-deep queue: a 16-open burst MUST overflow it.
+    // The correct behavior is an `overloaded` ERROR per shed session —
+    // the listener never blocks, never panics, and every admitted
+    // session still completes.
+    let mut serve = ServeConfig::with_shards_workers(1, 1);
+    serve.queue_capacity = 1;
+    let mut cfg = WireServerConfig::new(serve);
+    cfg.scenes.push(("room".into(), simple_scene().into()));
+    cfg.configs.push(("fast".into(), WiViConfig::fast_test()));
+    let server = WireServer::start(cfg).expect("bind");
+
+    let mut client = WireClient::connect(server.addr(), "any").expect("connect");
+    let mut admitted = 0u64;
+    let mut shed = 0u64;
+    for id in 0..16u64 {
+        let req = OpenRequest {
+            id: 100 + id,
+            seed: id,
+            duration_s: 0.5,
+            start_s: 0.0,
+            mode: "count".into(),
+            scene: "room".into(),
+            config: "fast".into(),
+        };
+        match client.open(req) {
+            Ok(_) => admitted += 1,
+            Err(wivi::serve::net::ClientError::Server { code, .. }) => {
+                assert_eq!(code, "overloaded", "shed must use the stable code");
+                shed += 1;
+            }
+            Err(other) => panic!("unexpected failure: {other}"),
+        }
+    }
+    assert!(shed > 0, "a 1-deep queue under a 16-open burst must shed");
+    assert!(admitted > 0, "the queue still admits between sheds");
+
+    let served = client.finish().expect("drain");
+    assert_eq!(
+        served.outputs.len() as u64,
+        admitted,
+        "every admitted session must complete; every shed one must not"
+    );
+
+    let report = server.shutdown().expect("shutdown");
+    assert_eq!(report.admitted, admitted);
+    assert_eq!(
+        report.shed, shed,
+        "server shed counter disagrees with client"
+    );
+    assert_eq!(report.report.outputs.len() as u64, admitted);
+}
+
+#[test]
+fn wire_admission_errors_have_stable_codes() {
+    let mut cfg = WireServerConfig::new(ServeConfig::with_shards_workers(1, 1));
+    cfg.admission = AdmissionConfig::with_tokens(vec![TokenSpec::new("alice", 1)]);
+    cfg.scenes.push(("room".into(), simple_scene().into()));
+    cfg.configs.push(("fast".into(), WiViConfig::fast_test()));
+    let server = WireServer::start(cfg).expect("bind");
+
+    // Unknown token: refused at HELLO.
+    match WireClient::connect(server.addr(), "mallory") {
+        Err(wivi::serve::net::ClientError::Server { code, .. }) => assert_eq!(code, "auth"),
+        other => panic!("expected auth refusal, got {other:?}", other = other.err()),
+    }
+
+    let mut client = WireClient::connect(server.addr(), "alice").expect("connect");
+    let req = |id: u64, mode: &str, scene: &str, config: &str| OpenRequest {
+        id,
+        seed: 1,
+        duration_s: 2.0,
+        start_s: 0.0,
+        mode: mode.into(),
+        scene: scene.into(),
+        config: config.into(),
+    };
+    let code_of = |r: Result<u32, wivi::serve::net::ClientError>| match r {
+        Err(wivi::serve::net::ClientError::Server { code, .. }) => code,
+        other => panic!("expected server error, got {other:?}", other = other.ok()),
+    };
+    assert_eq!(
+        code_of(client.open(req(1, "nope", "room", "fast"))),
+        "unknown_mode"
+    );
+    assert_eq!(
+        code_of(client.open(req(1, "count", "nope", "fast"))),
+        "unknown_scene"
+    );
+    assert_eq!(
+        code_of(client.open(req(1, "count", "room", "nope"))),
+        "unknown_config"
+    );
+    client
+        .open(req(1, "count", "room", "fast"))
+        .expect("in quota");
+    // alice's budget is 1 live session: the second open must bounce.
+    assert_eq!(
+        code_of(client.open(req(2, "count", "room", "fast"))),
+        "quota"
+    );
+    // Duplicate ids are refused before touching a shard.
+    assert_eq!(
+        code_of(client.open(req(1, "count", "room", "fast"))),
+        "quota"
+    );
+
+    let served = client.finish().expect("drain");
+    assert_eq!(served.outputs.len(), 1);
+    let report = server.shutdown().expect("shutdown");
+    assert_eq!(report.report.outputs.len(), 1);
+}
+
+#[test]
+fn metrics_endpoint_shares_the_wire_port() {
+    let mut cfg = WireServerConfig::new(ServeConfig::with_shards_workers(1, 1));
+    cfg.scenes.push(("room".into(), simple_scene().into()));
+    cfg.configs.push(("fast".into(), WiViConfig::fast_test()));
+    let server = WireServer::start(cfg).expect("bind");
+
+    // A plain HTTP GET on the same port the binary protocol uses.
+    let mut sock = std::net::TcpStream::connect(server.addr()).expect("connect");
+    sock.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    sock.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 200 OK"), "got: {response}");
+    assert!(
+        response.contains("wivi_serve_admission_admitted"),
+        "admission counters must be exported: {response}"
+    );
+    assert!(
+        response.contains("# TYPE"),
+        "must be Prometheus exposition format"
+    );
+
+    // Unknown paths 404 without disturbing the server.
+    let mut sock = std::net::TcpStream::connect(server.addr()).expect("connect");
+    sock.write_all(b"GET /nope HTTP/1.1\r\nHost: x\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    sock.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 404"));
+
+    server.shutdown().expect("shutdown");
+}
+
+/// The CI smoke: 8 loopback sessions, zero shed, clean shutdown.
+#[test]
+fn smoke_eight_sessions_zero_shed_clean_shutdown() {
+    let mut cfg = WireServerConfig::new(ServeConfig::with_shards(2));
+    cfg.scenes.push(("room".into(), simple_scene().into()));
+    cfg.configs.push(("fast".into(), WiViConfig::fast_test()));
+    let server = WireServer::start(cfg).expect("bind");
+
+    let mut client = WireClient::connect(server.addr(), "smoke").expect("connect");
+    for id in 0..8u64 {
+        client
+            .open(OpenRequest {
+                id,
+                seed: 40 + id,
+                duration_s: 0.25,
+                start_s: 0.0,
+                mode: "count".into(),
+                scene: "room".into(),
+                config: "fast".into(),
+            })
+            .expect("default queue must admit 8 sessions");
+    }
+    let served = client.finish().expect("drain");
+    assert_eq!(served.outputs.len(), 8);
+    // Outputs arrive in id order; ids survive the trip.
+    let ids: Vec<u64> = served.outputs.iter().map(|o| o.id).collect();
+    assert_eq!(ids, (0..8).collect::<Vec<u64>>());
+
+    let report = server.shutdown().expect("shutdown");
+    assert_eq!(report.connections, 1);
+    assert_eq!(report.admitted, 8);
+    assert_eq!(report.shed, 0, "smoke must not shed");
+    assert_eq!(report.report.outputs.len(), 8);
+}
