@@ -1,0 +1,141 @@
+//! CI gate over `BENCH_obs.json`: exits nonzero when any per-thread
+//! event cost or the gated pipeline overhead breaches the budget the
+//! artifact itself declares.
+//!
+//! ```text
+//! obs_gate [path/to/BENCH_obs.json]      # default: BENCH_obs.json
+//! ```
+//!
+//! The budgets are read from the artifact's own `"budget"` object —
+//! the bench and the gate can never disagree about the contract — and
+//! applied to *every* `events_ns` row: the costs are throughput-derived
+//! per-thread numbers (DESIGN.md §13), so 4 threads owes the same ≤
+//! 100 ns/span as 1 thread. The JSON is parsed with the same
+//! zero-dependency philosophy as the rest of the workspace: a small
+//! scanner good for exactly the shape `write_obs_json` emits.
+
+use std::process::ExitCode;
+
+/// Extracts the number following `"key": ` in `text`, if present.
+fn field(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Returns the balanced `{...}` slice that starts at the first `{` at
+/// or after `"key"`.
+fn object<'a>(text: &'a str, key: &str) -> Option<&'a str> {
+    let at = text.find(&format!("\"{key}\""))?;
+    let open = at + text[at..].find('{')?;
+    let mut depth = 0usize;
+    for (i, c) in text[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&text[open..=open + i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_obs.json".to_owned());
+    let body = match std::fs::read_to_string(&path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("obs_gate: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let Some(budget) = object(&body, "budget") else {
+        eprintln!("obs_gate: {path} has no \"budget\" object");
+        return ExitCode::FAILURE;
+    };
+    // (metric key, budget key) pairs gated per row.
+    let gates = [
+        ("counter_ns", "counter_ns"),
+        ("histogram_ns", "histogram_ns"),
+        ("span_ns", "span_ns"),
+    ];
+    let budgets: Vec<(&str, f64)> = gates
+        .iter()
+        .filter_map(|(metric, key)| field(budget, key).map(|v| (*metric, v)))
+        .collect();
+    if budgets.is_empty() {
+        eprintln!("obs_gate: {path} budget object declares no event budgets");
+        return ExitCode::FAILURE;
+    }
+
+    let mut breaches = 0u32;
+    let mut rows = 0u32;
+    // Each events_ns row is one line containing a "threads" field.
+    for line in body.lines() {
+        if !line.contains("\"threads\":") {
+            continue;
+        }
+        rows += 1;
+        let threads = field(line, "threads").unwrap_or(0.0);
+        for (metric, limit) in &budgets {
+            match field(line, metric) {
+                Some(v) if v <= *limit => {
+                    println!("ok    {metric} = {v:.2} ns ≤ {limit} ns at {threads} threads");
+                }
+                Some(v) => {
+                    eprintln!(
+                        "BREACH {metric} = {v:.2} ns > {limit} ns per-thread budget at \
+                         {threads} threads"
+                    );
+                    breaches += 1;
+                }
+                None => {
+                    eprintln!("obs_gate: row missing {metric}: {line}");
+                    breaches += 1;
+                }
+            }
+        }
+    }
+    if rows == 0 {
+        eprintln!("obs_gate: {path} has no events_ns rows");
+        return ExitCode::FAILURE;
+    }
+
+    // Pipeline overhead: the gated (noise-floored) fraction only —
+    // raw_frac is diagnostic and may legitimately be negative.
+    match (
+        field(budget, "pipeline_overhead_frac"),
+        object(&body, "pipeline_overhead").and_then(|o| field(o, "overhead_frac")),
+    ) {
+        (Some(limit), Some(v)) if v <= limit => {
+            println!("ok    pipeline overhead_frac = {v:.4} ≤ {limit}");
+        }
+        (Some(limit), Some(v)) => {
+            eprintln!("BREACH pipeline overhead_frac = {v:.4} > {limit}");
+            breaches += 1;
+        }
+        _ => {
+            eprintln!("obs_gate: {path} lacks pipeline_overhead.overhead_frac or its budget");
+            breaches += 1;
+        }
+    }
+
+    if breaches > 0 {
+        eprintln!("obs_gate: {breaches} budget breach(es) in {path}");
+        ExitCode::FAILURE
+    } else {
+        println!("obs_gate: {path} within budget ({rows} rows)");
+        ExitCode::SUCCESS
+    }
+}

@@ -430,11 +430,14 @@ fn main() {
         &rows,
     );
     println!(
-        "obs overhead: median {:.3}s off vs {:.3}s on per {:.0}s streamed ⇒ {:+.3}% wall-clock",
+        "obs overhead: median {:.3}s off vs {:.3}s on per {:.0}s streamed ⇒ {:.3}% gated \
+         (raw {:+.3}%, noise floor {:.3}%)",
         obs.overhead.off_s,
         obs.overhead.on_s,
         obs.overhead.duration_s,
-        100.0 * obs.overhead.overhead_frac()
+        100.0 * obs.overhead.overhead_frac(),
+        100.0 * obs.overhead.raw_frac,
+        100.0 * obs.overhead.noise_frac,
     );
 
     let opath = "BENCH_obs.json";

@@ -16,9 +16,14 @@ use wivi_core::WiViConfig;
 use wivi_rf::{Material, Mover, Point, Scene, WaypointWalker};
 use wivi_track::TrackTargets as _;
 
-/// ns/event of each primitive at one concurrency level. Events are
-/// measured per thread (each thread times its own loop; the row reports
-/// the mean), so single-core hosts still produce meaningful numbers.
+/// ns/event of each primitive at one concurrency level. Multi-thread
+/// rows report *throughput-derived per-thread cost*:
+/// `wall_ns × min(threads, cores) / total_events`. The earlier
+/// per-thread wall-clock mean scaled linearly with thread count on a
+/// single-core host — pure time-slicing, zero contention — and tripped
+/// the budget on CI; normalizing by the host's effective parallelism
+/// makes the number mean "CPU cost of one event" on any core count,
+/// so the per-thread budget is enforceable everywhere.
 #[derive(Clone, Debug)]
 pub struct ObsTimingRow {
     /// Threads recording concurrently into the *same* instruments.
@@ -38,6 +43,19 @@ pub struct ObsTimingRow {
 /// Passes interleave off/on and each side reports its *median* pass:
 /// interleaving cancels drift, the median discards scheduler outliers,
 /// and unlike a minimum it converges with a handful of passes.
+///
+/// The headline [`overhead_frac`](Self::overhead_frac) is *drift
+/// corrected*: the raw estimate is the median of the per-pass
+/// fractional deltas (each pass times off and on back to back, so
+/// slow process drift — allocator growth, thermal throttle — cancels
+/// within the pass), and it is floored at the measured pass-to-pass
+/// noise. An earlier build reported the signed ratio of the two
+/// global medians and published `-0.030` — the enabled side happening
+/// to draw quieter scheduler slots — which is not a number a budget
+/// gate can act on. Negative or within-noise estimates now read as
+/// zero; only genuine positive overhead beyond the noise floor
+/// survives into the gated value. The raw signed estimate is kept for
+/// diagnosis.
 #[derive(Clone, Debug)]
 pub struct ObsOverheadProbe {
     /// Simulated seconds streamed per run.
@@ -46,13 +64,54 @@ pub struct ObsOverheadProbe {
     pub off_s: f64,
     /// Median wall-clock with observability enabled, seconds.
     pub on_s: f64,
+    /// Median of per-pass `(on - off) / off` — drift-corrected but
+    /// still signed and noisy.
+    pub raw_frac: f64,
+    /// Noise floor: twice the median absolute deviation of the
+    /// per-pass fractional deltas (never below 0.2 %, the timer's
+    /// practical resolution at these run lengths).
+    pub noise_frac: f64,
 }
 
 impl ObsOverheadProbe {
-    /// Fractional overhead of enabling observability (negative means
-    /// the enabled run happened to be faster — timer noise).
+    /// Floor below which pass-to-pass spread is treated as timer
+    /// resolution even on an unnaturally quiet host.
+    pub const MIN_NOISE_FRAC: f64 = 0.002;
+
+    /// Computes the drift-corrected estimate from per-pass (off, on)
+    /// wall-clock pairs.
+    pub fn from_passes(duration_s: f64, offs: &[f64], ons: &[f64]) -> Self {
+        let median = |v: &mut Vec<f64>| {
+            v.sort_by(f64::total_cmp);
+            v[v.len() / 2]
+        };
+        let mut fracs: Vec<f64> = offs
+            .iter()
+            .zip(ons)
+            .map(|(off, on)| (on - off) / off.max(1e-12))
+            .collect();
+        let raw_frac = median(&mut fracs);
+        let mut devs: Vec<f64> = fracs.iter().map(|x| (x - raw_frac).abs()).collect();
+        let noise_frac = (2.0 * median(&mut devs)).max(Self::MIN_NOISE_FRAC);
+        let (mut offs, mut ons) = (offs.to_vec(), ons.to_vec());
+        ObsOverheadProbe {
+            duration_s,
+            off_s: median(&mut offs),
+            on_s: median(&mut ons),
+            raw_frac,
+            noise_frac,
+        }
+    }
+
+    /// Fractional overhead of enabling observability, gated on the
+    /// measured noise floor: zero unless the drift-corrected estimate
+    /// is positive and exceeds the pass-to-pass noise.
     pub fn overhead_frac(&self) -> f64 {
-        (self.on_s - self.off_s) / self.off_s.max(1e-12)
+        if self.raw_frac > self.noise_frac {
+            self.raw_frac
+        } else {
+            0.0
+        }
     }
 }
 
@@ -87,28 +146,54 @@ fn time_ns<F: FnMut(u64)>(mut f: F, reps: u64) -> f64 {
     best
 }
 
-/// Mean per-thread ns/iter with `threads` threads hammering `f`
-/// concurrently (a barrier lines up their starts; each thread keeps
-/// its own best-of-chunks estimate).
+/// Throughput-derived per-thread ns/iter with `threads` threads
+/// hammering `f` concurrently: `wall_ns × min(threads, cores) /
+/// total_events`, best of a few trials. Each trial lines the threads up
+/// on a barrier and times the whole phase by wall clock. Dividing wall
+/// time by *total* events and multiplying back by the host's effective
+/// parallelism reports CPU cost per event: on a one-core host the
+/// threads time-share (wall = threads × reps × t, effective = 1) and
+/// the ratio still comes out `t`, where the old per-thread wall-clock
+/// mean reported `threads × t` — a pure measurement artifact that
+/// tripped the budget. Real contention (cache-line bouncing, lock
+/// convoys) still stretches wall time and shows up.
 fn time_ns_threaded<F: Fn(u64) + Sync>(f: F, threads: usize, reps: u64) -> f64 {
     if threads == 1 {
         return time_ns(&f, reps);
     }
-    let barrier = Barrier::new(threads);
-    let per_thread: Vec<f64> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                let f = &f;
-                let barrier = &barrier;
-                scope.spawn(move || {
-                    barrier.wait();
-                    time_ns(f, reps)
+    for i in 0..reps / 10 + 1 {
+        f(i);
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let effective = threads.min(cores) as f64;
+    let total_events = (threads as u64 * reps) as f64;
+    let trials = 4;
+    let mut best = f64::MAX;
+    for _ in 0..trials {
+        let barrier = Barrier::new(threads + 1);
+        let wall_ns = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let f = &f;
+                    let barrier = &barrier;
+                    scope.spawn(move || {
+                        barrier.wait();
+                        for j in 0..reps {
+                            f(j);
+                        }
+                    })
                 })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    });
-    per_thread.iter().sum::<f64>() / threads as f64
+                .collect();
+            barrier.wait();
+            let t0 = Instant::now();
+            for h in handles {
+                h.join().unwrap();
+            }
+            t0.elapsed().as_nanos() as f64
+        });
+        best = best.min(wall_ns * effective / total_events);
+    }
+    best
 }
 
 /// The scene the overhead probe streams: one walker behind drywall.
@@ -195,19 +280,10 @@ pub fn run_obs_bench(quick: bool) -> ObsBenchReport {
     }
     wivi_obs::set_enabled(None);
     let _ = wivi_obs::drain();
-    let median = |v: &mut Vec<f64>| {
-        v.sort_by(f64::total_cmp);
-        v[v.len() / 2]
-    };
-    let (off_s, on_s) = (median(&mut offs), median(&mut ons));
 
     ObsBenchReport {
         rows,
-        overhead: ObsOverheadProbe {
-            duration_s,
-            off_s,
-            on_s,
-        },
+        overhead: ObsOverheadProbe::from_passes(duration_s, &offs, &ons),
     }
 }
 
@@ -217,9 +293,12 @@ pub fn write_obs_json(path: &str, report: &ObsBenchReport, mode: &str) -> std::i
     writeln!(f, "{{")?;
     writeln!(f, "  \"benchmark\": \"wivi_obs_overhead\",")?;
     writeln!(f, "  \"mode\": \"{}\",", crate::engine::json_escape(mode))?;
+    // Budgets apply to every row's throughput-derived per-thread cost —
+    // the obs_gate bin enforces them at each thread count, not just 1.
     writeln!(
         f,
-        "  \"budget\": {{\"counter_ns\": 20, \"span_ns\": 100, \"pipeline_overhead_frac\": 0.01}},"
+        "  \"budget\": {{\"per_thread\": true, \"counter_ns\": 20, \"histogram_ns\": 25, \
+         \"span_ns\": 100, \"pipeline_overhead_frac\": 0.01}},"
     )?;
     writeln!(f, "  \"events_ns\": [")?;
     for (i, r) in report.rows.iter().enumerate() {
@@ -236,10 +315,13 @@ pub fn write_obs_json(path: &str, report: &ObsBenchReport, mode: &str) -> std::i
     writeln!(
         f,
         "  \"pipeline_overhead\": {{\"duration_s\": {:.1}, \"off_s\": {:.6}, \
-         \"on_s\": {:.6}, \"overhead_frac\": {:.6}}}",
+         \"on_s\": {:.6}, \"raw_frac\": {:.6}, \"noise_frac\": {:.6}, \
+         \"overhead_frac\": {:.6}}}",
         o.duration_s,
         o.off_s,
         o.on_s,
+        o.raw_frac,
+        o.noise_frac,
         o.overhead_frac(),
     )?;
     writeln!(f, "}}")?;
@@ -256,7 +338,8 @@ mod tests {
         let c = reg.counter("bench.obs.test");
         let ns = time_ns_threaded(|_| c.inc(), 2, 10_000);
         assert!(ns > 0.0 && ns.is_finite());
-        assert_eq!(c.value(), 2 * (10_000 + 10_000 / 10 + 1));
+        // Warmup (reps/10 + 1) plus 4 trials of 2 threads × reps each.
+        assert_eq!(c.value(), (10_000 / 10 + 1) + 4 * 2 * 10_000);
 
         let report = ObsBenchReport {
             rows: vec![ObsTimingRow {
@@ -266,13 +349,13 @@ mod tests {
                 span_ns: 60.0,
                 span_disabled_ns: 1.0,
             }],
-            overhead: ObsOverheadProbe {
-                duration_s: 1.0,
-                off_s: 0.5,
-                on_s: 0.502,
-            },
+            overhead: ObsOverheadProbe::from_passes(1.0, &[0.50, 0.51, 0.50], &[0.55, 0.56, 0.55]),
         };
-        assert!((report.overhead.overhead_frac() - 0.004).abs() < 1e-9);
+        assert!((report.overhead.raw_frac - 0.1).abs() < 0.01);
+        assert!(
+            report.overhead.overhead_frac() > 0.05,
+            "genuine overhead must survive"
+        );
 
         let path = std::env::temp_dir().join("wivi_bench_obs_test.json");
         let path = path.to_str().unwrap();
@@ -282,7 +365,29 @@ mod tests {
         assert!(body.contains("\"events_ns\""));
         assert!(body.contains("\"span_disabled_ns\""));
         assert!(body.contains("\"pipeline_overhead\""));
+        assert!(body.contains("\"per_thread\": true"));
+        assert!(body.contains("\"noise_frac\""));
         assert!(body.contains("\"overhead_frac\""));
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn overhead_noise_floor_zeroes_artifacts_but_not_real_overhead() {
+        // The published artifact: enabled runs drawing quieter slots
+        // produced a *negative* global-median ratio. Drift-corrected
+        // per-pass medians plus the noise floor must read this as 0.
+        let p = ObsOverheadProbe::from_passes(4.0, &[0.197, 0.196, 0.198], &[0.191, 0.192, 0.190]);
+        assert!(p.raw_frac < 0.0, "raw stays signed for diagnosis");
+        assert_eq!(p.overhead_frac(), 0.0, "negative estimates never gate");
+
+        // A tiny positive estimate inside the noise band also reads 0.
+        let p = ObsOverheadProbe::from_passes(4.0, &[0.200, 0.190, 0.210], &[0.201, 0.205, 0.196]);
+        assert!(p.noise_frac >= ObsOverheadProbe::MIN_NOISE_FRAC);
+        assert!(p.raw_frac.abs() <= p.noise_frac, "test setup: within noise");
+        assert_eq!(p.overhead_frac(), 0.0);
+
+        // Unambiguous 10 % overhead on a quiet host survives untouched.
+        let p = ObsOverheadProbe::from_passes(4.0, &[0.200, 0.200, 0.200], &[0.220, 0.220, 0.220]);
+        assert!((p.overhead_frac() - 0.1).abs() < 1e-9);
     }
 }

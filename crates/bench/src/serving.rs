@@ -312,10 +312,8 @@ pub fn run_serving_soak(
     let open_cost = probe_open_cost(n_sessions.max(16), n_shards, config);
     let sessions = soak_sessions(n_sessions, duration_s, config);
     let mut engine = ServeEngine::start(ServeConfig {
-        n_shards,
-        workers_per_shard,
         batch_len,
-        queue_capacity: 32,
+        ..ServeConfig::with_shards_workers(n_shards, workers_per_shard)
     });
     for s in sessions {
         engine.open(s).unwrap();
@@ -379,10 +377,8 @@ pub fn run_net_soak(
 ) -> NetSoak {
     let sessions = soak_sessions(n_sessions, duration_s, config);
     let mut cfg = WireServerConfig::new(ServeConfig {
-        n_shards,
-        workers_per_shard,
         batch_len,
-        queue_capacity: 32,
+        ..ServeConfig::with_shards_workers(n_shards, workers_per_shard)
     });
     cfg.configs.push(("soak".into(), *config));
     let requests: Vec<OpenRequest> = sessions
@@ -399,6 +395,7 @@ pub fn run_net_soak(
                 mode: s.mode.tag().to_owned(),
                 scene: scene_name,
                 config: "soak".into(),
+                trace: None,
             }
         })
         .collect();

@@ -17,6 +17,18 @@
 //!   [`export::to_prometheus`] (text exposition format) over any
 //!   [`Snapshot`].
 //!
+//! Two request-scoped layers ride on top (DESIGN.md §15):
+//!
+//! * [`trace`] — seeded 64-bit trace ids and the [`TraceContext`] that
+//!   links a session's client-side and server-side spans under one id;
+//!   [`span_traced`] is the recording end, and [`capture_incident`]/
+//!   [`incidents`] the bounded flight-recorder dump an SLO breach
+//!   triggers.
+//! * [`window`] — [`WindowedHistogram`]/[`WindowedCounter`]: rolling
+//!   10 s/60 s views built from cumulative-snapshot diffs
+//!   ([`HistogramSnapshot::diff`]), merge-invariant like the
+//!   cumulative histograms they wrap.
+//!
 //! Everything is gated by the process-wide `WIVI_OBS` switch living in
 //! [`wivi_num::probe`] (re-exported here as [`enabled`]/
 //! [`set_enabled`]): off — the default — every probe, span, and hook
@@ -29,12 +41,19 @@
 pub mod export;
 pub mod metrics;
 pub mod spans;
+pub mod trace;
+pub mod window;
 
 pub use metrics::{
     bucket_bounds, bucket_of, global, Counter, Gauge, Histogram, HistogramSnapshot, Registry,
     Snapshot, N_BUCKETS,
 };
-pub use spans::{drain, event, overwritten, span, span_with, Span, SpanRecord};
+pub use spans::{
+    capture_incident, clear_incidents, drain, event, incidents, overwritten, snapshot_spans, span,
+    span_traced, span_with, Incident, Span, SpanRecord,
+};
+pub use trace::{fmt_trace, TraceContext, TraceIdGen, UNTRACED};
+pub use window::{WindowedCounter, WindowedHistogram, WINDOW_10S_NS, WINDOW_60S_NS};
 pub use wivi_num::probe::{enabled, set_enabled, thread_slot};
 
 /// Serializes tests that flip the process-wide [`set_enabled`] switch

@@ -46,6 +46,9 @@ pub struct SpanRecord {
     pub name: &'static str,
     /// Caller argument (session id, window index, …).
     pub arg: u64,
+    /// Request trace id ([`crate::trace::UNTRACED`] = 0 when the span
+    /// was opened outside any trace context).
+    pub trace: u64,
     /// Recording thread's [`thread_slot`].
     pub thread: u32,
 }
@@ -160,15 +163,29 @@ impl Ring {
     /// Copies out in insertion (completion-time) order and clears.
     fn take_ordered(&self) -> Vec<SpanRecord> {
         let mut r = self.lock();
+        let out = Self::ordered_copy(&r);
+        r.buf.clear();
+        r.next = 0;
+        out
+    }
+
+    /// Copies out in order *without* clearing — the incident capture
+    /// path, which must not steal spans from a later [`drain`].
+    fn copy_ordered(&self) -> Vec<SpanRecord> {
+        let r = self.lock();
+        Self::ordered_copy(&r)
+    }
+
+    fn ordered_copy(r: &RingInner) -> Vec<SpanRecord> {
+        // `next` only advances once the buffer is at capacity, so it
+        // being nonzero is exactly "the ring wrapped".
         let mut out = Vec::with_capacity(r.buf.len());
-        if r.buf.len() == self.cap && r.next > 0 {
+        if r.next > 0 {
             out.extend_from_slice(&r.buf[r.next..]);
             out.extend_from_slice(&r.buf[..r.next]);
         } else {
             out.extend_from_slice(&r.buf);
         }
-        r.buf.clear();
-        r.next = 0;
         out
     }
 }
@@ -196,7 +213,7 @@ thread_local! {
 /// Empty (a no-op) when observability is off at open time.
 #[must_use = "a span measures until it is dropped"]
 pub struct Span {
-    open: Option<(&'static str, u64, u64)>, // (name, arg, start_ns)
+    open: Option<(&'static str, u64, u64, u64)>, // (name, arg, trace, start_ns)
 }
 
 impl Span {
@@ -206,7 +223,7 @@ impl Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
-        if let Some((name, arg, start_ns)) = self.open.take() {
+        if let Some((name, arg, trace, start_ns)) = self.open.take() {
             let end = clock_ns();
             // One thread-local access does both the ring lookup and the
             // thread tag — the ring already knows whose it is.
@@ -216,6 +233,7 @@ impl Drop for Span {
                     dur_ns: end.saturating_sub(start_ns),
                     name,
                     arg,
+                    trace,
                     thread: r.thread,
                 });
             });
@@ -232,11 +250,19 @@ pub fn span(name: &'static str) -> Span {
 /// Opens a span named `name` carrying `arg` (session id, window index).
 #[inline]
 pub fn span_with(name: &'static str, arg: u64) -> Span {
+    span_traced(name, arg, 0)
+}
+
+/// Opens a span carrying both `arg` and a request `trace` id — the
+/// recording end of [`crate::trace::TraceContext`]. Pass trace `0`
+/// (untraced) to get exactly [`span_with`].
+#[inline]
+pub fn span_traced(name: &'static str, arg: u64, trace: u64) -> Span {
     if !enabled() {
         return Span { open: None };
     }
     Span {
-        open: Some((name, arg, clock_ns())),
+        open: Some((name, arg, trace, clock_ns())),
     }
 }
 
@@ -253,6 +279,7 @@ pub fn event(name: &'static str, arg: u64) {
             dur_ns: 0,
             name,
             arg,
+            trace: 0,
             thread: r.thread,
         });
     });
@@ -275,6 +302,125 @@ pub fn drain() -> Vec<SpanRecord> {
         .into_iter()
         .map(|(_, rec)| rec)
         .collect()
+}
+
+/// A copy of every ring's current contents, merged into one
+/// time-ordered stream *without clearing anything* — the read used by
+/// `/tracez` and incident capture, which must not steal spans from a
+/// later [`drain`].
+pub fn snapshot_spans() -> Vec<SpanRecord> {
+    let streams: Vec<TimedStream<SpanRecord>> = rings()
+        .lock()
+        .expect("span recorder poisoned")
+        .iter()
+        .map(|r| TimedStream {
+            tag: r.thread as u64,
+            items: r.copy_ordered(),
+        })
+        .collect();
+    merge_streams(&streams, |rec| rec.end_ns() as f64)
+        .into_iter()
+        .map(|(_, rec)| rec)
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Incident buffer: the flight-recorder dump an SLO breach triggers.
+
+/// Default bound on retained incidents (`WIVI_OBS_INCIDENTS`
+/// overrides).
+pub const DEFAULT_INCIDENT_CAPACITY: usize = 32;
+
+/// Spans kept per incident — the *newest* records across all rings at
+/// capture time; older context is cut so a burst of breaches cannot
+/// hold megabytes of span copies alive.
+pub const INCIDENT_SPAN_CAP: usize = 512;
+
+/// One captured flight-recorder dump: the spans that were in the rings
+/// when an SLO breach (or any other trigger) fired.
+#[derive(Clone, Debug)]
+pub struct Incident {
+    /// Monotone capture sequence number (process-wide).
+    pub seq: u64,
+    /// Static trigger name, e.g. `"slo.hop_budget"`.
+    pub reason: &'static str,
+    /// The offending entity (session id for SLO breaches).
+    pub arg: u64,
+    /// Trace id of the offending request (0 when untraced).
+    pub trace: u64,
+    /// The measured value that crossed the budget, in ns.
+    pub worst_ns: u64,
+    /// Capture time, ns on the [`clock_ns`] scale.
+    pub at_ns: u64,
+    /// The newest ≤ [`INCIDENT_SPAN_CAP`] spans at capture time,
+    /// completion-time ordered.
+    pub spans: Vec<SpanRecord>,
+}
+
+fn incident_capacity() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::env::var("WIVI_OBS_INCIDENTS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(DEFAULT_INCIDENT_CAPACITY)
+    })
+}
+
+fn incidents_store() -> &'static Mutex<std::collections::VecDeque<Incident>> {
+    static STORE: OnceLock<Mutex<std::collections::VecDeque<Incident>>> = OnceLock::new();
+    STORE.get_or_init(|| Mutex::new(std::collections::VecDeque::new()))
+}
+
+/// Captures a flight-recorder dump: copies the newest spans from every
+/// ring into the bounded incident buffer (drop-oldest when full).
+/// A no-op with the observability switch off. Returns the capture's
+/// sequence number, or `None` when disabled.
+pub fn capture_incident(reason: &'static str, arg: u64, trace: u64, worst_ns: u64) -> Option<u64> {
+    if !enabled() {
+        return None;
+    }
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let mut spans = snapshot_spans();
+    if spans.len() > INCIDENT_SPAN_CAP {
+        spans.drain(..spans.len() - INCIDENT_SPAN_CAP);
+    }
+    let incident = Incident {
+        seq,
+        reason,
+        arg,
+        trace,
+        worst_ns,
+        at_ns: clock_ns(),
+        spans,
+    };
+    let mut store = incidents_store().lock().expect("incident buffer poisoned");
+    if store.len() >= incident_capacity() {
+        store.pop_front();
+    }
+    store.push_back(incident);
+    Some(seq)
+}
+
+/// The retained incidents, oldest first (a copy; the buffer keeps
+/// them).
+pub fn incidents() -> Vec<Incident> {
+    incidents_store()
+        .lock()
+        .expect("incident buffer poisoned")
+        .iter()
+        .cloned()
+        .collect()
+}
+
+/// Empties the incident buffer (tests and explicit operator reset).
+pub fn clear_incidents() {
+    incidents_store()
+        .lock()
+        .expect("incident buffer poisoned")
+        .clear();
 }
 
 /// Total records overwritten (dropped to make room) across all rings
@@ -348,6 +494,72 @@ mod tests {
 
         // Drain cleared everything.
         assert!(drain().is_empty());
+    }
+
+    #[test]
+    fn traced_spans_carry_ids_and_snapshot_does_not_steal() {
+        let _g = crate::test_guard();
+        set_enabled(Some(true));
+        let _ = drain();
+        drop(span_traced("traced.step", 5, 0xfeed));
+        drop(span_with("untraced", 1));
+        let peek = snapshot_spans();
+        assert!(peek
+            .iter()
+            .any(|r| r.name == "traced.step" && r.trace == 0xfeed));
+        assert!(peek.iter().any(|r| r.name == "untraced" && r.trace == 0));
+        // Peeking is non-destructive: drain still sees everything.
+        let recs = drain();
+        set_enabled(None);
+        assert!(recs
+            .iter()
+            .any(|r| r.name == "traced.step" && r.trace == 0xfeed));
+        assert!(recs.iter().any(|r| r.name == "untraced"));
+    }
+
+    #[test]
+    fn incident_capture_is_bounded_and_preserves_rings() {
+        let _g = crate::test_guard();
+        set_enabled(Some(true));
+        clear_incidents();
+        let _ = drain();
+        drop(span_traced("slow.step", 9, 0xabc));
+        let seq = capture_incident("slo.hop_budget", 9, 0xabc, 500_000_000)
+            .expect("enabled capture returns a seq");
+        let inc = incidents();
+        assert_eq!(inc.len(), 1);
+        assert_eq!(inc[0].seq, seq);
+        assert_eq!(
+            (inc[0].reason, inc[0].arg, inc[0].trace, inc[0].worst_ns),
+            ("slo.hop_budget", 9, 0xabc, 500_000_000)
+        );
+        assert!(inc[0].spans.iter().any(|r| r.name == "slow.step"));
+        // Capture did not consume the rings.
+        assert!(drain().iter().any(|r| r.name == "slow.step"));
+
+        // The buffer is bounded drop-oldest.
+        for i in 0..2 * DEFAULT_INCIDENT_CAPACITY as u64 {
+            capture_incident("flood", i, 0, 0);
+        }
+        let inc = incidents();
+        assert!(inc.len() <= DEFAULT_INCIDENT_CAPACITY);
+        assert_eq!(
+            inc.last().unwrap().arg,
+            2 * DEFAULT_INCIDENT_CAPACITY as u64 - 1
+        );
+        for w in inc.windows(2) {
+            assert!(w[0].seq < w[1].seq, "incidents stay ordered");
+        }
+        clear_incidents();
+        // Force-off (None would re-arm the env read, which may say on
+        // when the suite itself runs under WIVI_OBS=1).
+        set_enabled(Some(false));
+        assert!(
+            capture_incident("off", 0, 0, 0).is_none(),
+            "disabled ⇒ no capture"
+        );
+        assert!(incidents().is_empty());
+        set_enabled(None);
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! Request-scoped trace identity: seeded 64-bit trace ids and the
+//! [`TraceContext`] that carries one across layer boundaries.
+//!
+//! Semantics (DESIGN.md §15):
+//!
+//! * A trace id is a nonzero `u64`; `0` means *untraced* and is what
+//!   every span records when no context is in scope. Ids come from
+//!   [`TraceIdGen`], a splitmix64 stream seeded by the caller — no
+//!   wall-clock, no global state, so a session opened with the same
+//!   seed gets the same trace id on every run and traced payloads stay
+//!   reproducible.
+//! * A [`TraceContext`] is just the id plus convenience constructors;
+//!   it crosses the wire as an optional field in OPEN frames (wire v2)
+//!   and rides `SessionSpec` through admission and shard placement so
+//!   the client-side open RTT span and the server-side
+//!   open/step/drain spans all carry the same id.
+//!
+//! The generator is the same splitmix64 the test fixtures use for
+//! deterministic sample data: full-period over `u64`, two rounds of
+//! xor-shift-multiply, and statistically independent outputs from
+//! consecutive states. Zero outputs are skipped so `0` stays reserved.
+
+/// The reserved "no trace" id recorded by spans opened without a
+/// context.
+pub const UNTRACED: u64 = 0;
+
+/// One splitmix64 step: maps any `u64` state to a well-mixed output.
+#[inline]
+fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A deterministic stream of nonzero 64-bit trace ids.
+///
+/// Two generators with the same seed emit the same sequence; distinct
+/// seeds emit statistically unrelated sequences. No wall-clock is
+/// involved, so traced payloads are bit-reproducible run to run.
+#[derive(Clone, Debug)]
+pub struct TraceIdGen {
+    state: u64,
+}
+
+impl TraceIdGen {
+    /// A generator seeded with `seed` (any value, including 0).
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// The next trace id — never [`UNTRACED`].
+    pub fn next_id(&mut self) -> u64 {
+        loop {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let id = splitmix64(self.state);
+            if id != UNTRACED {
+                return id;
+            }
+        }
+    }
+}
+
+/// A trace id in transit: the value threaded from client open, through
+/// the OPEN frame, admission, and shard placement, into the session's
+/// spans.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    id: u64,
+}
+
+impl TraceContext {
+    /// A context carrying `id` (pass [`UNTRACED`] for none).
+    pub fn new(id: u64) -> Self {
+        Self { id }
+    }
+
+    /// The absent context: spans record trace 0.
+    pub fn none() -> Self {
+        Self { id: UNTRACED }
+    }
+
+    /// Derives the context a fresh generator seeded with `seed` would
+    /// produce for its `n`-th id (0-based) — the deterministic
+    /// client-side rule: session *n* of a client seeded *s* always gets
+    /// the same trace id.
+    pub fn from_seed(seed: u64, n: u64) -> Self {
+        let mut g = TraceIdGen::new(seed);
+        let mut id = g.next_id();
+        for _ in 0..n {
+            id = g.next_id();
+        }
+        Self { id }
+    }
+
+    /// The raw id (0 when untraced).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Whether a real id is present.
+    pub fn is_traced(&self) -> bool {
+        self.id != UNTRACED
+    }
+
+    /// Opens a span carrying this context's id.
+    pub fn span(&self, name: &'static str, arg: u64) -> crate::spans::Span {
+        crate::spans::span_traced(name, arg, self.id)
+    }
+}
+
+/// Renders a trace id the way `/tracez` and log lines print it:
+/// 16 lowercase hex digits, `-` for untraced.
+pub fn fmt_trace(id: u64) -> String {
+    if id == UNTRACED {
+        "-".to_string()
+    } else {
+        format!("{id:016x}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_deterministic_nonzero_and_distinct() {
+        let mut a = TraceIdGen::new(42);
+        let mut b = TraceIdGen::new(42);
+        let ids: Vec<u64> = (0..1000).map(|_| a.next_id()).collect();
+        let again: Vec<u64> = (0..1000).map(|_| b.next_id()).collect();
+        assert_eq!(ids, again, "same seed must replay the same stream");
+        assert!(ids.iter().all(|&i| i != UNTRACED));
+        let mut dedup = ids.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len(), "ids must not collide in-stream");
+
+        let mut c = TraceIdGen::new(43);
+        assert_ne!(c.next_id(), ids[0], "different seeds diverge");
+    }
+
+    #[test]
+    fn from_seed_matches_generator_order() {
+        let mut g = TraceIdGen::new(7);
+        for n in 0..5u64 {
+            let id = g.next_id();
+            assert_eq!(TraceContext::from_seed(7, n).id(), id);
+        }
+    }
+
+    #[test]
+    fn context_and_formatting() {
+        assert!(!TraceContext::none().is_traced());
+        assert_eq!(TraceContext::none().id(), UNTRACED);
+        assert!(TraceContext::new(9).is_traced());
+        assert_eq!(fmt_trace(UNTRACED), "-");
+        assert_eq!(fmt_trace(0xdead_beef), "00000000deadbeef");
+        assert_eq!(fmt_trace(u64::MAX).len(), 16);
+    }
+}

@@ -29,7 +29,10 @@ use wivi_track::TrackEvent;
 
 use crate::error::ServeError;
 use crate::session::{SessionId, SessionOutput, SessionSpec};
-use crate::shard::{run_shard, Command, ShardChannel, ShardMetrics, ShardSnapshot, TryPushError};
+use crate::shard::{
+    run_shard, Command, ShardChannel, ShardMetrics, ShardSnapshot, SloMetrics, SloSummary,
+    TryPushError,
+};
 
 /// Engine sizing.
 #[derive(Clone, Copy, Debug)]
@@ -51,7 +54,16 @@ pub struct ServeConfig {
     /// Bound of each shard's command queue; `open` blocks when the
     /// target shard's queue is at capacity.
     pub queue_capacity: usize,
+    /// The SLO hop budget each batch window is held to, nanoseconds
+    /// (the paper's 400 ms end-to-end window budget by default).
+    /// Accounting only — nothing is throttled on a breach: the window
+    /// is tallied in `serve.slo.*`, and a session's first breach dumps
+    /// the span flight recorder into the incident buffer.
+    pub slo_budget_ns: u64,
 }
+
+/// The default SLO hop budget: the paper's 400 ms end-to-end window.
+pub const DEFAULT_SLO_BUDGET_NS: u64 = 400_000_000;
 
 impl ServeConfig {
     /// `n_shards` shards with the device's default batching, a
@@ -69,6 +81,7 @@ impl ServeConfig {
             workers_per_shard,
             batch_len: wivi_core::device::DEFAULT_BATCH_LEN,
             queue_capacity: 32,
+            slo_budget_ns: DEFAULT_SLO_BUDGET_NS,
         }
     }
 
@@ -89,6 +102,7 @@ impl ServeConfig {
         );
         assert!(self.batch_len >= 1, "batch length must be positive");
         assert!(self.queue_capacity >= 1, "queue capacity must be positive");
+        assert!(self.slo_budget_ns >= 1, "SLO budget must be positive");
     }
 }
 
@@ -134,6 +148,8 @@ pub struct ServeSnapshot {
     pub cores_available: usize,
     /// Per-shard serving telemetry, in shard order.
     pub shards: Vec<ShardSnapshot>,
+    /// How the run did against its SLO hop budget.
+    pub slo: SloSummary,
 }
 
 impl ServeSnapshot {
@@ -277,6 +293,7 @@ pub struct ServeEngine {
     /// into it live, [`Self::finish`] snapshots it into the report.
     registry: Registry,
     metrics: Vec<ShardMetrics>,
+    slo: SloMetrics,
     opened_ids: Vec<SessionId>,
     started: Instant,
 }
@@ -308,8 +325,9 @@ impl ServeEngine {
         let channels: Vec<Arc<ShardChannel>> = (0..cfg.n_shards)
             .map(|_| Arc::new(ShardChannel::new(cfg.queue_capacity)))
             .collect();
+        let slo = SloMetrics::register(&registry, cfg.slo_budget_ns);
         let metrics: Vec<ShardMetrics> = (0..cfg.n_shards)
-            .map(|i| ShardMetrics::register(&registry, i, cfg.workers_per_shard))
+            .map(|i| ShardMetrics::register(&registry, i, cfg.workers_per_shard, slo.clone()))
             .collect();
         let workers = channels
             .iter()
@@ -331,6 +349,7 @@ impl ServeEngine {
             workers,
             registry,
             metrics,
+            slo,
             opened_ids: Vec::new(),
             started: Instant::now(),
         }
@@ -358,6 +377,38 @@ impl ServeEngine {
     /// introspection).
     pub fn queue_len(&self, shard: usize) -> usize {
         self.channels[shard].queue_len()
+    }
+
+    /// `true` while shard `shard`'s worker thread is still running —
+    /// the `/healthz` liveness probe. A shard exits only at shutdown or
+    /// on a panic, so `false` before `finish()` means the shard died.
+    pub fn shard_alive(&self, shard: usize) -> bool {
+        !self.workers[shard].is_finished()
+    }
+
+    /// The engine's live SLO aggregate: windows under/over the hop
+    /// budget, the worst window, and sessions that breached.
+    pub fn slo_summary(&self) -> SloSummary {
+        self.slo.summary()
+    }
+
+    /// Rolling `(windows, windows_over)` SLO counts over the trailing
+    /// `window_ns` — the burn-rate-right-now readout behind
+    /// `/healthz`.
+    pub fn slo_rolling(&self, window_ns: u64) -> (u64, u64) {
+        self.slo.rolling(window_ns)
+    }
+
+    /// All shards' rolling batch-latency views over the trailing
+    /// `window_ns`, merged into one snapshot. Snapshot diff commutes
+    /// with merge, so this equals the rolling view of one engine-wide
+    /// histogram — partitioning across shards cannot change it.
+    pub fn rolling_batch_latency(&self, window_ns: u64) -> HistogramSnapshot {
+        let mut merged = HistogramSnapshot::empty();
+        for m in &self.metrics {
+            merged.merge(&m.rolling_batch(window_ns));
+        }
+        merged
     }
 
     /// Opens a session, blocking while its shard's queue is full — the
@@ -443,6 +494,7 @@ impl ServeEngine {
             threads_used: shards.iter().map(|s| s.workers).sum(),
             cores_available: std::thread::available_parallelism().map_or(1, |n| n.get()),
             shards,
+            slo: self.slo.summary(),
         };
         ServeReport {
             outputs,

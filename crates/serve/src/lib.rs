@@ -172,14 +172,15 @@ pub mod wire;
 pub use admission::{Admission, AdmissionConfig, AdmitError, TokenSpec};
 pub use engine::{
     shard_of, CompletionQueue, ServeConfig, ServeEngine, ServeEvent, ServeReport, ServeSnapshot,
+    DEFAULT_SLO_BUDGET_NS,
 };
 pub use error::ServeError;
 pub use mode::{ModeOutput, ModeRef, ModeRegistry, SensingMode};
 pub use net::{WireClient, WireServer, WireServerConfig, WireServerReport};
 pub use session::{SessionId, SessionOutput, SessionSpec, SessionSpecBuilder};
-pub use shard::ShardSnapshot;
 #[allow(deprecated)]
 pub use shard::ShardStats;
-pub use wire::{Frame, OpenRequest, WireError, WIRE_VERSION};
+pub use shard::{ShardSnapshot, SloSummary};
+pub use wire::{Frame, OpenRequest, WireError, MIN_WIRE_VERSION, WIRE_VERSION};
 // Re-exported so mode implementors depend only on this crate's surface.
 pub use wivi_core::{EngineCache, ShardEngine};

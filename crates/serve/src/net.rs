@@ -17,7 +17,13 @@
 //! bytes in ──▶ sniff (WIVI magic | HTTP GET)
 //!   WIVI: frames ──▶ HELLO→auth, OPEN→admission→shard queue,
 //!                    CLOSE, FINISH
-//!   HTTP: GET /metrics ──▶ Prometheus text from the engine registry
+//!   HTTP: GET /metrics ──▶ Prometheus text from the engine registry,
+//!                          plus rolling 10 s/60 s p50/p99 gauges
+//!         GET /healthz ──▶ shard liveness + queue depths + shed rate
+//!                          + SLO burn rate, JSON
+//!         GET /tracez  ──▶ recent traces (flight-recorder spans
+//!                          grouped by trace id) + incident buffer,
+//!                          JSON
 //! shards ──▶ CompletionQueue ──▶ reactor routes each finished
 //!   session to its owning connection; when a FINISHed connection's
 //!   sessions have all completed, the reactor replays the engine's
@@ -41,6 +47,9 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use wivi_core::WiViConfig;
+use wivi_obs::{
+    fmt_trace, Incident, SpanRecord, TraceIdGen, WindowedCounter, WINDOW_10S_NS, WINDOW_60S_NS,
+};
 use wivi_rf::SceneHandle;
 
 use crate::admission::{Admission, AdmissionConfig};
@@ -249,12 +258,18 @@ struct Reactor {
     /// session id → slot in `conns`, for completion routing.
     owner: HashMap<SessionId, usize>,
     accepted: usize,
+    /// Rolling view over the admission shed counter — the `/healthz`
+    /// shed rate. Ticked once per reactor iteration.
+    shed_window: WindowedCounter,
 }
 
 impl Reactor {
     fn new(cfg: WireServerConfig, listener: TcpListener, stop: Arc<AtomicBool>) -> Self {
         let (engine, completions) = ServeEngine::start_with_completions(cfg.serve);
         let admission = Admission::new(cfg.admission, engine.registry());
+        // Same get-or-create name the admission gate records into, so
+        // the window wraps the live counter, not a copy.
+        let shed_window = WindowedCounter::new(engine.registry().counter("serve.admission.shed"));
         Reactor {
             listener,
             stop,
@@ -268,6 +283,7 @@ impl Reactor {
             conns: Vec::new(),
             owner: HashMap::new(),
             accepted: 0,
+            shed_window,
         }
     }
 
@@ -286,6 +302,7 @@ impl Reactor {
             self.flush_finished();
             progressed |= self.pump_writes();
             self.reap();
+            self.shed_window.maybe_tick();
             if let Some(t0) = stopping {
                 let drained = self.conns.iter().all(Option::is_none);
                 if drained || t0.elapsed() > self.grace {
@@ -489,6 +506,7 @@ impl Reactor {
             duration_s: req.duration_s,
             start_s: req.start_s,
             mode,
+            trace: req.trace.unwrap_or(0),
         };
         match self.admission.admit(token, &mut self.engine, spec) {
             Ok(shard) => {
@@ -602,16 +620,221 @@ impl Reactor {
 
     fn http_response(&self, head: &str) -> String {
         let path = head.split_whitespace().nth(1).unwrap_or("/");
-        if path == "/metrics" {
-            wivi_obs::export::to_prometheus_http(&self.engine.registry().snapshot(false))
-        } else {
-            "HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\nConnection: close\r\n\r\n".to_owned()
+        match path {
+            "/metrics" => {
+                let mut snap = self.engine.registry().snapshot(false);
+                self.append_rolling(&mut snap);
+                wivi_obs::export::to_prometheus_http(&snap)
+            }
+            "/healthz" => {
+                let (status, body) = self.healthz_json();
+                http_json(status, &body)
+            }
+            "/tracez" => http_json("200 OK", &self.tracez_json()),
+            _ => "HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\nConnection: close\r\n\r\n"
+                .to_owned(),
         }
     }
+
+    /// Appends the rolling 10 s/60 s views as gauges, so `/metrics`
+    /// carries "latency now" next to the cumulative series. Gauges, not
+    /// histograms: a rolling quantile is a point-in-time readout.
+    fn append_rolling(&self, snap: &mut wivi_obs::Snapshot) {
+        for (label, window) in [("10s", WINDOW_10S_NS), ("60s", WINDOW_60S_NS)] {
+            let roll = self.engine.rolling_batch_latency(window);
+            let g = &mut snap.gauges;
+            g.push((
+                format!("serve.batch_latency_ns.p50.{label}"),
+                roll.quantile(50.0),
+            ));
+            g.push((
+                format!("serve.batch_latency_ns.p99.{label}"),
+                roll.quantile(99.0),
+            ));
+            g.push((
+                format!("serve.batch_latency_ns.count.{label}"),
+                roll.count as f64,
+            ));
+            let (windows, over) = self.engine.slo_rolling(window);
+            g.push((format!("serve.slo.windows.{label}"), windows as f64));
+            g.push((format!("serve.slo.windows_over.{label}"), over as f64));
+            g.push((
+                format!("serve.admission.shed.{label}"),
+                self.shed_window.rolling(window) as f64,
+            ));
+        }
+        snap.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+
+    /// The `/healthz` body: per-shard liveness and queue depth,
+    /// admission totals with the rolling shed rate, and the SLO
+    /// aggregate. Status 503 when any shard thread has died.
+    fn healthz_json(&self) -> (&'static str, String) {
+        let n_shards = self.engine.config().n_shards;
+        let mut all_alive = true;
+        let mut shards = String::new();
+        for i in 0..n_shards {
+            let alive = self.engine.shard_alive(i);
+            all_alive &= alive;
+            if i > 0 {
+                shards.push(',');
+            }
+            shards.push_str(&format!(
+                r#"{{"shard":{i},"alive":{alive},"queue":{}}}"#,
+                self.engine.queue_len(i)
+            ));
+        }
+        let snap = self.engine.registry().snapshot(false);
+        let admitted = snap.counter("serve.admission.admitted").unwrap_or(0);
+        let shed = snap.counter("serve.admission.shed").unwrap_or(0);
+        let slo = self.engine.slo_summary();
+        let (roll_windows, roll_over) = self.engine.slo_rolling(WINDOW_60S_NS);
+        let body = format!(
+            concat!(
+                r#"{{"status":"{status}","shards":[{shards}],"#,
+                r#""connections":{conns},"admitted":{admitted},"shed":{shed},"#,
+                r#""shed_per_sec_60s":{shed_rate:.6},"#,
+                r#""slo":{{"budget_ns":{budget},"windows":{windows},"#,
+                r#""windows_over":{over},"burn_rate":{burn:.6},"#,
+                r#""burn_rate_60s":{burn60:.6},"worst_ns":{worst},"#,
+                r#""breached_sessions":{breached}}},"#,
+                r#""obs_enabled":{obs}}}"#
+            ),
+            status = if all_alive { "ok" } else { "degraded" },
+            shards = shards,
+            conns = self.accepted,
+            admitted = admitted,
+            shed = shed,
+            shed_rate = self.shed_window.rate_per_sec(WINDOW_60S_NS),
+            budget = slo.budget_ns,
+            windows = slo.windows,
+            over = slo.windows_over,
+            burn = slo.burn_rate(),
+            burn60 = if roll_windows == 0 {
+                0.0
+            } else {
+                roll_over as f64 / roll_windows as f64
+            },
+            worst = slo.worst_ns,
+            breached = slo.breached_sessions,
+            obs = wivi_obs::enabled(),
+        );
+        (
+            if all_alive {
+                "200 OK"
+            } else {
+                "503 Service Unavailable"
+            },
+            body,
+        )
+    }
+
+    /// The `/tracez` body: a non-destructive snapshot of the span
+    /// flight recorder grouped by trace id (untraced spans are left to
+    /// the drain path), plus the incident buffer.
+    fn tracez_json(&self) -> String {
+        let spans = wivi_obs::snapshot_spans();
+        let mut order: Vec<u64> = Vec::new();
+        let mut groups: HashMap<u64, Vec<&SpanRecord>> = HashMap::new();
+        for rec in &spans {
+            if rec.trace == 0 {
+                continue;
+            }
+            groups
+                .entry(rec.trace)
+                .or_insert_with(|| {
+                    order.push(rec.trace);
+                    Vec::new()
+                })
+                .push(rec);
+        }
+        let mut traces = String::new();
+        for (i, trace) in order.iter().enumerate() {
+            if i > 0 {
+                traces.push(',');
+            }
+            traces.push_str(&format!(
+                r#"{{"trace":"{}","spans":[{}]}}"#,
+                fmt_trace(*trace),
+                join_spans(groups[trace].iter().copied())
+            ));
+        }
+        let incidents = wivi_obs::incidents();
+        let mut inc = String::new();
+        for (i, it) in incidents.iter().enumerate() {
+            if i > 0 {
+                inc.push(',');
+            }
+            inc.push_str(&incident_json(it));
+        }
+        format!(
+            r#"{{"traces":[{traces}],"incidents":[{inc}],"spans_overwritten":{}}}"#,
+            wivi_obs::overwritten()
+        )
+    }
+}
+
+/// Wraps a JSON body in a minimal HTTP/1.1 response.
+fn http_json(status: &str, body: &str) -> String {
+    format!(
+        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+fn span_json(rec: &SpanRecord) -> String {
+    format!(
+        r#"{{"name":"{}","arg":{},"start_ns":{},"dur_ns":{},"thread":{}}}"#,
+        rec.name, rec.arg, rec.start_ns, rec.dur_ns, rec.thread
+    )
+}
+
+fn join_spans<'a>(recs: impl Iterator<Item = &'a SpanRecord>) -> String {
+    let mut out = String::new();
+    for (i, rec) in recs.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&span_json(rec));
+    }
+    out
+}
+
+/// One incident row. The captured spans are bounded at the source
+/// ([`wivi_obs::spans::INCIDENT_SPAN_CAP`]); the JSON keeps only the
+/// newest few per incident and reports the full count.
+fn incident_json(it: &Incident) -> String {
+    const JSON_SPAN_CAP: usize = 32;
+    let tail = &it.spans[it.spans.len().saturating_sub(JSON_SPAN_CAP)..];
+    format!(
+        concat!(
+            r#"{{"seq":{},"reason":"{}","arg":{},"trace":"{}","#,
+            r#""worst_ns":{},"at_ns":{},"spans_total":{},"spans":[{}]}}"#
+        ),
+        it.seq,
+        it.reason,
+        it.arg,
+        fmt_trace(it.trace),
+        it.worst_ns,
+        it.at_ns,
+        it.spans.len(),
+        join_spans(tail.iter())
+    )
 }
 
 fn find_blank_line(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
+}
+
+/// FNV-1a over arbitrary bytes — the client's deterministic trace-seed
+/// derivation (same constants as [`crate::engine::shard_of`]).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
 }
 
 // ------------------------------------------------------------- client
@@ -676,10 +899,20 @@ pub struct FinishReport {
 pub struct WireClient {
     stream: TcpStream,
     rbuf: Vec<u8>,
+    /// Trace-id source for opens that did not bring their own id:
+    /// seeded from the token (deterministic, no wall clock), stepped
+    /// once per traced open.
+    traces: TraceIdGen,
+    /// The trace id the last [`open`](Self::open) carried (0 =
+    /// untraced).
+    last_trace: u64,
 }
 
 impl WireClient {
-    /// Connects, sends the magic, and authenticates.
+    /// Connects, sends the magic, and authenticates. The client's
+    /// trace-id generator is seeded from the token — deterministic, so
+    /// a replayed session produces the same ids ([`Self::trace_seed`]
+    /// reseeds explicitly).
     pub fn connect(addr: SocketAddr, token: &str) -> Result<WireClient, ClientError> {
         let mut stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
@@ -687,6 +920,8 @@ impl WireClient {
         let mut client = WireClient {
             stream,
             rbuf: Vec::new(),
+            traces: TraceIdGen::new(fnv1a(token.as_bytes())),
+            last_trace: 0,
         };
         client.send(&Frame::Hello {
             token: token.to_owned(),
@@ -696,6 +931,19 @@ impl WireClient {
             Frame::Error { code, id, message } => Err(ClientError::Server { code, id, message }),
             _ => Err(ClientError::Protocol("expected HELLO_OK")),
         }
+    }
+
+    /// Reseeds the trace-id generator (a fleet driver gives each client
+    /// its own seed so trace ids never collide across clients).
+    pub fn trace_seed(&mut self, seed: u64) {
+        self.traces = TraceIdGen::new(seed);
+    }
+
+    /// The trace id the most recent [`open`](Self::open) carried, 0
+    /// when it ran untraced — what a caller correlates against
+    /// `/tracez` and the server-side session spans.
+    pub fn last_trace(&self) -> u64 {
+        self.last_trace
     }
 
     fn send(&mut self, f: &Frame) -> Result<(), ClientError> {
@@ -725,7 +973,19 @@ impl WireClient {
     }
 
     /// Opens a session; returns the shard it was placed on.
-    pub fn open(&mut self, req: OpenRequest) -> Result<u32, ClientError> {
+    ///
+    /// With observability on, an `OPEN` that did not bring its own
+    /// trace id gets one from the client's generator; the id rides the
+    /// wire into the server-side session spans, and the whole
+    /// OPEN → OPEN_OK round trip is recorded client-side as a
+    /// `client.open_rtt` span under the same id — one trace links both
+    /// ends.
+    pub fn open(&mut self, mut req: OpenRequest) -> Result<u32, ClientError> {
+        if req.trace.is_none() && wivi_obs::enabled() {
+            req.trace = Some(self.traces.next_id());
+        }
+        self.last_trace = req.trace.unwrap_or(0);
+        let _span = wivi_obs::span_traced("client.open_rtt", req.id, self.last_trace);
         let want = req.id;
         self.send(&Frame::Open(req))?;
         match self.read_frame()?.0 {

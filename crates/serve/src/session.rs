@@ -50,6 +50,10 @@ pub struct SessionSpec {
     ///
     /// [`SensingMode`]: crate::SensingMode
     pub mode: ModeRef,
+    /// Request trace id linking this session's open/step/drain spans to
+    /// the client-side open span (0 = untraced). Observability only:
+    /// the session's outputs and events are bitwise independent of it.
+    pub trace: u64,
 }
 
 impl SessionSpec {
@@ -72,6 +76,7 @@ impl SessionSpec {
             duration_s,
             start_s: 0.0,
             mode: mode.into(),
+            trace: 0,
         }
     }
 
@@ -85,6 +90,7 @@ impl SessionSpec {
             duration_s: None,
             start_s: 0.0,
             mode: None,
+            trace: 0,
         }
     }
 }
@@ -116,6 +122,7 @@ pub struct SessionSpecBuilder {
     duration_s: Option<f64>,
     start_s: f64,
     mode: Option<ModeRef>,
+    trace: u64,
 }
 
 impl SessionSpecBuilder {
@@ -156,6 +163,13 @@ impl SessionSpecBuilder {
         self
     }
 
+    /// The request trace id carried into the session's spans
+    /// (default 0 = untraced).
+    pub fn trace(mut self, trace: u64) -> Self {
+        self.trace = trace;
+        self
+    }
+
     /// Assembles the spec.
     ///
     /// # Panics
@@ -176,6 +190,7 @@ impl SessionSpecBuilder {
             mode: self
                 .mode
                 .unwrap_or_else(|| panic!("session {id}: no mode set")),
+            trace: self.trace,
         }
     }
 }
@@ -229,6 +244,37 @@ pub(crate) struct ActiveSession {
     pub(crate) stream_s: f64,
     /// Set by an external close: drain at the next batch boundary.
     pub(crate) closing: bool,
+    /// Request trace id carried into every lifecycle span (0 =
+    /// untraced).
+    pub(crate) trace: u64,
+    /// Hop-budget accounting: batch windows that stayed under the SLO
+    /// budget, windows that went over, and the worst window seen.
+    /// Updated by the shard worker after each step.
+    pub(crate) slo: SessionSlo,
+}
+
+/// Per-session hop-budget tallies against the serving SLO (the paper's
+/// 400 ms end-to-end window budget by default).
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct SessionSlo {
+    pub(crate) under: u64,
+    pub(crate) over: u64,
+    pub(crate) worst_ns: u64,
+}
+
+impl SessionSlo {
+    /// Tallies one batch window of `d_ns` against `budget_ns`; returns
+    /// `true` when this window breached the budget.
+    pub(crate) fn note(&mut self, d_ns: u64, budget_ns: u64) -> bool {
+        self.worst_ns = self.worst_ns.max(d_ns);
+        if d_ns > budget_ns {
+            self.over += 1;
+            true
+        } else {
+            self.under += 1;
+            false
+        }
+    }
 }
 
 impl ActiveSession {
@@ -237,7 +283,7 @@ impl ActiveSession {
     /// configuration (the device derives the MUSIC noise floor from the
     /// radio), exactly as the standalone entry points do.
     pub(crate) fn open(spec: SessionSpec) -> Self {
-        let _span = wivi_obs::span_with("session.open", spec.id);
+        let _span = wivi_obs::span_traced("session.open", spec.id, spec.trace);
         let SessionSpec {
             id,
             scene,
@@ -246,6 +292,7 @@ impl ActiveSession {
             duration_s,
             start_s,
             mode,
+            trace,
         } = spec;
         let mut dev = WiViDevice::new(scene, config, seed);
         let t0 = std::time::Instant::now();
@@ -266,6 +313,8 @@ impl ActiveSession {
             calibrate_s,
             stream_s: 0.0,
             closing: false,
+            trace,
+            slo: SessionSlo::default(),
         }
     }
 
@@ -288,7 +337,7 @@ impl ActiveSession {
         if n == 0 {
             return;
         }
-        let _span = wivi_obs::span_with("session.step", self.id);
+        let _span = wivi_obs::span_traced("session.step", self.id, self.trace);
         self.dev.observe_batch_into(n, scratch);
         self.remaining -= n;
         self.state.step(engines, scratch);
@@ -297,7 +346,7 @@ impl ActiveSession {
     /// Drains the session into its output (the close step of the
     /// lifecycle). Consumes the session; the device is dropped here.
     pub(crate) fn finalize(self, shard: usize) -> SessionOutput {
-        let _span = wivi_obs::span_with("session.drain", self.id);
+        let _span = wivi_obs::span_traced("session.drain", self.id, self.trace);
         let n_samples = self.n_requested - self.remaining;
         let closed_early = self.remaining > 0;
         let n_columns = self.state.columns();

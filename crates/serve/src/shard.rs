@@ -27,12 +27,14 @@
 //! sensing mode's engines are hosted exactly like the built-ins'.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use wivi_core::EngineCache;
 use wivi_num::Complex64;
-use wivi_obs::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+use wivi_obs::{
+    Counter, Gauge, Histogram, HistogramSnapshot, Registry, WindowedCounter, WindowedHistogram,
+};
 
 use crate::session::{ActiveSession, SessionId, SessionOutput, SessionSpec};
 
@@ -187,12 +189,20 @@ pub(crate) struct ShardMetrics {
     engines: Gauge,
     /// Per-batch processing wall-clock, nanoseconds.
     batch_latency_ns: Histogram,
+    /// Rolling view over `batch_latency_ns` (~1 s ticks): what the
+    /// `/metrics` rolling p50/p99 lines read. `Arc`: the window's tick
+    /// ring is shared between the shard's workers and the engine.
+    batch_window: Arc<WindowedHistogram>,
+    /// Engine-wide SLO accounting the shard's workers tally into after
+    /// every batch step.
+    pub(crate) slo: SloMetrics,
 }
 
 impl ShardMetrics {
     /// Registers (or re-attaches to) shard `shard`'s metrics in `reg`.
-    pub(crate) fn register(reg: &Registry, shard: usize, workers: usize) -> Self {
+    pub(crate) fn register(reg: &Registry, shard: usize, workers: usize, slo: SloMetrics) -> Self {
         let name = |metric: &str| format!("serve.shard{shard}.{metric}");
+        let batch_latency_ns = reg.histogram(&name("batch_latency_ns"));
         Self {
             shard,
             workers,
@@ -200,7 +210,9 @@ impl ShardMetrics {
             busy_ns: reg.counter(&name("busy_ns")),
             alive_ns: reg.counter(&name("alive_ns")),
             engines: reg.gauge(&name("engines")),
-            batch_latency_ns: reg.histogram(&name("batch_latency_ns")),
+            batch_window: Arc::new(WindowedHistogram::new(batch_latency_ns.clone())),
+            batch_latency_ns,
+            slo,
         }
     }
 
@@ -209,6 +221,12 @@ impl ShardMetrics {
         self.busy_ns
             .add(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
         self.batch_latency_ns.record_duration(d);
+        self.batch_window.maybe_tick();
+    }
+
+    /// The rolling batch-latency view over the trailing `window_ns`.
+    pub(crate) fn rolling_batch(&self, window_ns: u64) -> HistogramSnapshot {
+        self.batch_window.rolling(window_ns)
     }
 
     /// The shard's current telemetry as one owned row.
@@ -277,6 +295,111 @@ impl ShardSnapshot {
     note = "renamed to ShardSnapshot; per-batch latencies are an obs histogram, not a raw vector"
 )]
 pub type ShardStats = ShardSnapshot;
+
+/// Engine-wide SLO accounting against the serving hop budget (the
+/// paper's 400 ms end-to-end window budget by default): every batch
+/// window is tallied under/over, and a session's *first* breach dumps
+/// the span flight recorder into the bounded incident buffer
+/// ([`wivi_obs::capture_incident`]). Registered once per engine under
+/// `serve.slo.*`; cloned into every shard's [`ShardMetrics`] so the
+/// `Arc`-backed rolling windows share one tick ring.
+#[derive(Clone)]
+pub(crate) struct SloMetrics {
+    /// The hop budget one batch window is held to, nanoseconds.
+    pub(crate) budget_ns: u64,
+    /// All batch windows measured (`serve.slo.windows`), with a rolling
+    /// view for burn-rate-over-the-last-minute readouts.
+    windows: Arc<WindowedCounter>,
+    /// Windows over budget (`serve.slo.windows_over`).
+    windows_over: Arc<WindowedCounter>,
+    /// Sessions that breached at least once
+    /// (`serve.slo.breached_sessions`).
+    breached_sessions: Counter,
+    /// Worst window seen, ns (`serve.slo.worst_ns`).
+    worst: Gauge,
+}
+
+impl SloMetrics {
+    /// Registers the engine-wide `serve.slo.*` metrics in `reg`.
+    pub(crate) fn register(reg: &Registry, budget_ns: u64) -> Self {
+        Self {
+            budget_ns,
+            windows: Arc::new(WindowedCounter::new(reg.counter("serve.slo.windows"))),
+            windows_over: Arc::new(WindowedCounter::new(reg.counter("serve.slo.windows_over"))),
+            breached_sessions: reg.counter("serve.slo.breached_sessions"),
+            worst: reg.gauge("serve.slo.worst_ns"),
+        }
+    }
+
+    /// Tallies one batch window of `d_ns` for session `s`. On the
+    /// session's first breach, bumps the breach counter and captures a
+    /// flight-recorder incident carrying the session's trace id.
+    fn note_step(&self, s: &mut ActiveSession, d_ns: u64) {
+        self.windows.counter().inc();
+        if s.slo.note(d_ns, self.budget_ns) {
+            self.windows_over.counter().inc();
+            if d_ns as f64 > self.worst.value() {
+                self.worst.set(d_ns as f64);
+            }
+            if s.slo.over == 1 {
+                self.breached_sessions.inc();
+                wivi_obs::capture_incident("slo.hop_budget", s.id, s.trace, d_ns);
+            }
+        }
+        self.windows.maybe_tick();
+        self.windows_over.maybe_tick();
+    }
+
+    /// Rolling `(windows, windows_over)` counts over the trailing
+    /// `window_ns`.
+    pub(crate) fn rolling(&self, window_ns: u64) -> (u64, u64) {
+        (
+            self.windows.rolling(window_ns),
+            self.windows_over.rolling(window_ns),
+        )
+    }
+
+    /// The cumulative aggregate, as surfaced in
+    /// [`ServeSnapshot`](crate::ServeSnapshot).
+    pub(crate) fn summary(&self) -> SloSummary {
+        SloSummary {
+            budget_ns: self.budget_ns,
+            windows: self.windows.counter().value(),
+            windows_over: self.windows_over.counter().value(),
+            breached_sessions: self.breached_sessions.value(),
+            worst_ns: self.worst.value() as u64,
+        }
+    }
+}
+
+/// The engine's SLO accounting, aggregated: how the serving run did
+/// against its hop budget.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SloSummary {
+    /// The budget each batch window was held to, nanoseconds.
+    pub budget_ns: u64,
+    /// Batch windows measured.
+    pub windows: u64,
+    /// Windows that went over budget.
+    pub windows_over: u64,
+    /// Sessions that breached at least once (each triggered one
+    /// flight-recorder incident).
+    pub breached_sessions: u64,
+    /// The worst window seen, nanoseconds.
+    pub worst_ns: u64,
+}
+
+impl SloSummary {
+    /// Fraction of measured windows that went over budget (0 when
+    /// nothing was measured).
+    pub fn burn_rate(&self) -> f64 {
+        if self.windows == 0 {
+            0.0
+        } else {
+            self.windows_over as f64 / self.windows as f64
+        }
+    }
+}
 
 /// One worker thread's private compute state: its own engine cache and
 /// per-batch scratch, so workers of one shard share no mutable state.
@@ -354,6 +477,9 @@ pub(crate) fn run_shard(
                 let d = t0.elapsed();
                 s.stream_s += d.as_secs_f64();
                 metrics.record_step(d);
+                metrics
+                    .slo
+                    .note_step(s, u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
             }
         } else {
             // Round-robin partition of the id-sorted list: worker w
@@ -385,6 +511,9 @@ pub(crate) fn run_shard(
                                 let d = t0.elapsed();
                                 s.stream_s += d.as_secs_f64();
                                 metrics.record_step(d);
+                                metrics
+                                    .slo
+                                    .note_step(s, u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
                             }
                         })
                     })

@@ -23,8 +23,10 @@
 //!
 //! `len` counts everything after the length field (version + type +
 //! payload) and is bounded by [`MAX_FRAME_LEN`]; `ver` is
-//! [`WIRE_VERSION`] and a mismatch is a hard error on either side —
-//! the header is versioned so a future format can coexist on one port.
+//! [`WIRE_VERSION`] on the sending side, and a receiver accepts any
+//! version in `[MIN_WIRE_VERSION, WIRE_VERSION]` — v2 added the
+//! optional trace field to OPEN and changed nothing else, so v1
+//! clients keep working. Anything outside the range is a hard error.
 //!
 //! # Frame types and the session conversation
 //!
@@ -74,8 +76,15 @@ use crate::session::{SessionId, SessionOutput};
 /// HTTP metrics scrape on the same port.
 pub const MAGIC: [u8; 4] = *b"WIVI";
 
-/// Wire format version carried in every frame header.
-pub const WIRE_VERSION: u8 = 1;
+/// Wire format version carried in every frame header. Version 2 added
+/// the optional trace-context field to OPEN; every other frame body is
+/// byte-identical across versions 1 and 2.
+pub const WIRE_VERSION: u8 = 2;
+
+/// Oldest version this side still decodes. A v1 peer (no trace field
+/// in OPEN) interoperates: its OPENs decode with `trace: None`, and
+/// every frame we send back uses payload layouts v1 already knew.
+pub const MIN_WIRE_VERSION: u8 = 1;
 
 /// Upper bound on `len` (bytes after the length field): a corrupt or
 /// hostile length cannot make the reader allocate unboundedly.
@@ -120,6 +129,10 @@ pub struct OpenRequest {
     pub scene: String,
     /// Name of a server-registered device configuration.
     pub config: String,
+    /// Request trace id (wire v2+): links the client-side open span to
+    /// the server-side session spans under one 64-bit id. `None` from
+    /// v1 clients or untraced opens.
+    pub trace: Option<u64>,
 }
 
 /// One decoded frame. `Output` carries the decoded common surface plus
@@ -715,6 +728,8 @@ impl Frame {
                 put_str(buf, &req.mode);
                 put_str(buf, &req.scene);
                 put_str(buf, &req.config);
+                // v2 extension; readers of v1 bodies stop before this.
+                put_opt_u64(buf, req.trace);
             }
             Frame::OpenOk { id, shard } => {
                 put_u64(buf, *id);
@@ -773,7 +788,7 @@ impl Frame {
     pub fn decode_body(body: &[u8]) -> Result<Frame, WireError> {
         let mut c = Cursor::new(body);
         let ver = c.u8()?;
-        if ver != WIRE_VERSION {
+        if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(&ver) {
             return Err(WireError::BadVersion(ver));
         }
         let t = c.u8()?;
@@ -788,6 +803,17 @@ impl Frame {
                 mode: c.str()?,
                 scene: c.str()?,
                 config: c.str()?,
+                // The v1 body ends here; a v2 body carries the
+                // optional trace id after it.
+                trace: if ver >= 2 {
+                    match c.u8()? {
+                        0 => None,
+                        1 => Some(c.u64()?),
+                        _ => return Err(WireError::BadValue("trace flag")),
+                    }
+                } else {
+                    None
+                },
             }),
             tag::OPEN_OK => Frame::OpenOk {
                 id: c.u64()?,
@@ -859,6 +885,17 @@ mod tests {
             mode: "track_targets".into(),
             scene: "conference-small".into(),
             config: "fast_test".into(),
+            trace: Some(0xdead_beef_cafe_f00d),
+        }));
+        round_trip(Frame::Open(OpenRequest {
+            id: 43,
+            seed: 8,
+            duration_s: 1.0,
+            start_s: 0.0,
+            mode: "count".into(),
+            scene: "room".into(),
+            config: "fast".into(),
+            trace: None,
         }));
         round_trip(Frame::OpenOk { id: 42, shard: 3 });
         round_trip(Frame::Close { id: 42 });
@@ -959,6 +996,66 @@ mod tests {
         let len = (hello.len() - 4) as u32;
         hello[..4].copy_from_slice(&len.to_le_bytes());
         assert_eq!(Frame::decode_body(&hello[4..]), Err(WireError::Truncated));
+    }
+
+    /// Hand-builds the v1 body of a frame: same payload layout, but a
+    /// v1 header and — for OPEN — no trace field.
+    fn v1_body(payload: &[u8], type_tag: u8) -> Vec<u8> {
+        let mut body = vec![1u8, type_tag];
+        body.extend_from_slice(payload);
+        body
+    }
+
+    #[test]
+    fn v1_frames_still_decode() {
+        // A v1 OPEN (no trace field) from an old client.
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 5);
+        put_u64(&mut payload, 99);
+        put_f64(&mut payload, 1.5);
+        put_f64(&mut payload, 0.25);
+        put_str(&mut payload, "count");
+        put_str(&mut payload, "room");
+        put_str(&mut payload, "fast");
+        let open = Frame::decode_body(&v1_body(&payload, tag::OPEN)).expect("v1 OPEN decodes");
+        match open {
+            Frame::Open(req) => {
+                assert_eq!((req.id, req.seed), (5, 99));
+                assert_eq!(req.mode, "count");
+                assert_eq!(req.trace, None, "v1 carries no trace");
+            }
+            other => panic!("expected Open, got {other:?}"),
+        }
+        // Version-invariant frames decode from a v1 header too.
+        assert_eq!(
+            Frame::decode_body(&v1_body(&[], tag::FINISH)).unwrap(),
+            Frame::Finish
+        );
+        let mut hello = Vec::new();
+        put_str(&mut hello, "tok");
+        assert_eq!(
+            Frame::decode_body(&v1_body(&hello, tag::HELLO)).unwrap(),
+            Frame::Hello {
+                token: "tok".into()
+            }
+        );
+        // Versions outside [MIN, CURRENT] stay hard errors.
+        assert_eq!(
+            Frame::decode_body(&[0, tag::FINISH]),
+            Err(WireError::BadVersion(0))
+        );
+        assert_eq!(
+            Frame::decode_body(&[WIRE_VERSION + 1, tag::FINISH]),
+            Err(WireError::BadVersion(WIRE_VERSION + 1))
+        );
+        // A v2 OPEN with a mangled trace flag is rejected.
+        let mut bad = vec![2u8, tag::OPEN];
+        bad.extend_from_slice(&payload);
+        bad.push(7);
+        assert_eq!(
+            Frame::decode_body(&bad),
+            Err(WireError::BadValue("trace flag"))
+        );
     }
 
     #[test]

@@ -161,10 +161,9 @@ fn full_queue_backpressures_and_loses_nothing() {
     // (calibrating) the first session, so the queue stays full long
     // enough for try_open to observe backpressure deterministically.
     let mut engine = ServeEngine::start(ServeConfig {
-        n_shards: 1,
-        workers_per_shard: 1,
-        batch_len: 16,
         queue_capacity: 1,
+        batch_len: 16,
+        ..ServeConfig::with_shards_workers(1, 1)
     });
     engine.open(spec(0, 0.5, modes::Count)).unwrap();
     engine.open(spec(1, 0.5, modes::Count)).unwrap();

@@ -1,0 +1,72 @@
+//! Introspection demo: starts a loopback wire server with
+//! observability on, streams a few traced sessions through it, then
+//! holds the port open so the HTTP side can be scraped for real:
+//!
+//! ```bash
+//! WIVI_OBS=1 cargo run --release --example serve_introspect &
+//! # wait for "listening on 127.0.0.1:PORT", then:
+//! curl http://127.0.0.1:PORT/healthz
+//! curl http://127.0.0.1:PORT/tracez
+//! curl http://127.0.0.1:PORT/metrics | grep p99
+//! ```
+//!
+//! `WIVI_HOLD_SECS` bounds the hold (default 30) so scripted smokes —
+//! the CI leg curls `/healthz` and `/tracez` against this binary —
+//! terminate on their own.
+
+use wivi::prelude::*;
+use wivi::serve::{OpenRequest, WireClient, WireServer, WireServerConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    wivi::obs::set_enabled(Some(true));
+
+    let scene = Scene::new(Material::HollowWall6In)
+        .with_office_clutter(Scene::conference_room_small())
+        .with_mover(Mover::human(WaypointWalker::new(
+            vec![Point::new(-2.0, 2.5), Point::new(2.0, 2.5)],
+            1.0,
+        )));
+    let cfg = WireServerConfig::new(ServeConfig::with_shards(2))
+        .scene("room", scene)
+        .config("fast", WiViConfig::fast_test());
+    let server = WireServer::start(cfg)?;
+
+    // A few traced sessions so /tracez and the rolling windows have
+    // something to show.
+    let mut client = WireClient::connect(server.addr(), "introspect")?;
+    for id in 0..4u64 {
+        client.open(OpenRequest {
+            id,
+            seed: 100 + id,
+            duration_s: 0.5,
+            start_s: 0.0,
+            mode: "count".into(),
+            scene: "room".into(),
+            config: "fast".into(),
+            trace: None, // the client stamps one: obs is on
+        })?;
+        println!(
+            "opened session {id} with trace {}",
+            wivi::obs::fmt_trace(client.last_trace())
+        );
+    }
+    let served = client.finish()?;
+    println!(
+        "served {} sessions; holding the port open",
+        served.outputs.len()
+    );
+
+    let hold_secs: u64 = std::env::var("WIVI_HOLD_SECS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
+    println!("listening on {}", server.addr());
+    std::thread::sleep(std::time::Duration::from_secs(hold_secs));
+
+    let report = server.shutdown()?;
+    println!(
+        "done: {} admitted, {} shed, {} connections",
+        report.admitted, report.shed, report.connections
+    );
+    Ok(())
+}

@@ -36,6 +36,7 @@ fn register(cfg: &mut WireServerConfig, i: usize, spec: &SessionSpec) -> OpenReq
         mode: spec.mode.tag().to_owned(),
         scene: scene_name,
         config: config_name,
+        trace: None,
     }
 }
 
@@ -126,6 +127,7 @@ fn undersized_queue_sheds_with_errors_not_panics() {
             mode: "count".into(),
             scene: "room".into(),
             config: "fast".into(),
+            trace: None,
         };
         match client.open(req) {
             Ok(_) => admitted += 1,
@@ -178,6 +180,7 @@ fn wire_admission_errors_have_stable_codes() {
         mode: mode.into(),
         scene: scene.into(),
         config: config.into(),
+        trace: None,
     };
     let code_of = |r: Result<u32, wivi::serve::net::ClientError>| match r {
         Err(wivi::serve::net::ClientError::Server { code, .. }) => code,
@@ -249,6 +252,213 @@ fn metrics_endpoint_shares_the_wire_port() {
     server.shutdown().expect("shutdown");
 }
 
+/// One HTTP GET against the wire port, full response as a string.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut sock = std::net::TcpStream::connect(addr).expect("connect");
+    sock.write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+        .unwrap();
+    let mut response = String::new();
+    sock.read_to_string(&mut response).unwrap();
+    response
+}
+
+#[test]
+fn healthz_and_tracez_answer_on_the_wire_port() {
+    let mut cfg = WireServerConfig::new(ServeConfig::with_shards_workers(2, 1));
+    cfg.scenes.push(("room".into(), simple_scene().into()));
+    cfg.configs.push(("fast".into(), WiViConfig::fast_test()));
+    let server = WireServer::start(cfg).expect("bind");
+
+    // A healthy reactor: 200, every shard alive, SLO block present
+    // with the paper's 400 ms hop budget.
+    let health = http_get(server.addr(), "/healthz");
+    assert!(health.starts_with("HTTP/1.1 200 OK"), "got: {health}");
+    assert!(health.contains("\"shards\""), "shard list: {health}");
+    assert!(health.contains("\"alive\":true"));
+    assert!(!health.contains("\"alive\":false"));
+    assert!(health.contains("\"slo\""));
+    assert!(health.contains("\"budget_ns\":400000000"));
+    assert!(health.contains("\"shed\""));
+
+    // /tracez is valid even with nothing traced: empty-ish JSON, 200.
+    let tracez = http_get(server.addr(), "/tracez");
+    assert!(tracez.starts_with("HTTP/1.1 200 OK"), "got: {tracez}");
+    assert!(tracez.contains("\"traces\""));
+    assert!(tracez.contains("\"incidents\""));
+
+    server.shutdown().expect("shutdown");
+}
+
+/// The tentpole acceptance: with observability ON, a loopback session
+/// carries ONE trace id from the client's open RTT through the
+/// server-side open/step/drain spans, `/tracez` returns it, rolling
+/// quantiles appear in `/metrics` — and the EVENT/OUTPUT wire bytes
+/// stay byte-identical to the in-process encoding (bitwise
+/// neutrality is the contract, traced or not).
+#[test]
+fn traced_session_links_client_and_server_and_stays_bitwise() {
+    wivi::obs::set_enabled(Some(true));
+
+    let mut cfg = WireServerConfig::new(ServeConfig::with_shards_workers(1, 1));
+    let n = 3usize;
+    let requests: Vec<OpenRequest> = (0..n).map(|i| register(&mut cfg, i, &session(i))).collect();
+    let server = WireServer::start(cfg).expect("bind");
+
+    let mut client = WireClient::connect(server.addr(), "tracer").expect("connect");
+    let mut traces = Vec::new();
+    for req in requests {
+        client.open(req).expect("open");
+        let t = client.last_trace();
+        assert_ne!(t, 0, "obs on must stamp every open with a trace id");
+        traces.push(t);
+    }
+    assert_eq!(
+        traces.len(),
+        {
+            let mut d = traces.clone();
+            d.sort_unstable();
+            d.dedup();
+            d.len()
+        },
+        "session traces must be distinct"
+    );
+
+    // Wire bytes vs the in-process run of the SAME sessions (which
+    // carry trace 0): tracing must be invisible in the payload.
+    let served = client.finish().expect("drain");
+    let mut engine = ServeEngine::start(ServeConfig::with_shards_workers(1, 1));
+    for i in 0..n {
+        engine.open(session(i)).unwrap();
+    }
+    let reference = engine.finish();
+    assert_eq!(served.event_bytes.len(), reference.events.len());
+    for (wire_bytes, event) in served.event_bytes.iter().zip(&reference.events) {
+        assert_eq!(
+            wire_bytes,
+            &encode_serve_event(event),
+            "EVENT bytes drifted"
+        );
+    }
+    assert_eq!(served.output_bytes.len(), reference.outputs.len());
+    for (wire_bytes, output) in served.output_bytes.iter().zip(&reference.outputs) {
+        assert_eq!(
+            wire_bytes,
+            &encode_session_output(output),
+            "OUTPUT bytes drifted under tracing"
+        );
+    }
+
+    // /tracez returns the client's trace ids with both sides' spans
+    // under them (client and server share this process, so one ring
+    // set holds the whole story — exactly what the id is for).
+    let tracez = http_get(server.addr(), "/tracez");
+    for t in &traces {
+        assert!(
+            tracez.contains(&wivi::obs::fmt_trace(*t)),
+            "trace {} missing from /tracez: {tracez}",
+            wivi::obs::fmt_trace(*t)
+        );
+    }
+    assert!(tracez.contains("client.open_rtt"));
+    assert!(tracez.contains("session.open"));
+    assert!(tracez.contains("session.step"));
+    assert!(tracez.contains("session.drain"));
+
+    // Rolling-window quantiles ride the same /metrics scrape.
+    let metrics = http_get(server.addr(), "/metrics");
+    assert!(
+        metrics.contains("wivi_serve_batch_latency_ns_p99_10s"),
+        "rolling p99 missing: {metrics}"
+    );
+    assert!(metrics.contains("wivi_serve_batch_latency_ns_p99_60s"));
+    assert!(metrics.contains("wivi_serve_slo_windows_10s"));
+
+    server.shutdown().expect("shutdown");
+    wivi::obs::set_enabled(None);
+    let _ = wivi::obs::drain();
+}
+
+/// Hand-built v1 frame: `[len u32 LE][ver][type][payload]`.
+fn v1_frame(tag: u8, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&((payload.len() as u32 + 2).to_le_bytes()));
+    buf.push(1); // wire version 1: no trace field anywhere
+    buf.push(tag);
+    buf.extend_from_slice(payload);
+    buf
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Reads one frame, returning (type tag, payload).
+fn read_raw_frame(sock: &mut std::net::TcpStream) -> (u8, Vec<u8>) {
+    let mut len = [0u8; 4];
+    sock.read_exact(&mut len).expect("frame length");
+    let mut body = vec![0u8; u32::from_le_bytes(len) as usize];
+    sock.read_exact(&mut body).expect("frame body");
+    (body[1], body[2..].to_vec())
+}
+
+/// A v1 peer — OPEN body ends at the config name, no trace field —
+/// must still be served end to end: the version bump is additive.
+#[test]
+fn v1_open_frame_without_trace_field_still_serves() {
+    const HELLO_OK: u8 = 2;
+    const OPEN_OK: u8 = 4;
+    const FINISH: u8 = 6;
+    const OUTPUT: u8 = 8;
+    const BYE: u8 = 10;
+
+    let mut cfg = WireServerConfig::new(ServeConfig::with_shards_workers(1, 1));
+    cfg.scenes.push(("room".into(), simple_scene().into()));
+    cfg.configs.push(("fast".into(), WiViConfig::fast_test()));
+    let server = WireServer::start(cfg).expect("bind");
+
+    let mut sock = std::net::TcpStream::connect(server.addr()).expect("connect");
+    sock.write_all(b"WIVI").unwrap();
+
+    let mut hello = Vec::new();
+    put_str(&mut hello, "legacy");
+    sock.write_all(&v1_frame(1, &hello)).unwrap();
+    assert_eq!(read_raw_frame(&mut sock).0, HELLO_OK);
+
+    // v1 OPEN: id, seed, duration, start, mode, scene, config — stop.
+    let mut open = Vec::new();
+    open.extend_from_slice(&77u64.to_le_bytes());
+    open.extend_from_slice(&9u64.to_le_bytes());
+    open.extend_from_slice(&0.5f64.to_bits().to_le_bytes());
+    open.extend_from_slice(&0.0f64.to_bits().to_le_bytes());
+    put_str(&mut open, "count");
+    put_str(&mut open, "room");
+    put_str(&mut open, "fast");
+    sock.write_all(&v1_frame(3, &open)).unwrap();
+    let (tag, _) = read_raw_frame(&mut sock);
+    assert_eq!(tag, OPEN_OK, "v1 OPEN must be admitted, not rejected");
+
+    sock.write_all(&v1_frame(FINISH, &[])).unwrap();
+    let mut outputs = 0;
+    loop {
+        let (tag, payload) = read_raw_frame(&mut sock);
+        match tag {
+            OUTPUT => {
+                outputs += 1;
+                // First payload field is the session id we opened.
+                assert_eq!(payload[..8], 77u64.to_le_bytes());
+            }
+            BYE => break,
+            _ => {} // EVENT frames stream through
+        }
+    }
+    assert_eq!(outputs, 1, "the v1-opened session must complete");
+
+    let report = server.shutdown().expect("shutdown");
+    assert_eq!(report.admitted, 1);
+    assert_eq!(report.shed, 0);
+}
+
 /// The CI smoke: 8 loopback sessions, zero shed, clean shutdown.
 #[test]
 fn smoke_eight_sessions_zero_shed_clean_shutdown() {
@@ -268,6 +478,7 @@ fn smoke_eight_sessions_zero_shed_clean_shutdown() {
                 mode: "count".into(),
                 scene: "room".into(),
                 config: "fast".into(),
+                trace: None,
             })
             .expect("default queue must admit 8 sessions");
     }
