@@ -132,6 +132,19 @@ impl Gauge {
         self.0.bits.store(v.to_bits(), Ordering::Relaxed);
     }
 
+    /// Raises the gauge to `v` if `v` is larger — an atomic max, so
+    /// concurrent writers cannot lose a larger value the way a
+    /// read-then-`set` can (high-water marks like `serve.slo.worst_ns`
+    /// are recorded from every shard worker).
+    pub fn set_max(&self, v: f64) {
+        let _ = self
+            .0
+            .bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                (v > f64::from_bits(bits)).then(|| v.to_bits())
+            });
+    }
+
     /// The current value.
     pub fn value(&self) -> f64 {
         f64::from_bits(self.0.bits.load(Ordering::Relaxed))

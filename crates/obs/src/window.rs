@@ -121,23 +121,23 @@ impl WindowedHistogram {
 
     /// [`maybe_tick`](Self::maybe_tick) with an explicit clock (tests).
     pub fn maybe_tick_at(&self, now_ns: u64) {
+        // Lock-free early-out for the common not-due case; the real
+        // decision repeats under the ring lock so the time update and
+        // the push are atomic together — a winner cannot be preempted
+        // between them and insert an older tick after a newer one (the
+        // ring must stay ascending for baseline() and retention).
         let last = self.last_tick_ns.load(Ordering::Relaxed);
         if now_ns.saturating_sub(last) < self.tick_ns && last != 0 {
             return;
         }
-        // One ticker wins; losers see the updated time and back off.
-        if self
-            .last_tick_ns
-            .compare_exchange(last, now_ns, Ordering::Relaxed, Ordering::Relaxed)
-            .is_err()
-        {
-            return;
+        let mut ticks = self.ticks.lock().expect("window ticks poisoned");
+        let last = self.last_tick_ns.load(Ordering::Relaxed);
+        if now_ns.saturating_sub(last) < self.tick_ns && last != 0 {
+            return; // another ticker won while we took the lock
         }
+        self.last_tick_ns.store(now_ns, Ordering::Relaxed);
         let snap = self.hist.snapshot();
-        self.ticks
-            .lock()
-            .expect("window ticks poisoned")
-            .push(now_ns, snap, self.retain_ns);
+        ticks.push(now_ns, snap, self.retain_ns);
     }
 
     /// The samples recorded in the trailing `window_ns`: current
@@ -199,22 +199,20 @@ impl WindowedCounter {
 
     /// [`maybe_tick`](Self::maybe_tick) with an explicit clock (tests).
     pub fn maybe_tick_at(&self, now_ns: u64) {
+        // See WindowedHistogram::maybe_tick_at: due-check and push are
+        // one critical section so the ring stays ascending.
         let last = self.last_tick_ns.load(Ordering::Relaxed);
         if now_ns.saturating_sub(last) < self.tick_ns && last != 0 {
             return;
         }
-        if self
-            .last_tick_ns
-            .compare_exchange(last, now_ns, Ordering::Relaxed, Ordering::Relaxed)
-            .is_err()
-        {
+        let mut ticks = self.ticks.lock().expect("window ticks poisoned");
+        let last = self.last_tick_ns.load(Ordering::Relaxed);
+        if now_ns.saturating_sub(last) < self.tick_ns && last != 0 {
             return;
         }
+        self.last_tick_ns.store(now_ns, Ordering::Relaxed);
         let v = self.counter.value();
-        self.ticks
-            .lock()
-            .expect("window ticks poisoned")
-            .push(now_ns, v, self.retain_ns);
+        ticks.push(now_ns, v, self.retain_ns);
     }
 
     /// Increments in the trailing `window_ns`.
@@ -350,6 +348,36 @@ mod tests {
         assert_eq!(wc.rolling_at(10 * S, 11 * S), 7);
         assert_eq!(wc.rolling_at(60 * S, 11 * S), 57, "young history ⇒ total");
         assert_eq!(wc.counter().value(), 57);
+    }
+
+    #[test]
+    fn concurrent_tickers_keep_the_ring_ascending() {
+        // Threads racing maybe_tick_at with interleaved clocks: the
+        // ring must come out strictly ascending (baseline()'s reverse
+        // scan and retention pruning both rely on it), with no
+        // duplicate tick times.
+        let r = Registry::new();
+        let w = WindowedHistogram::with_params(r.histogram("lat"), S, 1000 * S);
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let w = &w;
+                scope.spawn(move || {
+                    for step in 0..200u64 {
+                        w.histogram().record(1);
+                        // Every thread walks the same clock but hits
+                        // each instant in its own order.
+                        w.maybe_tick_at((step + t * 7) % 200 * S + S);
+                    }
+                });
+            }
+        });
+        let ticks = w.ticks.lock().unwrap();
+        let times: Vec<u64> = ticks.ring.iter().map(|(t, _)| *t).collect();
+        assert!(!times.is_empty());
+        assert!(
+            times.windows(2).all(|p| p[0] < p[1]),
+            "tick ring out of order: {times:?}"
+        );
     }
 
     #[test]

@@ -198,6 +198,12 @@ struct Conn {
     /// Finished sessions routed back from the completion queue.
     done: Vec<SessionOutput>,
     closed: bool,
+    /// The wire version this peer speaks, recorded from its HELLO
+    /// header and stamped on every frame sent back: a v1 client —
+    /// whose decoder hard-errors on `ver != 1` — gets v1 responses.
+    /// (Every response payload layout is already v1-compatible; only
+    /// the header byte differs.)
+    peer_ver: u8,
 }
 
 impl Conn {
@@ -211,11 +217,12 @@ impl Conn {
             pending: 0,
             done: Vec::new(),
             closed: false,
+            peer_ver: wire::WIRE_VERSION,
         }
     }
 
     fn queue_frame(&mut self, f: &Frame) {
-        f.encode_into(&mut self.wbuf);
+        f.encode_into_versioned(&mut self.wbuf, self.peer_ver);
     }
 
     /// Frames `payload` under `tag` straight into the write buffer —
@@ -223,7 +230,7 @@ impl Conn {
     fn queue_raw(&mut self, tag: u8, payload: &[u8]) {
         let len = (payload.len() + 2) as u32;
         self.wbuf.extend_from_slice(&len.to_le_bytes());
-        self.wbuf.push(wire::WIRE_VERSION);
+        self.wbuf.push(self.peer_ver);
         self.wbuf.push(tag);
         self.wbuf.extend_from_slice(payload);
     }
@@ -417,9 +424,14 @@ impl Reactor {
                 }
                 ConnState::Draining | ConnState::Finished => return,
                 ConnState::AwaitHello | ConnState::Active { .. } => {
-                    let frame = match wire::split_frame(&conn.rbuf) {
-                        Ok(Some((frame, used))) => {
+                    let frame = match wire::split_frame_versioned(&conn.rbuf) {
+                        Ok(Some((frame, ver, used))) => {
                             conn.rbuf.drain(..used);
+                            // The HELLO header negotiates the version
+                            // the whole conversation answers at.
+                            if matches!(conn.state, ConnState::AwaitHello) {
+                                conn.peer_ver = ver.min(wire::WIRE_VERSION);
+                            }
                             frame
                         }
                         Ok(None) => return,
@@ -826,10 +838,15 @@ fn find_blank_line(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
 }
 
-/// FNV-1a over arbitrary bytes — the client's deterministic trace-seed
-/// derivation (same constants as [`crate::engine::shard_of`]).
+/// FNV-1a over arbitrary bytes — the client's trace-seed derivation
+/// (same constants as [`crate::engine::shard_of`]).
 fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    fnv1a_more(0xcbf2_9ce4_8422_2325, bytes)
+}
+
+/// Continues an FNV-1a stream, so independent fields fold into one
+/// seed without string concatenation.
+fn fnv1a_more(mut h: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x0000_0100_0000_01B3);
@@ -900,8 +917,8 @@ pub struct WireClient {
     stream: TcpStream,
     rbuf: Vec<u8>,
     /// Trace-id source for opens that did not bring their own id:
-    /// seeded from the token (deterministic, no wall clock), stepped
-    /// once per traced open.
+    /// seeded from the token *and* the connection's local socket
+    /// address (no wall clock), stepped once per traced open.
     traces: TraceIdGen,
     /// The trace id the last [`open`](Self::open) carried (0 =
     /// untraced).
@@ -910,17 +927,23 @@ pub struct WireClient {
 
 impl WireClient {
     /// Connects, sends the magic, and authenticates. The client's
-    /// trace-id generator is seeded from the token — deterministic, so
-    /// a replayed session produces the same ids ([`Self::trace_seed`]
-    /// reseeds explicitly).
+    /// trace-id generator is seeded from the token mixed with the
+    /// connection's local socket address — two concurrent clients
+    /// sharing a token still get disjoint id streams, without a wall
+    /// clock. For a fully deterministic replay, reseed explicitly
+    /// with [`Self::trace_seed`].
     pub fn connect(addr: SocketAddr, token: &str) -> Result<WireClient, ClientError> {
         let mut stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
         stream.write_all(&MAGIC)?;
+        let mut seed = fnv1a(token.as_bytes());
+        if let Ok(local) = stream.local_addr() {
+            seed = fnv1a_more(seed, local.to_string().as_bytes());
+        }
         let mut client = WireClient {
             stream,
             rbuf: Vec::new(),
-            traces: TraceIdGen::new(fnv1a(token.as_bytes())),
+            traces: TraceIdGen::new(seed),
             last_trace: 0,
         };
         client.send(&Frame::Hello {
@@ -933,8 +956,9 @@ impl WireClient {
         }
     }
 
-    /// Reseeds the trace-id generator (a fleet driver gives each client
-    /// its own seed so trace ids never collide across clients).
+    /// Reseeds the trace-id generator — the deterministic-replay
+    /// override: the default seed mixes in the ephemeral local port,
+    /// so a driver that needs reproducible ids sets its own seed here.
     pub fn trace_seed(&mut self, seed: u64) {
         self.traces = TraceIdGen::new(seed);
     }

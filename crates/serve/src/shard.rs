@@ -336,11 +336,12 @@ impl SloMetrics {
     /// flight-recorder incident carrying the session's trace id.
     fn note_step(&self, s: &mut ActiveSession, d_ns: u64) {
         self.windows.counter().inc();
+        // Worst window over ALL measured windows (matching the
+        // SloSummary docs), breached or not; atomic max so concurrent
+        // shard workers cannot lose a larger value.
+        self.worst.set_max(d_ns as f64);
         if s.slo.note(d_ns, self.budget_ns) {
             self.windows_over.counter().inc();
-            if d_ns as f64 > self.worst.value() {
-                self.worst.set(d_ns as f64);
-            }
             if s.slo.over == 1 {
                 self.breached_sessions.inc();
                 wivi_obs::capture_incident("slo.hop_budget", s.id, s.trace, d_ns);

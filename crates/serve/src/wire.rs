@@ -22,11 +22,14 @@
 //! ```
 //!
 //! `len` counts everything after the length field (version + type +
-//! payload) and is bounded by [`MAX_FRAME_LEN`]; `ver` is
-//! [`WIRE_VERSION`] on the sending side, and a receiver accepts any
-//! version in `[MIN_WIRE_VERSION, WIRE_VERSION]` — v2 added the
-//! optional trace field to OPEN and changed nothing else, so v1
-//! clients keep working. Anything outside the range is a hard error.
+//! payload) and is bounded by [`MAX_FRAME_LEN`]; a receiver accepts
+//! any version in `[MIN_WIRE_VERSION, WIRE_VERSION]` — v2 added the
+//! optional trace field to OPEN and changed nothing else. Anything
+//! outside the range is a hard error. A client sends at
+//! [`WIRE_VERSION`]; the server answers at the version the peer's
+//! HELLO carried (capped at its own), so a v1 client — whose decoder
+//! hard-errors on `ver != 1` — sees only v1 frames back and keeps
+//! working ([`Frame::encode_into_versioned`]).
 //!
 //! # Frame types and the session conversation
 //!
@@ -711,11 +714,21 @@ impl Frame {
     }
 
     /// Appends the frame's full on-wire bytes (length, versioned
-    /// header, payload) to `buf`.
+    /// header, payload) at [`WIRE_VERSION`] — what a client sends.
     pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        self.encode_into_versioned(buf, WIRE_VERSION);
+    }
+
+    /// [`encode_into`](Self::encode_into) at an explicit wire version
+    /// (clamped to the supported range): the server encodes each
+    /// response at the version the peer's HELLO carried, so a strict
+    /// v1 decoder never sees a v2 header. Encoding an OPEN at v1 drops
+    /// the trace field — a v1 body ends at the config name.
+    pub fn encode_into_versioned(&self, buf: &mut Vec<u8>, ver: u8) {
+        let ver = ver.clamp(MIN_WIRE_VERSION, WIRE_VERSION);
         let start = buf.len();
         put_u32(buf, 0); // length back-patched below
-        put_u8(buf, WIRE_VERSION);
+        put_u8(buf, ver);
         put_u8(buf, self.type_tag());
         match self {
             Frame::Hello { token } => put_str(buf, token),
@@ -728,8 +741,10 @@ impl Frame {
                 put_str(buf, &req.mode);
                 put_str(buf, &req.scene);
                 put_str(buf, &req.config);
-                // v2 extension; readers of v1 bodies stop before this.
-                put_opt_u64(buf, req.trace);
+                // v2 extension; a v1 body ends before it.
+                if ver >= 2 {
+                    put_opt_u64(buf, req.trace);
+                }
             }
             Frame::OpenOk { id, shard } => {
                 put_u64(buf, *id);
@@ -840,6 +855,13 @@ impl Frame {
 /// `Ok(None)` if more bytes are needed, `Ok(Some((frame, consumed)))`
 /// on success.
 pub fn split_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>, WireError> {
+    Ok(split_frame_versioned(buf)?.map(|(frame, _ver, used)| (frame, used)))
+}
+
+/// [`split_frame`] that also reports the version byte the frame's
+/// header carried — how the server learns what version a peer speaks,
+/// so it can answer in kind.
+pub fn split_frame_versioned(buf: &[u8]) -> Result<Option<(Frame, u8, usize)>, WireError> {
     if buf.len() < 4 {
         return Ok(None);
     }
@@ -854,7 +876,7 @@ pub fn split_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>, WireError> {
         return Ok(None);
     }
     let frame = Frame::decode_body(&buf[4..4 + len])?;
-    Ok(Some((frame, 4 + len)))
+    Ok(Some((frame, buf[4], 4 + len)))
 }
 
 #[cfg(test)]
@@ -1056,6 +1078,60 @@ mod tests {
             Frame::decode_body(&bad),
             Err(WireError::BadValue("trace flag"))
         );
+    }
+
+    #[test]
+    fn versioned_encoding_speaks_the_peers_version() {
+        // Server responses encoded at v1 carry a v1 header a strict
+        // v1 decoder accepts.
+        for f in [
+            Frame::HelloOk,
+            Frame::OpenOk { id: 7, shard: 1 },
+            Frame::Error {
+                code: "quota".into(),
+                id: 7,
+                message: "over".into(),
+            },
+            Frame::Bye,
+        ] {
+            let mut v1 = Vec::new();
+            f.encode_into_versioned(&mut v1, 1);
+            assert_eq!(v1[4], 1, "header must carry the peer's version");
+            let (back, used) = split_frame(&v1).unwrap().expect("complete");
+            assert_eq!(used, v1.len());
+            assert_eq!(back, f);
+        }
+        // An OPEN at v1 drops the trace field: the body ends at the
+        // config name, exactly what a v1 reader expects.
+        let open = Frame::Open(OpenRequest {
+            id: 5,
+            seed: 9,
+            duration_s: 1.0,
+            start_s: 0.0,
+            mode: "count".into(),
+            scene: "room".into(),
+            config: "fast".into(),
+            trace: Some(0xabcd),
+        });
+        let mut v1 = Vec::new();
+        open.encode_into_versioned(&mut v1, 1);
+        match Frame::decode_body(&v1[4..]).expect("v1 OPEN decodes") {
+            Frame::Open(req) => assert_eq!(req.trace, None, "v1 body carries no trace"),
+            other => panic!("expected Open, got {other:?}"),
+        }
+        let mut v2 = Vec::new();
+        open.encode_into_versioned(&mut v2, 2);
+        assert_eq!(v2.len(), v1.len() + 9, "v2 adds flag byte + trace id");
+        // Out-of-range requests clamp to the supported range.
+        let mut lo = Vec::new();
+        Frame::Finish.encode_into_versioned(&mut lo, 0);
+        assert_eq!(lo[4], MIN_WIRE_VERSION);
+        let mut hi = Vec::new();
+        Frame::Finish.encode_into_versioned(&mut hi, 99);
+        assert_eq!(hi[4], WIRE_VERSION);
+        // split_frame_versioned reports what the header said.
+        let (_, ver, _) = split_frame_versioned(&lo).unwrap().expect("complete");
+        assert_eq!(ver, 1);
     }
 
     #[test]

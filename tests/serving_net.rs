@@ -393,17 +393,25 @@ fn put_str(buf: &mut Vec<u8>, s: &str) {
     buf.extend_from_slice(s.as_bytes());
 }
 
-/// Reads one frame, returning (type tag, payload).
+/// Reads one frame as a strict v1 decoder would: a header version
+/// other than 1 is a hard error. Returns (type tag, payload).
 fn read_raw_frame(sock: &mut std::net::TcpStream) -> (u8, Vec<u8>) {
     let mut len = [0u8; 4];
     sock.read_exact(&mut len).expect("frame length");
     let mut body = vec![0u8; u32::from_le_bytes(len) as usize];
     sock.read_exact(&mut body).expect("frame body");
+    assert_eq!(
+        body[0], 1,
+        "a v1 peer's decoder hard-errors on ver != 1: the server must \
+         answer a v1 HELLO with v1 frames"
+    );
     (body[1], body[2..].to_vec())
 }
 
 /// A v1 peer — OPEN body ends at the config name, no trace field —
-/// must still be served end to end: the version bump is additive.
+/// must still be served end to end: the version bump is additive, and
+/// every frame the server sends back carries a v1 header (checked in
+/// [`read_raw_frame`]) so a real v1 decoder accepts it.
 #[test]
 fn v1_open_frame_without_trace_field_still_serves() {
     const HELLO_OK: u8 = 2;
