@@ -270,6 +270,9 @@ impl ImagingEngine {
         // grids grow (ROADMAP item 2).
         let timing = wivi_obs::enabled();
         if threads <= 1 {
+            // wivi-lint: allow(D001): obs-gated wall-time histogram —
+            // feeds a diagnostic only; the focused image is computed
+            // identically with WIVI_OBS off.
             let t0 = timing.then(std::time::Instant::now);
             focus_range(0, &mut self.image, &mut self.dirs);
             if let Some(t0) = t0 {
@@ -290,6 +293,8 @@ impl ImagingEngine {
                 dir_rest = dr;
                 let fr = &focus_range;
                 scope.spawn(move || {
+                    // wivi-lint: allow(D001): obs-gated chunk-skew
+                    // timing — diagnostic only, never in the output.
                     let t0 = timing.then(std::time::Instant::now);
                     fr(c0, img_chunk, dir_chunk);
                     if let Some(t0) = t0 {

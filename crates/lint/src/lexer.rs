@@ -1,0 +1,339 @@
+//! A hand-rolled Rust lexer, just deep enough for rule matching.
+//!
+//! The rules in [`crate::rules`] match on identifiers and punctuation,
+//! so the one job of this lexer is to never confuse *code* with *text*:
+//! `"Instant::now()"` inside a string literal, `unsafe` inside a
+//! comment, and `b'\''` inside a char literal must all come out as
+//! single literal tokens, not as identifier streams. That means real
+//! handling for the awkward corners of Rust's surface syntax:
+//!
+//! * nested block comments (`/* a /* b */ c */` is one comment);
+//! * raw strings `r"…"`, `r#"…"#`, … with up to 255 `#`s, plus the
+//!   byte variants `br…`, and raw identifiers `r#match`;
+//! * lifetimes vs char literals: `'a` is a lifetime, `'a'` a char,
+//!   `'\''` a char containing a quote, `b'\\'` a byte char;
+//! * line comments, doc comments, and strings containing `//`.
+//!
+//! Everything else is deliberately loose — numbers swallow alphanumeric
+//! suffixes, multi-char operators come out as single-char punct — the
+//! rules don't need more, and looseness keeps the lexer total: any byte
+//! sequence lexes, nothing panics.
+
+/// What a token is, as far as rule matching cares.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `HashMap`, `r#match`, …).
+    Ident,
+    /// A lifetime (`'a`, `'_`, `'static`).
+    Lifetime,
+    /// Char or byte-char literal (`'x'`, `'\''`, `b'\\'`).
+    Char,
+    /// Any string-ish literal (`"…"`, `r#"…"#`, `b"…"`, `br"…"`).
+    Str,
+    /// Numeric literal (integer or float, suffixes swallowed).
+    Number,
+    /// One punctuation character.
+    Punct,
+    /// `// …` (including `///` and `//!` doc comments).
+    LineComment,
+    /// `/* … */`, nesting handled (including `/** … */`).
+    BlockComment,
+}
+
+/// One lexed token: kind, exact source text, 1-based start line.
+#[derive(Clone, Copy, Debug)]
+pub struct Tok<'a> {
+    pub kind: TokKind,
+    pub text: &'a str,
+    pub line: u32,
+}
+
+impl<'a> Tok<'a> {
+    /// `true` for the comment kinds.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// `true` for doc comments (`///`, `//!`, `/**`, `/*!`), which the
+    /// suppression parser deliberately ignores.
+    pub fn is_doc_comment(&self) -> bool {
+        match self.kind {
+            TokKind::LineComment => {
+                (self.text.starts_with("///") && !self.text.starts_with("////"))
+                    || self.text.starts_with("//!")
+            }
+            TokKind::BlockComment => {
+                (self.text.starts_with("/**") && !self.text.starts_with("/***"))
+                    || self.text.starts_with("/*!")
+            }
+            _ => false,
+        }
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Lexes `src` completely. Total: malformed input (unterminated
+/// strings/comments) produces a final token running to end-of-file
+/// rather than an error — the lint must degrade gracefully on code
+/// rustc would reject anyway.
+pub fn lex(src: &str) -> Vec<Tok<'_>> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Tok<'a>>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Tok<'a>> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let line = self.line;
+            let c = self.bytes[self.pos];
+            let kind = match c {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.eat_whitespace();
+                    continue;
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.eat_line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.eat_block_comment(),
+                b'\'' => self.eat_lifetime_or_char(),
+                b'"' => self.eat_string(),
+                b'r' | b'b' => self.eat_prefixed(),
+                c if is_ident_start(c) => self.eat_ident(),
+                c if c.is_ascii_digit() => self.eat_number(),
+                _ => {
+                    self.bump_char();
+                    TokKind::Punct
+                }
+            };
+            self.out.push(Tok {
+                kind,
+                text: &self.src[start..self.pos],
+                line,
+            });
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, counting newlines. Saturates at end-of-input
+    /// so a truncated escape (`'\` at EOF) cannot push `pos` past the
+    /// buffer.
+    fn bump(&mut self) {
+        if let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'\n' {
+                self.line += 1;
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Advances one full UTF-8 character (for non-ASCII punct).
+    fn bump_char(&mut self) {
+        self.bump();
+        while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
+            self.pos += 1;
+        }
+    }
+
+    fn eat_whitespace(&mut self) {
+        while matches!(self.peek(0), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    fn eat_line_comment(&mut self) -> TokKind {
+        while let Some(c) = self.peek(0) {
+            if c == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        TokKind::LineComment
+    }
+
+    fn eat_block_comment(&mut self) -> TokKind {
+        // `/*` already sighted; consume it and balance nesting.
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 && self.pos < self.bytes.len() {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                _ => self.bump(),
+            }
+        }
+        TokKind::BlockComment
+    }
+
+    /// `'` starts either a lifetime (`'a`, `'_`) or a char literal
+    /// (`'a'`, `'\''`). Disambiguation: ident-ish run after the quote
+    /// that is *not* followed by a closing quote ⇒ lifetime.
+    fn eat_lifetime_or_char(&mut self) -> TokKind {
+        self.bump(); // the opening '
+        if let Some(c) = self.peek(0) {
+            if is_ident_start(c) {
+                // Scan the ident run; a `'` right after makes it a char
+                // literal like 'a' — otherwise it's a lifetime.
+                let mut k = 1;
+                while self.peek(k).is_some_and(is_ident_continue) {
+                    k += 1;
+                }
+                if self.peek(k) != Some(b'\'') {
+                    for _ in 0..k {
+                        self.bump();
+                    }
+                    return TokKind::Lifetime;
+                }
+            }
+        }
+        // Char literal: consume escapes until the closing quote.
+        while let Some(c) = self.peek(0) {
+            match c {
+                b'\\' => {
+                    self.bump();
+                    self.bump_char();
+                }
+                b'\'' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump_char(),
+            }
+        }
+        TokKind::Char
+    }
+
+    /// Plain (escaped) string body, opening quote not yet consumed.
+    fn eat_string(&mut self) -> TokKind {
+        self.bump(); // opening "
+        while let Some(c) = self.peek(0) {
+            match c {
+                b'\\' => {
+                    self.bump();
+                    self.bump_char();
+                }
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump_char(),
+            }
+        }
+        TokKind::Str
+    }
+
+    /// `r` / `b` can start raw strings, byte strings, byte chars, raw
+    /// identifiers — or just an identifier named `r`/`b…`.
+    fn eat_prefixed(&mut self) -> TokKind {
+        let c0 = self.bytes[self.pos];
+        // b'…' byte char.
+        if c0 == b'b' && self.peek(1) == Some(b'\'') {
+            self.bump();
+            return self.eat_lifetime_or_char();
+        }
+        // b"…" byte string.
+        if c0 == b'b' && self.peek(1) == Some(b'"') {
+            self.bump();
+            return self.eat_string();
+        }
+        // r"…" / r#…#"…"#…# / br variants / r#ident.
+        let raw_at = match (c0, self.peek(1)) {
+            (b'r', _) => Some(1),
+            (b'b', Some(b'r')) => Some(2),
+            _ => None,
+        };
+        if let Some(skip) = raw_at {
+            let mut hashes = 0usize;
+            while self.peek(skip + hashes) == Some(b'#') {
+                hashes += 1;
+            }
+            if self.peek(skip + hashes) == Some(b'"') {
+                for _ in 0..skip + hashes + 1 {
+                    self.bump();
+                }
+                return self.eat_raw_string_body(hashes);
+            }
+            // r#ident — a raw identifier, exactly one '#'.
+            if c0 == b'r' && hashes == 1 && self.peek(2).is_some_and(is_ident_start) {
+                self.bump();
+                self.bump();
+                return self.eat_ident();
+            }
+        }
+        self.eat_ident()
+    }
+
+    /// Raw-string body after the opening quote: runs to `"` followed by
+    /// `hashes` `#`s — quotes and backslashes inside are literal.
+    fn eat_raw_string_body(&mut self, hashes: usize) -> TokKind {
+        while self.pos < self.bytes.len() {
+            if self.peek(0) == Some(b'"') {
+                let closed = (1..=hashes).all(|k| self.peek(k) == Some(b'#'));
+                if closed {
+                    for _ in 0..hashes + 1 {
+                        self.bump();
+                    }
+                    return TokKind::Str;
+                }
+            }
+            self.bump_char();
+        }
+        TokKind::Str
+    }
+
+    fn eat_ident(&mut self) -> TokKind {
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        TokKind::Ident
+    }
+
+    /// Numbers: digits, one fraction part (only when a digit follows
+    /// the dot — `0..n` must stay three tokens), and alphanumeric
+    /// suffix/exponent characters. `1e-3` splits at the sign; rules
+    /// don't care and round-tripping still holds.
+    fn eat_number(&mut self) -> TokKind {
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.bump();
+            }
+        }
+        TokKind::Number
+    }
+}

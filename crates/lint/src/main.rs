@@ -1,0 +1,100 @@
+//! `wivi-lint` — run the workspace's static-analysis pass.
+//!
+//! ```text
+//! cargo run -p wivi-lint                 # lint the workspace, exit 1 on findings
+//! cargo run -p wivi-lint -- --report lint-report.json
+//! cargo run -p wivi-lint -- --root /path/to/workspace
+//! cargo run -p wivi-lint -- --rules     # print the rule catalog
+//! ```
+//!
+//! Exit codes: 0 clean, 1 diagnostics found, 2 usage/IO error.
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use wivi_lint::{lint_workspace, rules};
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut report_path: Option<PathBuf> = None;
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--report" => report_path = args.next().map(PathBuf::from),
+            "--rules" => {
+                for (id, summary) in rules::RULE_IDS {
+                    println!("{id}  {summary}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("usage: wivi-lint [--root DIR] [--report FILE.json] [--rules]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("wivi-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => match find_workspace_root() {
+            Some(r) => r,
+            None => {
+                eprintln!("wivi-lint: no workspace root found (no ancestor Cargo.toml with [workspace]); pass --root");
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    let report = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("wivi-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for d in &report.diags {
+        println!("{d}");
+    }
+    if let Some(path) = report_path {
+        if let Err(e) = fs::write(&path, report.to_json()) {
+            eprintln!("wivi-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    println!(
+        "wivi-lint: {} file(s), {} diagnostic(s), {} allow(s) in force",
+        report.files,
+        report.diags.len(),
+        report.allows.len()
+    );
+    if report.diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Ascends from the current directory to the first `Cargo.toml`
+/// containing a `[workspace]` table.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,562 @@
+//! The rule catalog.
+//!
+//! Every rule has a stable id, fires with `file:line` granularity, and
+//! matches on the token stream from [`crate::lexer`] — never on raw
+//! text, so hazards inside strings and comments stay inert. Scoping is
+//! path-based: the pinned-crate list, the unsafe allowlist, and the
+//! wire-file list are the policy knobs, declared here as constants so
+//! adding a crate to a scope is a one-line diff.
+//!
+//! Rule series:
+//!
+//! | series | invariant                                     |
+//! |--------|-----------------------------------------------|
+//! | D      | determinism of the pinned numeric pipeline     |
+//! | U      | unsafe hygiene (SAFETY comments + allowlist)   |
+//! | A      | atomics audit (justified relaxed RMWs)         |
+//! | W      | wire safety (panic-free request decode)        |
+//! | Z      | workspace policy (path-only deps, no printing) |
+//! | L      | lint meta (well-formed suppressions)           |
+//!
+//! Test regions (`#[cfg(test)]`) are exempt from every series except U
+//! — a test may panic and read clocks, but an undocumented `unsafe` is
+//! a hazard wherever it lives.
+
+use crate::lexer::TokKind;
+use crate::{Diag, FileCtx};
+
+/// Crates whose outputs feed the golden traces: any nondeterminism
+/// here breaks the bitwise contract (ROADMAP "Tier-1 verify").
+const PINNED_CRATES: &[&str] = &["num", "rf", "sdr", "core", "track", "image"];
+
+/// The only files allowed to contain `unsafe` at all: the SIMD kernels
+/// (intrinsics are inherently unsafe) and the obs span ring (lock-free
+/// internals). Everything else must stay safe Rust.
+const UNSAFE_ALLOWLIST: &[&str] = &["crates/num/src/simd.rs", "crates/obs/src/spans.rs"];
+
+/// Files whose `Result<_, WireError/ClientError/AdmitError>` functions
+/// are "request-decode paths": they parse untrusted bytes and must be
+/// panic-free (W001/W002).
+const WIRE_FILES: &[&str] = &[
+    "crates/serve/src/wire.rs",
+    "crates/serve/src/net.rs",
+    "crates/serve/src/admission.rs",
+];
+
+/// The codec itself, where `as` narrowing on lengths needs a bounds
+/// check (W003).
+const CODEC_FILES: &[&str] = &["crates/serve/src/wire.rs"];
+
+/// Error types that mark a function as a decode path.
+const DECODE_ERRORS: &[&str] = &["WireError", "ClientError", "AdmitError"];
+
+/// Crates exempt from Z002: `bench` is a reporting harness whose whole
+/// job is to print, and `lint` is this tool.
+const PRINT_EXEMPT: &[&str] = &["bench", "lint"];
+
+/// Every rule id, including the manifest and meta series — the set
+/// `allow(...)` accepts.
+pub const RULE_IDS: &[(&str, &str)] = &[
+    (
+        "D001",
+        "no wall-clock reads (SystemTime / Instant::now) in pinned crates",
+    ),
+    (
+        "D002",
+        "no HashMap/HashSet in pinned crates (iteration order is random)",
+    ),
+    ("D003", "no RandomState anywhere in library code"),
+    ("U001", "every unsafe site carries a SAFETY: comment"),
+    ("U002", "unsafe only in the allowlisted files"),
+    (
+        "A001",
+        "relaxed atomic RMWs carry an ordering: justification",
+    ),
+    ("W001", "no unwrap/expect/panic in request-decode paths"),
+    ("W002", "no slice indexing in request-decode paths"),
+    ("W003", "as-narrowing in the codec needs a bounds check"),
+    ("Z001", "manifests declare path-only dependencies"),
+    ("Z002", "no println!/print!/dbg! in library crates"),
+    ("L001", "suppressions are well-formed and justified"),
+    ("L002", "suppressions name a known rule"),
+];
+
+pub fn is_known_rule(id: &str) -> bool {
+    RULE_IDS.iter().any(|(r, _)| *r == id)
+}
+
+/// The source-file checkers, in catalog order (Z001 is manifest-side,
+/// L-series lives in the suppression parser).
+pub(crate) fn source_rules() -> &'static [fn(&FileCtx<'_>, &mut Vec<Diag>)] {
+    &[d001, d002, d003, u001, u002, a001, w001, w002, w003, z002]
+}
+
+fn push(diags: &mut Vec<Diag>, rule: &'static str, ctx: &FileCtx<'_>, line: u32, msg: String) {
+    diags.push(Diag {
+        rule,
+        path: ctx.path.to_string(),
+        line,
+        msg,
+    });
+}
+
+fn in_pinned_crate(ctx: &FileCtx<'_>) -> bool {
+    PINNED_CRATES.contains(&ctx.crate_name()) && ctx.is_lib_source()
+}
+
+// ---------------------------------------------------------------------
+// D-series: determinism.
+
+/// D001 — `SystemTime` or `Instant::now()` in a pinned crate. Golden
+/// traces are bitwise; a kernel that reads the clock can't be. Timing
+/// for diagnostics must ride behind the obs gate and carry an allow.
+fn d001(ctx: &FileCtx<'_>, diags: &mut Vec<Diag>) {
+    if !in_pinned_crate(ctx) {
+        return;
+    }
+    for k in 0..ctx.code.len() {
+        let line = ctx.code_tok(k).line;
+        if ctx.in_test_region(line) {
+            continue;
+        }
+        if ctx.is_ident(k, "SystemTime") {
+            push(
+                diags,
+                "D001",
+                ctx,
+                line,
+                "SystemTime in a pinned crate — golden traces must not depend on the wall clock"
+                    .into(),
+            );
+        }
+        if ctx.is_ident(k, "Instant")
+            && k + 3 < ctx.code.len()
+            && ctx.is_punct(k + 1, ':')
+            && ctx.is_punct(k + 2, ':')
+            && ctx.is_ident(k + 3, "now")
+        {
+            push(diags, "D001", ctx, line, "Instant::now() in a pinned crate — clock reads belong behind the obs gate with a justified allow".into());
+        }
+    }
+}
+
+/// D002 — `HashMap`/`HashSet` anywhere in a pinned crate. Their
+/// iteration order is seeded per-process; a result that ever iterates
+/// one is nondeterministic. Pinned code uses `BTreeMap` or the
+/// fixed-seed FNV table instead.
+fn d002(ctx: &FileCtx<'_>, diags: &mut Vec<Diag>) {
+    if !in_pinned_crate(ctx) {
+        return;
+    }
+    for k in 0..ctx.code.len() {
+        let line = ctx.code_tok(k).line;
+        if ctx.in_test_region(line) {
+            continue;
+        }
+        for name in ["HashMap", "HashSet"] {
+            if ctx.is_ident(k, name) {
+                push(diags, "D002", ctx, line, format!("{name} in a pinned crate — iteration order is randomized; use BTreeMap or the FNV table"));
+            }
+        }
+    }
+}
+
+/// D003 — `RandomState` in any library source: the per-process hasher
+/// seed is the root cause D002 guards against; naming it directly is
+/// never right in this workspace.
+fn d003(ctx: &FileCtx<'_>, diags: &mut Vec<Diag>) {
+    if !ctx.is_lib_source() {
+        return;
+    }
+    for k in 0..ctx.code.len() {
+        let line = ctx.code_tok(k).line;
+        if ctx.in_test_region(line) {
+            continue;
+        }
+        if ctx.is_ident(k, "RandomState") {
+            push(
+                diags,
+                "D003",
+                ctx,
+                line,
+                "RandomState is per-process-seeded — deterministic code must not touch it".into(),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// U-series: unsafe hygiene.
+
+/// U001 — every `unsafe` keyword (block, fn, impl, trait) must carry a
+/// `SAFETY:` comment on its line or in the comment block directly
+/// above its statement. Applies in tests too: an unexplained unsafe is
+/// a hazard wherever it lives.
+fn u001(ctx: &FileCtx<'_>, diags: &mut Vec<Diag>) {
+    for k in 0..ctx.code.len() {
+        if !ctx.is_ident(k, "unsafe") {
+            continue;
+        }
+        if !ctx.has_marker(k, "SAFETY:") {
+            push(
+                diags,
+                "U001",
+                ctx,
+                ctx.code_tok(k).line,
+                "unsafe without a SAFETY: comment — state the invariant that makes this sound"
+                    .into(),
+            );
+        }
+    }
+}
+
+/// U002 — `unsafe` appears outside the allowlist. The workspace's
+/// safety story is that unsafety is *contained*: SIMD intrinsics and
+/// the span ring, nothing else.
+fn u002(ctx: &FileCtx<'_>, diags: &mut Vec<Diag>) {
+    if UNSAFE_ALLOWLIST.contains(&ctx.path) {
+        return;
+    }
+    for k in 0..ctx.code.len() {
+        if ctx.is_ident(k, "unsafe") {
+            push(diags, "U002", ctx, ctx.code_tok(k).line, format!("unsafe outside the allowlist ({}) — keep unsafety contained or extend the list deliberately", UNSAFE_ALLOWLIST.join(", ")));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// A-series: atomics.
+
+/// Atomic read-modify-write methods: the operations where `Relaxed`
+/// has real consequences (lost synchronization on the value's
+/// *neighbors*, not the value itself).
+const RMW_METHODS: &[&str] = &[
+    "fetch_add",
+    "fetch_sub",
+    "fetch_or",
+    "fetch_and",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_nand",
+    "fetch_update",
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// A001 — a relaxed RMW without an `ordering:` comment. PR 9's
+/// tick-ring race was exactly this: a relaxed publish that looked
+/// innocent. The comment must say why relaxed is enough (or the code
+/// must use a stronger ordering).
+fn a001(ctx: &FileCtx<'_>, diags: &mut Vec<Diag>) {
+    for k in 0..ctx.code.len() {
+        let line = ctx.code_tok(k).line;
+        if ctx.in_test_region(line) {
+            continue;
+        }
+        let is_rmw = RMW_METHODS.iter().any(|m| ctx.is_ident(k, m));
+        if !is_rmw || k == 0 || !ctx.is_punct(k - 1, '.') {
+            continue;
+        }
+        // Scan the call's argument list for a `Relaxed` ordering.
+        if k + 1 >= ctx.code.len() || !ctx.is_punct(k + 1, '(') {
+            continue;
+        }
+        let mut depth = 0usize;
+        let mut relaxed = false;
+        let mut j = k + 1;
+        while j < ctx.code.len() {
+            if ctx.is_punct(j, '(') {
+                depth += 1;
+            } else if ctx.is_punct(j, ')') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if ctx.is_ident(j, "Relaxed") {
+                relaxed = true;
+            }
+            j += 1;
+        }
+        if relaxed && !ctx.has_marker(k, "ordering:") && !ctx.has_marker(k, "Ordering:") {
+            push(diags, "A001", ctx, line, "relaxed atomic RMW without an `ordering:` comment — say why no synchronization is needed here".into());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// W-series: wire safety.
+
+/// Line ranges (start, end) of request-decode functions: `fn`s in the
+/// wire files whose return type names one of [`DECODE_ERRORS`]. Found
+/// lexically — scan from `fn` to the first body `{` or declaration
+/// `;`, looking for `-> … WireError …`.
+fn decode_fn_ranges(ctx: &FileCtx<'_>) -> Vec<(u32, u32)> {
+    let n = ctx.code.len();
+    let mut ranges = Vec::new();
+    let mut k = 0;
+    while k < n {
+        if !ctx.is_ident(k, "fn") {
+            k += 1;
+            continue;
+        }
+        // Scan the signature for `->` then an error-type ident.
+        let mut j = k + 1;
+        let mut saw_arrow = false;
+        let mut is_decode = false;
+        while j < n {
+            if ctx.is_punct(j, '{') || ctx.is_punct(j, ';') {
+                break;
+            }
+            if ctx.is_punct(j, '-') && j + 1 < n && ctx.is_punct(j + 1, '>') {
+                saw_arrow = true;
+            }
+            if saw_arrow && DECODE_ERRORS.iter().any(|e| ctx.is_ident(j, e)) {
+                is_decode = true;
+            }
+            j += 1;
+        }
+        if is_decode && j < n && ctx.is_punct(j, '{') {
+            // Body range: match the brace.
+            let start = ctx.code_tok(k).line;
+            let mut depth = 0usize;
+            let mut end = j;
+            while end < n {
+                if ctx.is_punct(end, '{') {
+                    depth += 1;
+                } else if ctx.is_punct(end, '}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                end += 1;
+            }
+            let end_line = ctx.code_tok(end.min(n - 1)).line;
+            ranges.push((start, end_line));
+            k = end;
+        }
+        k = k.max(j) + 1;
+    }
+    ranges
+}
+
+fn in_ranges(ranges: &[(u32, u32)], line: u32) -> bool {
+    ranges.iter().any(|&(s, e)| (s..=e).contains(&line))
+}
+
+/// W001 — `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!` inside a
+/// request-decode function. A malformed frame must come back as a
+/// `WireError`, never take the reactor down.
+fn w001(ctx: &FileCtx<'_>, diags: &mut Vec<Diag>) {
+    if !WIRE_FILES.contains(&ctx.path) {
+        return;
+    }
+    let ranges = decode_fn_ranges(ctx);
+    for k in 0..ctx.code.len() {
+        let line = ctx.code_tok(k).line;
+        if ctx.in_test_region(line) || !in_ranges(&ranges, line) {
+            continue;
+        }
+        let method = ["unwrap", "expect"].iter().any(|m| ctx.is_ident(k, m))
+            && k > 0
+            && ctx.is_punct(k - 1, '.');
+        let mac = ["panic", "unreachable", "todo", "unimplemented"]
+            .iter()
+            .any(|m| ctx.is_ident(k, m))
+            && k + 1 < ctx.code.len()
+            && ctx.is_punct(k + 1, '!');
+        if method || mac {
+            push(diags, "W001", ctx, line, format!("`{}` in a request-decode path — malformed input must become a WireError, not a panic", ctx.code_tok(k).text));
+        }
+    }
+}
+
+/// W002 — slice indexing (`buf[i]`, `buf[a..b]`) inside a
+/// request-decode function: indexing panics on short input; decode
+/// paths use `get()` / `first_chunk()` / `split_first()`.
+fn w002(ctx: &FileCtx<'_>, diags: &mut Vec<Diag>) {
+    if !WIRE_FILES.contains(&ctx.path) {
+        return;
+    }
+    let ranges = decode_fn_ranges(ctx);
+    for k in 0..ctx.code.len() {
+        let line = ctx.code_tok(k).line;
+        if ctx.in_test_region(line) || !in_ranges(&ranges, line) {
+            continue;
+        }
+        if !ctx.is_punct(k, '[') || k == 0 {
+            continue;
+        }
+        // Index expression ⇔ `[` follows a value: ident, `)`, `]`, `?`.
+        // (Array literals follow `=`/`(`/`,`; attributes follow `#`;
+        // slice patterns follow `let`/`(`; types follow `:`/`&`.)
+        let prev = ctx.code_tok(k - 1);
+        let is_index = match prev.kind {
+            TokKind::Ident => !matches!(prev.text, "let" | "mut" | "ref" | "box" | "return" | "in"),
+            TokKind::Punct => matches!(prev.text, ")" | "]" | "?"),
+            _ => false,
+        };
+        if is_index {
+            push(diags, "W002", ctx, line, "slice indexing in a request-decode path — use get()/first_chunk()/split_first() so short input errors instead of panicking".into());
+        }
+    }
+}
+
+/// W003 — `as u8/u16/u32` narrowing in the codec without a bounds
+/// check in the same statement (a `debug_assert`/`min`/`try_from`) or
+/// a `bounds:` comment. Length arithmetic that silently truncates
+/// writes frames that misparse on the peer.
+fn w003(ctx: &FileCtx<'_>, diags: &mut Vec<Diag>) {
+    if !CODEC_FILES.contains(&ctx.path) {
+        return;
+    }
+    for k in 0..ctx.code.len() {
+        let line = ctx.code_tok(k).line;
+        if ctx.in_test_region(line) {
+            continue;
+        }
+        if !ctx.is_ident(k, "as")
+            || k + 1 >= ctx.code.len()
+            || !["u8", "u16", "u32"].iter().any(|t| ctx.is_ident(k + 1, t))
+        {
+            continue;
+        }
+        // Statement bounds: previous and next `;`/`{`/`}` code token.
+        let mut lo = k;
+        while lo > 0 {
+            let t = ctx.code_tok(lo - 1);
+            if t.kind == TokKind::Punct && matches!(t.text, ";" | "{" | "}") {
+                break;
+            }
+            lo -= 1;
+        }
+        let mut hi = k;
+        while hi + 1 < ctx.code.len() {
+            let t = ctx.code_tok(hi);
+            if t.kind == TokKind::Punct && matches!(t.text, ";" | "{" | "}") {
+                break;
+            }
+            hi += 1;
+        }
+        let checked = (lo..=hi).any(|j| {
+            [
+                "debug_assert",
+                "debug_assert_eq",
+                "assert",
+                "min",
+                "try_from",
+                "clamp",
+            ]
+            .iter()
+            .any(|m| ctx.is_ident(j, m))
+        });
+        if !checked && !ctx.has_marker(k, "bounds:") {
+            push(diags, "W003", ctx, line, "as-narrowing on codec arithmetic without a bounds check — assert the value fits (or route through put_len) before truncating".into());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Z-series: policy.
+
+/// Z002 — `println!`/`print!`/`dbg!` in library source. Libraries
+/// report through `wivi-obs` or return values; stdout belongs to the
+/// binaries (and the bench harness, which is exempt).
+fn z002(ctx: &FileCtx<'_>, diags: &mut Vec<Diag>) {
+    if !ctx.is_lib_source() || PRINT_EXEMPT.contains(&ctx.crate_name()) {
+        return;
+    }
+    for k in 0..ctx.code.len() {
+        let line = ctx.code_tok(k).line;
+        if ctx.in_test_region(line) {
+            continue;
+        }
+        let is_mac = ["println", "print", "dbg"]
+            .iter()
+            .any(|m| ctx.is_ident(k, m))
+            && k + 1 < ctx.code.len()
+            && ctx.is_punct(k + 1, '!');
+        // `writeln!(f, …)` etc. are fine — they print to a caller-chosen
+        // sink. Only the stdout macros are policy violations.
+        if is_mac {
+            push(diags, "Z002", ctx, line, format!("`{}!` in library code — report through wivi-obs or return data; stdout belongs to binaries", ctx.code_tok(k).text));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Z001: manifests (line-oriented TOML subset — enough for this
+// workspace's hand-written manifests).
+
+/// Checks one `Cargo.toml`: inside any `*dependencies*` section, every
+/// dependency must be a `path` dependency (or inherit one via
+/// `workspace = true`). A version/git/registry dep is a third-party
+/// dependency — the workspace policy since PR 1 is zero of those.
+pub fn check_manifest(path: &str, src: &str) -> Vec<Diag> {
+    let mut diags = Vec::new();
+    let mut in_dep_section = false;
+    // `[dependencies.foo]` multi-line tables: remember the header until
+    // we see whether the table carries a `path` key.
+    let mut table: Option<(u32, String, bool)> = None;
+    let flush_table = |table: &mut Option<(u32, String, bool)>, diags: &mut Vec<Diag>| {
+        if let Some((line, name, has_path)) = table.take() {
+            if !has_path {
+                diags.push(Diag {
+                    rule: "Z001",
+                    path: path.to_string(),
+                    line,
+                    msg: format!("dependency `{name}` is not a path dependency — the workspace policy is zero third-party deps"),
+                });
+            }
+        }
+    };
+    for (i, raw) in src.lines().enumerate() {
+        let line_no = i as u32 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('[') {
+            flush_table(&mut table, &mut diags);
+            let section = line.trim_matches(['[', ']']);
+            in_dep_section = section.ends_with("dependencies");
+            if let Some(dep) = section
+                .strip_suffix(']')
+                .unwrap_or(section)
+                .split_once("dependencies.")
+                .map(|(_, d)| d)
+            {
+                table = Some((line_no, dep.to_string(), false));
+                in_dep_section = false;
+            }
+            continue;
+        }
+        if let Some((_, _, has_path)) = table.as_mut() {
+            if line.starts_with("path") {
+                *has_path = true;
+            }
+            continue;
+        }
+        if !in_dep_section {
+            continue;
+        }
+        let Some((name, value)) = line.split_once('=') else {
+            continue;
+        };
+        let name = name.trim();
+        let value = value.trim();
+        let inherits = name.ends_with(".workspace") || value.contains("workspace = true");
+        if !value.contains("path") && !inherits {
+            diags.push(Diag {
+                rule: "Z001",
+                path: path.to_string(),
+                line: line_no,
+                msg: format!("dependency `{name}` is not a path dependency — the workspace policy is zero third-party deps"),
+            });
+        }
+    }
+    flush_table(&mut table, &mut diags);
+    diags
+}

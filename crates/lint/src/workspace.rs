@@ -1,0 +1,140 @@
+//! Workspace walking and the machine-readable report.
+//!
+//! The walk is filesystem-order-independent: paths are collected, then
+//! sorted, so two runs over the same tree print identical output — the
+//! lint holds itself to the determinism bar it enforces.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::{lint_manifest, lint_source, suppressions, Diag, Suppression};
+
+/// Everything one workspace run produced.
+pub struct Report {
+    /// All diagnostics, sorted by (path, line, rule).
+    pub diags: Vec<Diag>,
+    /// Every suppression in force, with its justification — the report
+    /// makes the allow inventory reviewable at a glance.
+    pub allows: Vec<(String, Suppression)>,
+    /// Files scanned (sources + manifests).
+    pub files: usize,
+}
+
+impl Report {
+    /// Hand-rolled JSON (the workspace has no serde, by policy).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"diagnostics\": [\n");
+        for (i, d) in self.diags.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"msg\": {}}}{}\n",
+                json_str(d.rule),
+                json_str(&d.path),
+                d.line,
+                json_str(&d.msg),
+                if i + 1 < self.diags.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n  \"allows\": [\n");
+        for (i, (path, a)) in self.allows.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"justification\": {}}}{}\n",
+                json_str(&a.rule),
+                json_str(path),
+                a.line,
+                json_str(&a.justification),
+                if i + 1 < self.allows.len() { "," } else { "" }
+            ));
+        }
+        s.push_str(&format!("  ],\n  \"files\": {}\n}}\n", self.files));
+        s
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Lints every `src/**/*.rs` and every `Cargo.toml` under `root`.
+/// `tests/`, `benches/`, `target/`, and dot-directories are skipped:
+/// the rules bind shipped code, and the lint's own fixture corpus
+/// *must* contain violations.
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let mut sources = Vec::new();
+    let mut manifests = Vec::new();
+    collect(root, root, &mut sources, &mut manifests)?;
+    sources.sort();
+    manifests.sort();
+
+    let mut diags = Vec::new();
+    let mut allows = Vec::new();
+    let files = sources.len() + manifests.len();
+    for rel in &sources {
+        let src = fs::read_to_string(root.join(rel))?;
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        diags.extend(lint_source(&rel_str, &src));
+        allows.extend(
+            suppressions(&rel_str, &src)
+                .into_iter()
+                .map(|a| (rel_str.clone(), a)),
+        );
+    }
+    for rel in &manifests {
+        let src = fs::read_to_string(root.join(rel))?;
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        diags.extend(lint_manifest(&rel_str, &src));
+    }
+    diags.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    allows.sort_by(|a, b| (&a.0, a.1.line).cmp(&(&b.0, b.1.line)));
+    Ok(Report {
+        diags,
+        allows,
+        files,
+    })
+}
+
+fn collect(
+    root: &Path,
+    dir: &Path,
+    sources: &mut Vec<PathBuf>,
+    manifests: &mut Vec<PathBuf>,
+) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if matches!(&*name, "target" | "tests" | "benches" | "fixtures")
+                || name.starts_with('.')
+            {
+                continue;
+            }
+            collect(root, &path, sources, manifests)?;
+            continue;
+        }
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        if name == "Cargo.toml" {
+            manifests.push(rel);
+        } else if name.ends_with(".rs")
+            && (rel_str.starts_with("src/") || rel_str.contains("/src/"))
+        {
+            sources.push(rel);
+        }
+    }
+    Ok(())
+}

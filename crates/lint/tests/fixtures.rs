@@ -1,0 +1,124 @@
+//! The fixture contract: every rule fires on its `_fail` snippet and
+//! stays silent on its `_pass` snippet.
+//!
+//! Fixture files live in `tests/fixtures/` as `<RULE>_fail.*` /
+//! `<RULE>_pass.*`. The first line is a `//@path` (or `#@path` for
+//! TOML) directive giving the virtual workspace path the snippet
+//! should be linted *as* — that is how path-scoped rules (pinned
+//! crates, the unsafe allowlist, wire files) are exercised without the
+//! fixtures living at the real paths. The workspace walker never
+//! descends into `tests/`, so the deliberate violations in the corpus
+//! can't fail the real lint gate.
+
+use std::fs;
+use std::path::PathBuf;
+
+use wivi_lint::{lint_manifest, lint_source, Diag};
+
+fn fixtures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Lints one fixture according to its `@path` directive.
+fn lint_fixture(name: &str) -> Vec<Diag> {
+    let file = fixtures_dir().join(name);
+    let src = fs::read_to_string(&file).unwrap_or_else(|e| panic!("read {name}: {e}"));
+    let first = src.lines().next().unwrap_or_default();
+    let vpath = first
+        .strip_prefix("//@path ")
+        .or_else(|| first.strip_prefix("#@path "))
+        .unwrap_or_else(|| panic!("{name}: missing @path directive"))
+        .trim();
+    if name.ends_with(".toml") {
+        lint_manifest(vpath, &src)
+    } else {
+        lint_source(vpath, &src)
+    }
+}
+
+fn rules_fired(name: &str) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = lint_fixture(name).into_iter().map(|d| d.rule).collect();
+    rules.dedup();
+    rules
+}
+
+const RULES: &[(&str, &str)] = &[
+    ("D001", "rs"),
+    ("D002", "rs"),
+    ("D003", "rs"),
+    ("U001", "rs"),
+    ("U002", "rs"),
+    ("A001", "rs"),
+    ("W001", "rs"),
+    ("W002", "rs"),
+    ("W003", "rs"),
+    ("Z001", "toml"),
+    ("Z002", "rs"),
+    ("L001", "rs"),
+    ("L002", "rs"),
+];
+
+#[test]
+fn every_rule_fires_on_its_fail_fixture() {
+    for (rule, ext) in RULES {
+        let fired = rules_fired(&format!("{rule}_fail.{ext}"));
+        assert!(
+            fired.contains(rule),
+            "{rule}_fail.{ext}: expected {rule} to fire, got {fired:?}"
+        );
+    }
+}
+
+#[test]
+fn every_rule_stays_silent_on_its_pass_fixture() {
+    for (rule, ext) in RULES {
+        let fired = rules_fired(&format!("{rule}_pass.{ext}"));
+        assert!(
+            !fired.contains(rule),
+            "{rule}_pass.{ext}: {rule} fired where it should not: {fired:?}"
+        );
+    }
+}
+
+/// Every rule in the catalog has both fixture files — adding a rule
+/// without its corpus breaks here, not in review.
+#[test]
+fn fixture_corpus_is_complete() {
+    for (rule, _) in wivi_lint::rules::RULE_IDS {
+        let n = fs::read_dir(fixtures_dir())
+            .expect("fixtures dir")
+            .filter_map(|e| e.ok())
+            .filter(|e| {
+                let name = e.file_name();
+                let name = name.to_string_lossy().to_string();
+                name.starts_with(&format!("{rule}_fail"))
+                    || name.starts_with(&format!("{rule}_pass"))
+            })
+            .count();
+        assert!(n >= 2, "rule {rule} is missing pass/fail fixtures");
+    }
+}
+
+/// A justified allow suppresses the diagnostic and is reported in the
+/// allow inventory; the L001 fail fixture shows the unjustified form
+/// is rejected rather than honored.
+#[test]
+fn justified_allow_suppresses_and_is_inventoried() {
+    let file = fixtures_dir().join("L001_pass.rs");
+    let src = fs::read_to_string(file).expect("read L001_pass.rs");
+    let diags = lint_source("crates/num/src/fx.rs", &src);
+    assert!(diags.is_empty(), "expected clean, got {diags:?}");
+    let allows = wivi_lint::suppressions("crates/num/src/fx.rs", &src);
+    assert_eq!(allows.len(), 1);
+    assert_eq!(allows[0].rule, "D001");
+    assert!(!allows[0].justification.is_empty());
+}
+
+/// An unjustified allow does NOT suppress: the original diagnostic
+/// survives alongside the L001.
+#[test]
+fn unjustified_allow_does_not_suppress() {
+    let fired = rules_fired("L001_fail.rs");
+    assert!(fired.contains(&"L001"), "L001 missing: {fired:?}");
+    assert!(fired.contains(&"D001"), "D001 should survive: {fired:?}");
+}

@@ -1,0 +1,17 @@
+//@path crates/obs/src/fx.rs
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) -> u64 {
+    // ordering: Relaxed — standalone tally, nothing rides on it.
+    c.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn strong(c: &AtomicU64) -> u64 {
+    // SeqCst needs no justification comment.
+    c.fetch_add(1, Ordering::SeqCst)
+}
+
+pub fn plain_load(c: &AtomicU64) -> u64 {
+    // Loads are not RMWs; A001 leaves them alone.
+    c.load(Ordering::Relaxed)
+}

@@ -1,0 +1,4 @@
+//@path crates/num/src/fx.rs
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

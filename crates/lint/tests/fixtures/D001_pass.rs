@@ -1,0 +1,14 @@
+//@path crates/serve/src/fx.rs
+// Unpinned crate: clock reads are allowed outside the golden path.
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test regions in pinned crates are exempt too — mirrored by the
+    // hazard string below never matching: "Instant::now()".
+    pub fn also_ok() -> std::time::Instant {
+        std::time::Instant::now()
+    }
+}

@@ -1,0 +1,10 @@
+//@path crates/track/src/fx.rs
+use std::collections::HashMap;
+
+pub fn tally(xs: &[u32]) -> HashMap<u32, u32> {
+    let mut m = HashMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}

@@ -1,0 +1,13 @@
+//@path crates/track/src/fx.rs
+use std::collections::BTreeMap;
+
+// A comment naming HashMap does not fire; neither does the string
+// "HashSet<u32>" below.
+pub fn tally(xs: &[u32]) -> BTreeMap<u32, u32> {
+    let mut m = BTreeMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    let _ = "HashSet<u32>";
+    m
+}

@@ -1,0 +1,6 @@
+//@path crates/serve/src/fx.rs
+use std::collections::hash_map::RandomState;
+
+pub fn hasher() -> RandomState {
+    RandomState::new()
+}

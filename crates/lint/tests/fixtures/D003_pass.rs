@@ -1,0 +1,13 @@
+//@path crates/serve/src/fx.rs
+pub fn fnv(x: u64) -> u64 {
+    x.wrapping_mul(0x100000001b3)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::hash_map::RandomState;
+
+    pub fn only_in_tests() -> RandomState {
+        RandomState::new()
+    }
+}

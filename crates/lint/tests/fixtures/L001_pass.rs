@@ -1,0 +1,5 @@
+//@path crates/num/src/fx.rs
+pub fn stamp() -> std::time::Instant {
+    // wivi-lint: allow(D001): fixture for a justified clock read.
+    std::time::Instant::now()
+}

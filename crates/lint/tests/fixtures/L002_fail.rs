@@ -1,0 +1,4 @@
+//@path crates/num/src/fx.rs
+pub fn nothing() {
+    // wivi-lint: allow(D999): no such rule.
+}

@@ -1,0 +1,4 @@
+//@path crates/num/src/fx.rs
+/// Docs may *mention* the `// wivi-lint: allow(D999)` syntax without
+/// declaring an allow — doc comments are ignored by the parser.
+pub fn nothing() {}

@@ -1,0 +1,4 @@
+//@path crates/num/src/simd.rs
+pub fn read_first(xs: &[f64]) -> f64 {
+    unsafe { *xs.as_ptr() }
+}

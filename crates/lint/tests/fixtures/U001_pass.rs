@@ -1,0 +1,12 @@
+//@path crates/num/src/simd.rs
+pub fn read_first(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    // SAFETY: asserted non-empty above, so the pointer is valid.
+    unsafe { *xs.as_ptr() }
+}
+
+// SAFETY: a comment above the attribute still reaches the item.
+#[inline]
+pub unsafe fn documented_via_block(p: *const f64) -> f64 {
+    *p
+}

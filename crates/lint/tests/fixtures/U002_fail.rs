@@ -1,0 +1,7 @@
+//@path crates/rf/src/fx.rs
+pub fn read_first(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    // SAFETY: asserted non-empty above — but this file is not on the
+    // unsafe allowlist, so U002 fires regardless.
+    unsafe { *xs.as_ptr() }
+}

@@ -1,0 +1,6 @@
+//@path crates/obs/src/spans.rs
+pub fn read_first(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    // SAFETY: asserted non-empty above; this file is allowlisted.
+    unsafe { *xs.as_ptr() }
+}

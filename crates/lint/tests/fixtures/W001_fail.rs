@@ -1,0 +1,8 @@
+//@path crates/serve/src/wire.rs
+pub enum WireError {
+    Truncated,
+}
+
+pub fn decode(buf: &[u8]) -> Result<u8, WireError> {
+    Ok(*buf.first().unwrap())
+}

@@ -1,0 +1,13 @@
+//@path crates/serve/src/wire.rs
+pub enum WireError {
+    Truncated,
+}
+
+pub fn decode(buf: &[u8]) -> Result<u8, WireError> {
+    buf.first().copied().ok_or(WireError::Truncated)
+}
+
+// Not a decode path (no Result<_, WireError>): W001 does not apply.
+pub fn trusted(buf: &[u8]) -> u8 {
+    *buf.first().unwrap()
+}

@@ -1,0 +1,11 @@
+//@path crates/serve/src/net.rs
+pub enum ClientError {
+    Truncated,
+}
+
+pub fn decode(buf: &[u8]) -> Result<u8, ClientError> {
+    if buf.is_empty() {
+        return Err(ClientError::Truncated);
+    }
+    Ok(buf[0])
+}

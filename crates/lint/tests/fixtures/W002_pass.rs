@@ -1,0 +1,10 @@
+//@path crates/serve/src/net.rs
+pub enum ClientError {
+    Truncated,
+}
+
+pub fn decode(buf: &[u8]) -> Result<u8, ClientError> {
+    let table = [1u8, 2, 3];
+    let _ = table;
+    buf.first().copied().ok_or(ClientError::Truncated)
+}

@@ -1,0 +1,5 @@
+//@path crates/serve/src/wire.rs
+pub fn put_len(buf: &mut Vec<u8>, n: usize) {
+    let len = n as u32;
+    buf.extend_from_slice(&len.to_le_bytes());
+}

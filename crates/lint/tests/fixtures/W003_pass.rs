@@ -1,0 +1,7 @@
+//@path crates/serve/src/wire.rs
+pub fn put_len(buf: &mut Vec<u8>, n: usize) {
+    let len = u32::try_from(n).unwrap_or(0) as u32;
+    buf.extend_from_slice(&len.to_le_bytes());
+    let wide = n as u64; // widening never fires
+    let _ = wide;
+}

@@ -1,0 +1,4 @@
+//@path crates/sdr/src/fx.rs
+pub fn run() {
+    println!("progress: 50%");
+}

@@ -1,0 +1,162 @@
+//! Property tests for the hand-rolled lexer, driven by the workspace's
+//! own deterministic [`wivi_num::Rng64`] — seeded, so a failure is a
+//! repro, not a flake.
+//!
+//! The properties:
+//!
+//! 1. **Round-trip**: for any token stream the lexer produces,
+//!    concatenating `tok.text` in order and re-inserting the skipped
+//!    whitespace reproduces the input byte-for-byte (the lexer is a
+//!    partition of the source, never lossy).
+//! 2. **Totality**: random byte soup lexes without panicking.
+//! 3. **Hazard inertness**: rule-trigger spellings (`unsafe`,
+//!    `Instant::now`, `unwrap`) inside strings, raw strings, chars,
+//!    and comments never come out as `Ident` tokens.
+
+use wivi_lint::lexer::{lex, TokKind};
+use wivi_num::Rng64;
+
+/// The concatenated token texts must equal the source minus whitespace.
+fn assert_partition(src: &str) {
+    let toks = lex(src);
+    let glued: String = toks.iter().map(|t| t.text).collect();
+    let stripped: String = {
+        // Remove exactly the bytes the lexer skips: whitespace outside
+        // tokens. Easiest check: walk the source consuming each token
+        // text in order; between tokens only whitespace may appear.
+        let mut rest = src;
+        for t in &toks {
+            let at = rest
+                .find(t.text)
+                .unwrap_or_else(|| panic!("token {:?} not found in remaining source", t.text));
+            assert!(
+                rest[..at].chars().all(char::is_whitespace),
+                "non-whitespace skipped before {:?}: {:?}",
+                t.text,
+                &rest[..at]
+            );
+            rest = &rest[at + t.text.len()..];
+        }
+        assert!(
+            rest.chars().all(char::is_whitespace),
+            "non-whitespace after last token: {rest:?}"
+        );
+        glued.clone()
+    };
+    assert_eq!(glued, stripped);
+}
+
+/// Emits one random token's source text.
+fn random_token(rng: &mut Rng64, out: &mut String) {
+    let idents = ["unsafe", "HashMap", "unwrap", "foo", "r#match", "Instant"];
+    let puncts = [
+        "{", "}", "(", ")", ";", ".", "::", "->", "=>", "#", "[", "]",
+    ];
+    match rng.next_u64() % 10 {
+        0 => out.push_str(idents[(rng.next_u64() % idents.len() as u64) as usize]),
+        1 => out.push_str(puncts[(rng.next_u64() % puncts.len() as u64) as usize]),
+        2 => out.push_str(&format!("{}", rng.next_u64() % 100000)),
+        3 => out.push_str(&format!("\"str {} \\\" end\"", rng.next_u64() % 10)),
+        4 => out.push_str(&format!("r#\"raw {} unsafe \"# ", rng.next_u64() % 10)),
+        5 => out
+            .push_str(["'a'", "'\\''", "b'x'", "b'\\\\'", "'\\n'"][(rng.next_u64() % 5) as usize]),
+        6 => out.push_str(["'a", "'static", "'_"][(rng.next_u64() % 3) as usize]),
+        7 => out.push_str(&format!("// line comment {}\n", rng.next_u64() % 10)),
+        8 => out.push_str(&format!(
+            "/* block /* nested {} */ comment */",
+            rng.next_u64() % 10
+        )),
+        _ => out.push_str(&format!("1.5e{}", rng.next_u64() % 10)),
+    }
+}
+
+#[test]
+fn random_token_streams_round_trip() {
+    let mut rng = Rng64::seed_from_u64(0x5EED_1E1E);
+    for _ in 0..200 {
+        let mut src = String::new();
+        let n = 1 + (rng.next_u64() % 40) as usize;
+        for _ in 0..n {
+            random_token(&mut rng, &mut src);
+            // Random separator: space, newline, or nothing after
+            // self-terminating tokens (comments end with \n already).
+            match rng.next_u64() % 3 {
+                0 => src.push(' '),
+                1 => src.push('\n'),
+                _ => src.push(' '),
+            }
+        }
+        assert_partition(&src);
+    }
+}
+
+#[test]
+fn random_byte_soup_never_panics() {
+    let mut rng = Rng64::seed_from_u64(0xB17E_5009);
+    for _ in 0..200 {
+        let n = (rng.next_u64() % 256) as usize;
+        let bytes: Vec<u8> = (0..n).map(|_| (rng.next_u64() & 0x7F) as u8).collect();
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = lex(&src);
+    }
+}
+
+#[test]
+fn hazards_inside_literals_are_not_idents() {
+    let cases = [
+        r#"let s = "unsafe { Instant::now() }";"#,
+        r##"let s = r#"x.unwrap() and HashMap"#;"##,
+        "// unsafe unwrap HashMap in a comment",
+        "/* unsafe /* nested unsafe */ still comment */",
+        r#"let c = '\''; let b = b'\''; let s = "after quotes unsafe";"#,
+    ];
+    for src in cases {
+        for t in lex(src) {
+            if t.kind == TokKind::Ident {
+                assert!(
+                    !matches!(t.text, "unsafe" | "unwrap" | "HashMap" | "Instant"),
+                    "hazard {:?} leaked out of a literal in {src:?}",
+                    t.text
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lifetime_vs_char_disambiguation() {
+    let toks = lex("fn f<'a>(x: &'a str) { let c = 'a'; let q = '\\''; let b = b'\\''; }");
+    let lifetimes: Vec<_> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Lifetime)
+        .collect();
+    let chars: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Char).collect();
+    assert_eq!(lifetimes.len(), 2, "{toks:?}");
+    assert_eq!(chars.len(), 3, "{toks:?}");
+}
+
+#[test]
+fn nested_block_comment_is_one_token() {
+    let toks = lex("/* a /* b /* c */ */ d */ ident");
+    assert_eq!(toks.len(), 2);
+    assert_eq!(toks[0].kind, TokKind::BlockComment);
+    assert_eq!(toks[1].kind, TokKind::Ident);
+    assert_eq!(toks[1].text, "ident");
+}
+
+#[test]
+fn raw_strings_with_hashes_and_byte_variants() {
+    let toks = lex(r###"let a = r"x"; let b = r#"y " y"#; let c = br#"z"#; let d = b"w";"###);
+    let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+    assert_eq!(strs.len(), 4, "{toks:?}");
+}
+
+#[test]
+fn line_numbers_survive_multiline_tokens() {
+    let src = "a\n/* one\ntwo */\nb\n\"s1\ns2\"\nc";
+    let toks = lex(src);
+    let find = |txt: &str| toks.iter().find(|t| t.text == txt).map(|t| t.line);
+    assert_eq!(find("a"), Some(1));
+    assert_eq!(find("b"), Some(4));
+    assert_eq!(find("c"), Some(7));
+}

@@ -58,6 +58,9 @@ where
     std::thread::scope(|s| {
         for _ in 0..n_threads {
             s.spawn(|| loop {
+                // ordering: Relaxed — the counter only hands out
+                // distinct indices; each result is published through
+                // its slot's Mutex, which does the synchronizing.
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= items.len() {
                     break;

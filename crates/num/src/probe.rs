@@ -74,6 +74,9 @@ static STATE: AtomicU8 = AtomicU8::new(STATE_UNINIT);
 /// static load and a branch.
 #[inline(always)]
 pub fn enabled() -> bool {
+    // ordering: Relaxed — STATE is a standalone tri-state flag; a
+    // stale read only costs one extra trip through init_enabled, which
+    // converges to the same value.
     match STATE.load(Ordering::Relaxed) {
         STATE_OFF => false,
         STATE_ON => true,
@@ -87,6 +90,8 @@ fn init_enabled() -> bool {
         let v = v.trim();
         v == "1" || v.eq_ignore_ascii_case("true")
     });
+    // ordering: Relaxed — every racer computes the same value from the
+    // same environment, so publication order cannot matter.
     STATE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
     on
 }
@@ -101,6 +106,8 @@ pub fn set_enabled(on: Option<bool>) {
         Some(false) => STATE_OFF,
         Some(true) => STATE_ON,
     };
+    // ordering: Relaxed — the override is a standalone flag; callers
+    // that need a crisp cutover (tests) serialize around it themselves.
     STATE.store(state, Ordering::Relaxed);
 }
 
@@ -110,6 +117,8 @@ pub fn set_enabled(on: Option<bool>) {
 static NEXT_SLOT: AtomicUsize = AtomicUsize::new(0);
 
 thread_local! {
+    // ordering: Relaxed — the fetch_add's atomicity alone guarantees
+    // each thread a distinct slot; no other memory rides on it.
     static SLOT: usize = NEXT_SLOT.fetch_add(1, Ordering::Relaxed);
 }
 
@@ -140,6 +149,8 @@ impl ThreadCells {
     #[inline]
     fn bump(&self, idx: usize, n: u64) {
         let c = &self.cells[idx];
+        // ordering: Relaxed — single-writer cell; readers aggregate a
+        // snapshot and tolerate a bump landing one scrape late.
         c.store(c.load(Ordering::Relaxed).wrapping_add(n), Ordering::Relaxed);
     }
 }
@@ -306,6 +317,9 @@ pub fn snapshot() -> ProbeSnapshot {
     let mut cells = [0u64; N_CELLS];
     for t in all_cells().lock().expect("probe registry poisoned").iter() {
         for (acc, c) in cells.iter_mut().zip(t.cells.iter()) {
+            // ordering: Relaxed — counts are advisory telemetry; a
+            // snapshot racing a bump may be one count stale, which the
+            // probe contract allows.
             *acc = acc.wrapping_add(c.load(Ordering::Relaxed));
         }
     }

@@ -196,10 +196,14 @@ pub fn givens_rotate(x: &mut [Complex64], y: &mut [Complex64], c: f64, s: f64, e
     #[cfg(target_arch = "x86_64")]
     match level() {
         SimdLevel::Avx512 if x.len() >= AVX512_MIN_N => {
-            return unsafe { avx512::givens_rotate(x, y, c, s, e) }
+            // SAFETY: level() reports this tier only after runtime CPU
+            // detection confirmed the kernel's target features.
+            return unsafe { avx512::givens_rotate(x, y, c, s, e) };
         }
         SimdLevel::Avx512 | SimdLevel::Avx2 => {
-            return unsafe { avx2::givens_rotate(x, y, c, s, e) }
+            // SAFETY: level() reports this tier only after runtime CPU
+            // detection confirmed the kernel's target features.
+            return unsafe { avx2::givens_rotate(x, y, c, s, e) };
         }
         SimdLevel::Scalar => {}
     }
@@ -251,7 +255,9 @@ pub fn givens_rotate_cols(
     #[cfg(target_arch = "x86_64")]
     match level() {
         SimdLevel::Avx512 | SimdLevel::Avx2 => {
-            return unsafe { avx2::givens_rotate_cols(data, stride, p, q, c, s, e) }
+            // SAFETY: level() reports this tier only after runtime CPU
+            // detection confirmed the kernel's target features.
+            return unsafe { avx2::givens_rotate_cols(data, stride, p, q, c, s, e) };
         }
         SimdLevel::Scalar => {}
     }
@@ -353,8 +359,12 @@ pub fn rotate_rows_mirror(
     #[cfg(target_arch = "x86_64")]
     match level() {
         SimdLevel::Avx512 => {
-            return unsafe { avx512::rotate_rows_mirror(data, stride, p, q, c, s, e) }
+            // SAFETY: level() reports this tier only after runtime CPU
+            // detection confirmed the kernel's target features.
+            return unsafe { avx512::rotate_rows_mirror(data, stride, p, q, c, s, e) };
         }
+        // SAFETY: level() reports this tier only after runtime CPU
+        // detection confirmed the kernel's target features.
         SimdLevel::Avx2 => return unsafe { avx2::rotate_rows_mirror(data, stride, p, q, c, s, e) },
         SimdLevel::Scalar => {}
     }
@@ -401,8 +411,12 @@ pub fn caxpy(acc: &mut [Complex64], x: &[Complex64], a: Complex64) {
     #[cfg(target_arch = "x86_64")]
     match level() {
         SimdLevel::Avx512 if acc.len() >= AVX512_MIN_N => {
-            return unsafe { avx512::caxpy(acc, x, a) }
+            // SAFETY: level() reports this tier only after runtime CPU
+            // detection confirmed the kernel's target features.
+            return unsafe { avx512::caxpy(acc, x, a) };
         }
+        // SAFETY: level() reports this tier only after runtime CPU
+        // detection confirmed the kernel's target features.
         SimdLevel::Avx512 | SimdLevel::Avx2 => return unsafe { avx2::caxpy(acc, x, a) },
         SimdLevel::Scalar => {}
     }
@@ -441,10 +455,14 @@ pub fn accumulate_outer_row(row: &mut [Complex64], v: &[Complex64], x: Complex64
     #[cfg(target_arch = "x86_64")]
     match level() {
         SimdLevel::Avx512 if row.len() >= AVX512_MIN_N => {
-            return unsafe { avx512::accumulate_outer_row(row, v, x, s) }
+            // SAFETY: level() reports this tier only after runtime CPU
+            // detection confirmed the kernel's target features.
+            return unsafe { avx512::accumulate_outer_row(row, v, x, s) };
         }
         SimdLevel::Avx512 | SimdLevel::Avx2 => {
-            return unsafe { avx2::accumulate_outer_row(row, v, x, s) }
+            // SAFETY: level() reports this tier only after runtime CPU
+            // detection confirmed the kernel's target features.
+            return unsafe { avx2::accumulate_outer_row(row, v, x, s) };
         }
         SimdLevel::Scalar => {}
     }
@@ -479,6 +497,8 @@ pub fn butterflies(lo: &mut [Complex64], hi: &mut [Complex64], w: &[Complex64]) 
     // path.
     #[cfg(target_arch = "x86_64")]
     match level() {
+        // SAFETY: level() reports this tier only after runtime CPU
+        // detection confirmed the kernel's target features.
         SimdLevel::Avx512 | SimdLevel::Avx2 => return unsafe { avx2::butterflies(lo, hi, w) },
         SimdLevel::Scalar => {}
     }
@@ -524,6 +544,8 @@ pub fn focus_accumulate(h: &[Complex64], t1: &[Complex64], t2: &[Complex64]) -> 
     // AVX-512 level reuses the 256-bit path.
     #[cfg(target_arch = "x86_64")]
     match level() {
+        // SAFETY: level() reports this tier only after runtime CPU
+        // detection confirmed the kernel's target features.
         SimdLevel::Avx512 | SimdLevel::Avx2 => return unsafe { avx2::focus_accumulate(h, t1, t2) },
         SimdLevel::Scalar => {}
     }
@@ -568,6 +590,7 @@ pub fn cdot(a: &[Complex64], b: &[Complex64]) -> Complex64 {
     crate::probe::count_kernel(crate::probe::Kernel::Cdot, 1);
     #[cfg(target_arch = "x86_64")]
     if level() >= SimdLevel::Avx2 && fma_supported() {
+        // SAFETY: the guard above confirmed AVX2 and FMA at runtime.
         return unsafe { avx2::cdot(a, b) };
     }
     // Portable reassociated fallback: 4 lanes, same accumulator
@@ -605,6 +628,9 @@ mod avx2 {
     use std::arch::x86_64::*;
 
     /// `[w.re, w.im, w.re, w.im]` — one complex broadcast to both slots.
+    // SAFETY: register-only intrinsic arithmetic, no memory access;
+    // every caller runs inside an AVX2 target_feature context that
+    // the level() dispatch proved at runtime.
     #[inline]
     unsafe fn broadcast(w: Complex64) -> __m256d {
         _mm256_setr_pd(w.re, w.im, w.re, w.im)
@@ -615,6 +641,9 @@ mod avx2 {
     /// reproduces the scalar operator's products and rounding exactly
     /// (the scalar `im` sums the same two products in the commuted
     /// order, which rounds identically).
+    // SAFETY: register-only intrinsic arithmetic, no memory access;
+    // every caller runs inside an AVX2 target_feature context that
+    // the level() dispatch proved at runtime.
     #[inline]
     unsafe fn cmul(x: __m256d, w: __m256d) -> __m256d {
         let wr = _mm256_movedup_pd(w); //          [w0r, w0r, w1r, w1r]
@@ -623,6 +652,10 @@ mod avx2 {
         _mm256_addsub_pd(_mm256_mul_pd(x, wr), _mm256_mul_pd(xs, wi))
     }
 
+    // SAFETY: callable only with AVX2 present — the level() dispatch
+    // proves that at runtime. Every pointer offset below stays inside
+    // the argument slices: the vector body covers whole pairs of
+    // complexes and the odd tail is handled separately.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn givens_rotate(
         x: &mut [Complex64],
@@ -654,6 +687,10 @@ mod avx2 {
         }
     }
 
+    // SAFETY: callable only with AVX2 present — the level() dispatch
+    // proves that at runtime. Every pointer offset below stays inside
+    // the argument slices: the vector body covers whole pairs of
+    // complexes and the odd tail is handled separately.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn givens_rotate_cols(
         data: &mut [Complex64],
@@ -700,6 +737,10 @@ mod avx2 {
         }
     }
 
+    // SAFETY: callable only with AVX2 present — the level() dispatch
+    // proves that at runtime. Every pointer offset below stays inside
+    // the argument slices: the vector body covers whole pairs of
+    // complexes and the odd tail is handled separately.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn rotate_rows_mirror(
         data: &mut [Complex64],
@@ -768,6 +809,10 @@ mod avx2 {
         }
     }
 
+    // SAFETY: callable only with AVX2 present — the level() dispatch
+    // proves that at runtime. Every pointer offset below stays inside
+    // the argument slices: the vector body covers whole pairs of
+    // complexes and the odd tail is handled separately.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn caxpy(acc: &mut [Complex64], x: &[Complex64], a: Complex64) {
         let n = acc.len();
@@ -785,6 +830,10 @@ mod avx2 {
         }
     }
 
+    // SAFETY: callable only with AVX2 present — the level() dispatch
+    // proves that at runtime. Every pointer offset below stays inside
+    // the argument slices: the vector body covers whole pairs of
+    // complexes and the odd tail is handled separately.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn accumulate_outer_row(
         row: &mut [Complex64],
@@ -811,6 +860,10 @@ mod avx2 {
         }
     }
 
+    // SAFETY: callable only with AVX2 present — the level() dispatch
+    // proves that at runtime. Every pointer offset below stays inside
+    // the argument slices: the vector body covers whole pairs of
+    // complexes and the odd tail is handled separately.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn butterflies(lo: &mut [Complex64], hi: &mut [Complex64], w: &[Complex64]) {
         let n = lo.len();
@@ -834,6 +887,10 @@ mod avx2 {
         }
     }
 
+    // SAFETY: callable only with AVX2 present — the level() dispatch
+    // proves that at runtime. Every pointer offset below stays inside
+    // the argument slices: the vector body covers whole pairs of
+    // complexes and the odd tail is handled separately.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn focus_accumulate(
         h: &[Complex64],
@@ -863,6 +920,9 @@ mod avx2 {
         out
     }
 
+    // SAFETY: callable only with AVX2 and FMA present — the dispatch
+    // guard proves both at runtime. Every pointer offset below stays
+    // inside the argument slices (whole pairs, then a scalar tail).
     #[target_feature(enable = "avx2", enable = "fma")]
     pub(super) unsafe fn cdot(a: &[Complex64], b: &[Complex64]) -> Complex64 {
         let n = a.len();
@@ -922,6 +982,9 @@ mod avx512 {
     use std::arch::x86_64::*;
 
     /// `[w.re, w.im]` repeated to all four complex slots.
+    // SAFETY: register-only intrinsic arithmetic, no memory access;
+    // every caller runs inside an AVX-512 target_feature context that
+    // the level() dispatch proved at runtime.
     #[inline]
     unsafe fn broadcast512(w: Complex64) -> __m512d {
         _mm512_set4_pd(w.im, w.re, w.im, w.re)
@@ -931,6 +994,9 @@ mod avx512 {
     /// zmm: one add, one sub, one lane blend — each lane still exactly
     /// one IEEE operation, so it is bitwise equal to
     /// `_mm256_addsub_pd` on the corresponding halves.
+    // SAFETY: register-only intrinsic arithmetic, no memory access;
+    // every caller runs inside an AVX-512 target_feature context that
+    // the level() dispatch proved at runtime.
     #[inline]
     unsafe fn addsub512(a: __m512d, b: __m512d) -> __m512d {
         let dif = _mm512_sub_pd(a, b);
@@ -941,6 +1007,9 @@ mod avx512 {
     /// Per-slot complex multiply of four interleaved complexes — the
     /// 512-bit analogue of the AVX2 `cmul`, same operand order and
     /// rounding points, no FMA.
+    // SAFETY: register-only intrinsic arithmetic, no memory access;
+    // every caller runs inside an AVX-512 target_feature context that
+    // the level() dispatch proved at runtime.
     #[inline]
     unsafe fn cmul512(x: __m512d, w: __m512d) -> __m512d {
         let wr = _mm512_movedup_pd(w);
@@ -949,6 +1018,10 @@ mod avx512 {
         addsub512(_mm512_mul_pd(x, wr), _mm512_mul_pd(xs, wi))
     }
 
+    // SAFETY: callable only with AVX-512 F/DQ present — the level()
+    // dispatch proves that at runtime. Every pointer offset below
+    // stays inside the argument slices: the vector body covers whole
+    // quads of complexes and the tail is handled separately.
     #[target_feature(enable = "avx512f", enable = "avx512dq")]
     pub(super) unsafe fn givens_rotate(
         x: &mut [Complex64],
@@ -981,6 +1054,10 @@ mod avx512 {
         }
     }
 
+    // SAFETY: callable only with AVX-512 F/DQ present — the level()
+    // dispatch proves that at runtime. Every pointer offset below
+    // stays inside the argument slices: the vector body covers whole
+    // quads of complexes and the tail is handled separately.
     #[target_feature(enable = "avx512f", enable = "avx512dq")]
     pub(super) unsafe fn rotate_rows_mirror(
         data: &mut [Complex64],
@@ -1060,6 +1137,10 @@ mod avx512 {
         }
     }
 
+    // SAFETY: callable only with AVX-512 F/DQ present — the level()
+    // dispatch proves that at runtime. Every pointer offset below
+    // stays inside the argument slices: the vector body covers whole
+    // quads of complexes and the tail is handled separately.
     #[target_feature(enable = "avx512f", enable = "avx512dq")]
     pub(super) unsafe fn caxpy(acc: &mut [Complex64], x: &[Complex64], a: Complex64) {
         let n = acc.len();
@@ -1077,6 +1158,10 @@ mod avx512 {
         }
     }
 
+    // SAFETY: callable only with AVX-512 F/DQ present — the level()
+    // dispatch proves that at runtime. Every pointer offset below
+    // stays inside the argument slices: the vector body covers whole
+    // quads of complexes and the tail is handled separately.
     #[target_feature(enable = "avx512f", enable = "avx512dq")]
     pub(super) unsafe fn accumulate_outer_row(
         row: &mut [Complex64],

@@ -86,6 +86,9 @@ impl Counter {
     /// Adds `n`.
     #[inline]
     pub fn add(&self, n: u64) {
+        // ordering: Relaxed — the counter is a monotone tally read by
+        // scrapers; no other memory is published with it, so the only
+        // guarantee needed is atomicity of the add itself.
         self.0.cells[my_stripe()].0.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -94,6 +97,8 @@ impl Counter {
         self.0
             .cells
             .iter()
+            // ordering: Relaxed — a scrape may race adds and land a
+            // count stale; monotone counters make that harmless.
             .map(|c| c.0.load(Ordering::Relaxed))
             .fold(0u64, u64::wrapping_add)
     }
@@ -129,6 +134,8 @@ impl Gauge {
     /// Sets the value.
     #[inline]
     pub fn set(&self, v: f64) {
+        // ordering: Relaxed — last-writer-wins is the gauge contract;
+        // the one word carries the whole value.
         self.0.bits.store(v.to_bits(), Ordering::Relaxed);
     }
 
@@ -137,6 +144,9 @@ impl Gauge {
     /// read-then-`set` can (high-water marks like `serve.slo.worst_ns`
     /// are recorded from every shard worker).
     pub fn set_max(&self, v: f64) {
+        // ordering: Relaxed/Relaxed — only this one word is contended;
+        // the CAS loop inside fetch_update already guarantees the max
+        // is not lost, and readers sample the gauge in isolation.
         let _ = self
             .0
             .bits
@@ -147,6 +157,7 @@ impl Gauge {
 
     /// The current value.
     pub fn value(&self) -> f64 {
+        // ordering: Relaxed — samples one self-contained word.
         f64::from_bits(self.0.bits.load(Ordering::Relaxed))
     }
 }
@@ -242,9 +253,13 @@ impl Histogram {
     #[inline]
     pub fn record(&self, v: u64) {
         let shard = &self.0.shards[my_stripe()];
+        // ordering: Relaxed on all three adds — bucket, count, and sum
+        // are independent tallies; a scraper may see them mid-update
+        // (count ahead of sum) and the snapshot merge tolerates that
+        // skew, so no release/acquire pairing buys anything here.
         shard.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
-        shard.count.0.fetch_add(1, Ordering::Relaxed);
-        shard.sum.fetch_add(v, Ordering::Relaxed);
+        shard.count.0.fetch_add(1, Ordering::Relaxed); // ordering: see above
+        shard.sum.fetch_add(v, Ordering::Relaxed); // ordering: see above
     }
 
     /// Records a duration in nanoseconds (saturating at `u64::MAX`).
@@ -258,6 +273,8 @@ impl Histogram {
         self.0
             .shards
             .iter()
+            // ordering: Relaxed — same scrape-skew tolerance as
+            // Counter::value above.
             .map(|s| s.count.0.load(Ordering::Relaxed))
             .fold(0u64, u64::wrapping_add)
     }
@@ -265,6 +282,9 @@ impl Histogram {
     /// A mergeable copy of the current state.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let mut out = HistogramSnapshot::empty();
+        // ordering: Relaxed on every load — the snapshot is advisory;
+        // count/sum/buckets may each be one racing record apart and the
+        // rollup consumers tolerate that.
         for s in &self.0.shards {
             out.count = out.count.wrapping_add(s.count.0.load(Ordering::Relaxed));
             out.sum = out.sum.wrapping_add(s.sum.load(Ordering::Relaxed));

@@ -131,6 +131,8 @@ impl std::ops::DerefMut for RingGuard<'_> {
 
 impl Drop for RingGuard<'_> {
     fn drop(&mut self) {
+        // ordering: Release — publishes every write made under the
+        // guard to the next thread whose Acquire CAS takes the lock.
         self.0.locked.store(false, Ordering::Release);
     }
 }
@@ -138,6 +140,10 @@ impl Drop for RingGuard<'_> {
 impl Ring {
     #[inline]
     fn lock(&self) -> RingGuard<'_> {
+        // ordering: Acquire on success pairs with the guard's Release
+        // unlock, making the previous holder's ring writes visible;
+        // Relaxed on failure is fine — a failed CAS publishes nothing
+        // and the loop just retries.
         while self
             .locked
             .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
@@ -156,6 +162,8 @@ impl Ring {
             let next = r.next;
             r.buf[next] = rec;
             r.next = if next + 1 == self.cap { 0 } else { next + 1 };
+            // ordering: Relaxed — a plain drop tally; the ring contents
+            // it describes are already protected by the spinlock.
             self.overwritten.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -382,6 +390,9 @@ pub fn capture_incident(reason: &'static str, arg: u64, trace: u64, worst_ns: u6
         return None;
     }
     static SEQ: AtomicU64 = AtomicU64::new(0);
+    // ordering: Relaxed — fetch_add alone guarantees unique, monotone
+    // sequence numbers; the incident payload travels under the
+    // incident-buffer mutex, not via this atomic.
     let seq = SEQ.fetch_add(1, Ordering::Relaxed);
     let mut spans = snapshot_spans();
     if spans.len() > INCIDENT_SPAN_CAP {
@@ -430,6 +441,7 @@ pub fn overwritten() -> u64 {
         .lock()
         .expect("span recorder poisoned")
         .iter()
+        // ordering: Relaxed — a drop tally read for reporting only.
         .map(|r| r.overwritten.load(Ordering::Relaxed))
         .sum()
 }

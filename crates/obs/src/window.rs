@@ -126,6 +126,8 @@ impl WindowedHistogram {
         // the push are atomic together — a winner cannot be preempted
         // between them and insert an older tick after a newer one (the
         // ring must stay ascending for baseline() and retention).
+        // ordering: Relaxed everywhere on last_tick_ns — it is only a
+        // hint out here, and under the lock the Mutex orders it.
         let last = self.last_tick_ns.load(Ordering::Relaxed);
         if now_ns.saturating_sub(last) < self.tick_ns && last != 0 {
             return;
@@ -201,6 +203,8 @@ impl WindowedCounter {
     pub fn maybe_tick_at(&self, now_ns: u64) {
         // See WindowedHistogram::maybe_tick_at: due-check and push are
         // one critical section so the ring stays ascending.
+        // ordering: Relaxed on last_tick_ns — advisory outside the
+        // lock, Mutex-ordered inside it.
         let last = self.last_tick_ns.load(Ordering::Relaxed);
         if now_ns.saturating_sub(last) < self.tick_ns && last != 0 {
             return;

@@ -160,6 +160,8 @@ impl WireServer {
     /// configured grace), finishes the engine, and returns the final
     /// report.
     pub fn shutdown(mut self) -> std::io::Result<WireServerReport> {
+        // ordering: Release — pairs with the reactor's Acquire load so
+        // everything written before shutdown is visible to it.
         self.stop.store(true, Ordering::Release);
         let handle = self.handle.take().expect("shutdown called once");
         handle
@@ -300,6 +302,8 @@ impl Reactor {
             let mut progressed = false;
             if stopping.is_none() {
                 progressed |= self.accept_new();
+                // ordering: Acquire — pairs with the Release store in
+                // shutdown(); see there.
                 if self.stop.load(Ordering::Acquire) {
                     stopping = Some(Instant::now());
                 }
@@ -980,7 +984,10 @@ impl WireClient {
     fn read_frame(&mut self) -> Result<(Frame, Vec<u8>), ClientError> {
         loop {
             if let Some((frame, used)) = wire::split_frame(&self.rbuf)? {
-                let payload = self.rbuf[6..used].to_vec();
+                // split_frame only succeeds with `used` = 4 + len ≥ 6
+                // and the whole frame buffered; get() spells the
+                // invariant without a panic path.
+                let payload = self.rbuf.get(6..used).unwrap_or(&[]).to_vec();
                 self.rbuf.drain(..used);
                 return Ok((frame, payload));
             }
@@ -992,7 +999,7 @@ impl WireClient {
                     "server closed mid-frame",
                 )));
             }
-            self.rbuf.extend_from_slice(&buf[..n]);
+            self.rbuf.extend_from_slice(buf.get(..n).unwrap_or(&buf));
         }
     }
 

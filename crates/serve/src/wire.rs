@@ -239,6 +239,16 @@ fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
+/// Writes a collection/string length as `u32`. Every length this codec
+/// emits is bounded by [`MAX_FRAME_LEN`] (1 << 28, far below
+/// `u32::MAX`) because the whole frame must fit under it; the assert
+/// keeps the cast honest if that bound ever moves.
+#[inline]
+fn put_len(buf: &mut Vec<u8>, n: usize) {
+    debug_assert!(n <= MAX_FRAME_LEN, "length {n} exceeds MAX_FRAME_LEN");
+    put_u32(buf, n as u32); // bounds: asserted ≤ MAX_FRAME_LEN above
+}
+
 #[inline]
 fn put_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
@@ -255,7 +265,7 @@ fn put_f64(buf: &mut Vec<u8>, v: f64) {
 }
 
 fn put_str(buf: &mut Vec<u8>, s: &str) {
-    put_u32(buf, s.len() as u32);
+    put_len(buf, s.len());
     buf.extend_from_slice(s.as_bytes());
 }
 
@@ -285,14 +295,14 @@ fn put_opt_u64(buf: &mut Vec<u8>, v: Option<u64>) {
 }
 
 fn put_f64s(buf: &mut Vec<u8>, xs: &[f64]) {
-    put_u32(buf, xs.len() as u32);
+    put_len(buf, xs.len());
     for &x in xs {
         put_f64(buf, x);
     }
 }
 
 fn put_usizes(buf: &mut Vec<u8>, xs: &[usize]) {
-    put_u32(buf, xs.len() as u32);
+    put_len(buf, xs.len());
     for &x in xs {
         put_usize(buf, x);
     }
@@ -313,24 +323,31 @@ impl<'a> Cursor<'a> {
 
     fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
         let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
-        if end > self.buf.len() {
-            return Err(WireError::Truncated);
-        }
-        let out = &self.buf[self.pos..end];
+        let out = self.buf.get(self.pos..end).ok_or(WireError::Truncated)?;
         self.pos = end;
         Ok(out)
     }
 
+    /// The next `N` bytes as a fixed array — the panic-free spelling of
+    /// `bytes(N)?.try_into().unwrap()` for the integer readers below.
+    fn arr<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        self.bytes(N)?
+            .first_chunk::<N>()
+            .copied()
+            .ok_or(WireError::Truncated)
+    }
+
     fn u8(&mut self) -> Result<u8, WireError> {
-        Ok(self.bytes(1)?[0])
+        let [b] = self.arr::<1>()?;
+        Ok(b)
     }
 
     fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.arr()?))
     }
 
     fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.arr()?))
     }
 
     fn f64(&mut self) -> Result<f64, WireError> {
@@ -387,6 +404,8 @@ fn put_track_event(buf: &mut Vec<u8>, e: &TrackEvent) {
         }
         EventKind::Crossing { direction } => {
             put_u8(buf, 2);
+            // bounds: i8 → u8 is a bit-for-bit reinterpretation (the
+            // decoder casts back), not a length truncation.
             put_u8(buf, direction as u8);
         }
         EventKind::CountChange { count } => {
@@ -480,14 +499,14 @@ fn position_status_tag(s: PositionTrackStatus) -> u8 {
 fn put_spectrogram(buf: &mut Vec<u8>, s: &AngleSpectrogram) {
     put_f64s(buf, &s.thetas_deg);
     put_f64s(buf, &s.times_s);
-    put_u32(buf, s.power.len() as u32);
+    put_len(buf, s.power.len());
     for row in &s.power {
         put_f64s(buf, row);
     }
 }
 
 fn put_tracking_report(buf: &mut Vec<u8>, r: &TrackingReport) {
-    put_u32(buf, r.tracks.len() as u32);
+    put_len(buf, r.tracks.len());
     for t in &r.tracks {
         put_u32(buf, t.id);
         put_usize(buf, t.born_window);
@@ -501,7 +520,7 @@ fn put_tracking_report(buf: &mut Vec<u8>, r: &TrackingReport) {
         put_usize(buf, t.led_windows);
         put_f64s(buf, &t.recent_gaps_db);
         put_bool(buf, t.announced);
-        put_u32(buf, t.history.len() as u32);
+        put_len(buf, t.history.len());
         for p in &t.history {
             put_usize(buf, p.window);
             put_f64(buf, p.time_s);
@@ -510,7 +529,7 @@ fn put_tracking_report(buf: &mut Vec<u8>, r: &TrackingReport) {
             put_opt_f64(buf, p.observed);
         }
     }
-    put_u32(buf, r.events.len() as u32);
+    put_len(buf, r.events.len());
     for e in &r.events {
         put_track_event(buf, e);
     }
@@ -524,13 +543,15 @@ fn put_gesture_decode(buf: &mut Vec<u8>, d: &GestureDecode) {
     put_f64s(buf, &d.track);
     put_f64s(buf, &d.matched);
     put_f64s(buf, &d.times_s);
-    put_u32(buf, d.gestures.len() as u32);
+    put_len(buf, d.gestures.len());
     for g in &d.gestures {
         put_f64(buf, g.time_s);
+        // bounds: polarity is ±1; i8 → u8 is a bit-for-bit
+        // reinterpretation, not a length truncation.
         put_u8(buf, g.polarity as u8);
         put_f64(buf, g.snr_db);
     }
-    put_u32(buf, d.bits.len() as u32);
+    put_len(buf, d.bits.len());
     for b in &d.bits {
         match b {
             None => put_u8(buf, 0),
@@ -566,7 +587,7 @@ fn put_position_track(buf: &mut Vec<u8>, t: &PositionTrack) {
         }
         None => put_u8(buf, 0),
     }
-    put_u32(buf, t.history.len() as u32);
+    put_len(buf, t.history.len());
     for p in &t.history {
         put_usize(buf, p.window);
         put_f64(buf, p.time_s);
@@ -592,14 +613,14 @@ fn put_imaging_report(buf: &mut Vec<u8>, r: &ImagingReport) {
     put_usize(buf, r.grid.nx);
     put_usize(buf, r.grid.ny);
     put_f64s(buf, &r.times_s);
-    put_u32(buf, r.fixes.len() as u32);
+    put_len(buf, r.fixes.len());
     for frame in &r.fixes {
-        put_u32(buf, frame.len() as u32);
+        put_len(buf, frame.len());
         for f in frame {
             put_image_fix(buf, f);
         }
     }
-    put_u32(buf, r.tracks.len() as u32);
+    put_len(buf, r.tracks.len());
     for t in &r.tracks {
         put_position_track(buf, t);
     }
@@ -652,7 +673,7 @@ pub fn encode_session_output(out: &SessionOutput) -> Vec<u8> {
     put_usize(&mut buf, out.n_columns);
     put_bool(&mut buf, out.closed_early);
     put_f64(&mut buf, out.nulling_db);
-    put_u32(&mut buf, out.events.len() as u32);
+    put_len(&mut buf, out.events.len());
     for e in &out.events {
         put_track_event(&mut buf, e);
     }
@@ -678,7 +699,7 @@ fn take_wire_output(c: &mut Cursor) -> Result<WireOutput, WireError> {
     // Everything after the common surface is the canonical payload
     // block, kept as raw bytes (type-erased payloads cannot be
     // reconstructed client-side; bytes are the contract).
-    let payload = c.buf[c.pos..].to_vec();
+    let payload = c.buf.get(c.pos..).unwrap_or(&[]).to_vec();
     c.pos = c.buf.len();
     Ok(WireOutput {
         id,
@@ -765,7 +786,7 @@ impl Frame {
                 put_u64(buf, o.n_columns);
                 put_bool(buf, o.closed_early);
                 put_f64(buf, o.nulling_db);
-                put_u32(buf, o.events.len() as u32);
+                put_len(buf, o.events.len());
                 for e in &o.events {
                     put_track_event(buf, e);
                 }
@@ -777,8 +798,10 @@ impl Frame {
                 put_str(buf, message);
             }
         }
-        let len = (buf.len() - start - 4) as u32;
-        buf[start..start + 4].copy_from_slice(&len.to_le_bytes());
+        let len = buf.len() - start - 4;
+        debug_assert!(len <= MAX_FRAME_LEN, "encoded frame exceeds MAX_FRAME_LEN");
+        // bounds: asserted ≤ MAX_FRAME_LEN (≪ u32::MAX) just above.
+        buf[start..start + 4].copy_from_slice(&(len as u32).to_le_bytes());
     }
 
     /// The frame as one owned byte vector.
@@ -862,21 +885,22 @@ pub fn split_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>, WireError> {
 /// header carried — how the server learns what version a peer speaks,
 /// so it can answer in kind.
 pub fn split_frame_versioned(buf: &[u8]) -> Result<Option<(Frame, u8, usize)>, WireError> {
-    if buf.len() < 4 {
+    let Some(len_bytes) = buf.first_chunk::<4>() else {
         return Ok(None);
-    }
-    let len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+    };
+    let len = u32::from_le_bytes(*len_bytes) as usize;
     if len > MAX_FRAME_LEN {
         return Err(WireError::Oversized(len as u64));
     }
     if len < 2 {
         return Err(WireError::Truncated);
     }
-    if buf.len() < 4 + len {
+    let Some(body) = buf.get(4..4 + len) else {
         return Ok(None);
-    }
-    let frame = Frame::decode_body(&buf[4..4 + len])?;
-    Ok(Some((frame, buf[4], 4 + len)))
+    };
+    let frame = Frame::decode_body(body)?;
+    let (&ver, _) = body.split_first().ok_or(WireError::Truncated)?;
+    Ok(Some((frame, ver, 4 + len)))
 }
 
 #[cfg(test)]
